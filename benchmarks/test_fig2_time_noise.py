@@ -1,0 +1,66 @@
+"""Figure 2: timing variance of zeroing an array in four environments.
+
+Paper: "Figure 2 shows a CDF of the completion times, normalized to the
+fastest time we observed ... the largest variance we observed was 189% in
+scenario (1) [user, noisy] ... as the environment becomes more and more
+controlled, the timing becomes more and more consistent."
+
+Reproduced shape: variance ordering
+user-noisy >> user-quiet > kernel > kernel-quiet, with user-noisy on the
+order of 100%+ and kernel-quiet near zero.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.analysis.plot import ascii_cdf
+from repro.analysis.stats import cdf_points, spread_percent
+from repro.apps import compile_app, zero_array_source
+from repro.core.tdr import play
+from repro.machine.noise import scenario_config
+
+SCENARIOS = ("user-noisy", "user-quiet", "kernel", "kernel-quiet")
+RUNS = 10
+ELEMENTS = 8192
+
+
+def run_fig2() -> dict[str, list[float]]:
+    program = compile_app(zero_array_source(elements=ELEMENTS))
+    times: dict[str, list[float]] = {}
+    for scenario in SCENARIOS:
+        config = scenario_config(scenario)
+        times[scenario] = [
+            float(play(program, config, seed=seed).total_cycles)
+            for seed in range(RUNS)]
+    return times
+
+
+def test_fig2_time_noise(benchmark):
+    times = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+    print_banner(f"Figure 2 — zeroing a {ELEMENTS * 8 // 1024} kB array, "
+                 f"{RUNS} runs per scenario (variance = (max-min)/min)")
+    spreads = {}
+    for scenario in SCENARIOS:
+        spreads[scenario] = spread_percent(times[scenario])
+        fastest = min(times[scenario])
+        cdf = cdf_points([t / fastest * 100.0 - 100.0
+                          for t in times[scenario]])
+        tail = ", ".join(f"{v:.2f}%@{f:.1f}" for v, f in cdf[::3])
+        print(f"  {scenario:14s} variance={spreads[scenario]:8.2f}%   "
+              f"CDF(excess%, frac): {tail}")
+    print(f"  paper: 189% max in (1); near-zero in (4)")
+    print()
+    excess = {scenario: [t / min(times[scenario]) * 100.0 - 100.0
+                         for t in times[scenario]]
+              for scenario in SCENARIOS}
+    print(ascii_cdf(excess, width=58, height=14,
+                    xlabel="variance (% of fastest execution)"))
+
+    # Shape assertions: strictly more controlled => strictly less variance.
+    assert spreads["user-noisy"] > 50.0
+    assert spreads["user-noisy"] > 3 * spreads["user-quiet"]
+    assert spreads["user-quiet"] > spreads["kernel"]
+    assert spreads["kernel"] > spreads["kernel-quiet"]
+    assert spreads["kernel-quiet"] < 0.5

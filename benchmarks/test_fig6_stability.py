@@ -1,0 +1,65 @@
+"""Figure 6: timing variance of SciMark under dirty / clean / Sanity.
+
+Paper: "timing in the 'dirty' configuration can vary considerably, in some
+cases by 79% ... In the 'clean' configuration, the variability is more
+than an order of magnitude lower; Sanity can reduce it by another order of
+magnitude or more, to the point where all execution times are within
+0.08%-1.22% of each other."
+
+Reproduced shape: per kernel, variance(dirty) >> variance(clean) >>
+variance(sanity), with roughly an order of magnitude per step and Sanity
+in the sub-percent range.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.analysis.stats import spread_percent
+from repro.core.tdr import play
+from repro.machine.noise import scenario_config
+
+KERNELS = ("sor", "smm", "mc", "lu", "fft")
+RUNS = 8
+
+PAPER_DIRTY = {"sor": 79.0, "smm": 15.3, "mc": 51.0, "lu": 15.08,
+               "fft": 44.0}
+
+
+def run_fig6(scimark_programs):
+    spreads: dict[str, dict[str, float]] = {}
+    for scenario in ("dirty", "clean", "sanity"):
+        config = scenario_config(scenario)
+        spreads[scenario] = {}
+        for name in KERNELS:
+            times = [float(play(scimark_programs[name], config,
+                                seed=seed).total_cycles)
+                     for seed in range(RUNS)]
+            spreads[scenario][name] = spread_percent(times)
+    return spreads
+
+
+def test_fig6_stability(benchmark, scimark_programs):
+    spreads = benchmark.pedantic(run_fig6, args=(scimark_programs,),
+                                 rounds=1, iterations=1)
+
+    print_banner(f"Figure 6 — SciMark timing variance, {RUNS} runs "
+                 "(paper dirty values in parentheses)")
+    print(f"  {'kernel':<8s} {'dirty':>18s} {'clean':>10s} {'sanity':>10s}")
+    for name in KERNELS:
+        print(f"  {name.upper():<8s} {spreads['dirty'][name]:>8.2f}% "
+              f"({PAPER_DIRTY[name]:>5.1f}%) "
+              f"{spreads['clean'][name]:>9.3f}% "
+              f"{spreads['sanity'][name]:>9.4f}%")
+
+    for name in KERNELS:
+        dirty = spreads["dirty"][name]
+        clean = spreads["clean"][name]
+        sanity = spreads["sanity"][name]
+        # Each step removes roughly an order of magnitude of noise.
+        assert dirty > 5 * clean, name
+        assert clean > 3 * sanity, name
+        # Sanity's residual is sub-percent (paper: 0.08%-1.22%).
+        assert sanity < 1.3, name
+        # Dirty environments are tens-of-percent unstable.
+        assert dirty > 10.0, name

@@ -1,0 +1,186 @@
+"""Figure 8: ROC curves/AUC for four covert channels x five detectors.
+
+Two parts:
+
+* **Statistical detectors** (shape, KS, regularity, CCE) are evaluated on
+  trace populations from the calibrated NFS traffic model — the large
+  trace counts a ROC needs are affordable there.
+* **The Sanity (TDR) detector** is evaluated end-to-end on the simulated
+  machine: covert servers run with real ``covert_delay`` schedules, their
+  logs are replayed on a clean reference machine, and the per-packet IPD
+  deviation is the discrimination statistic.
+
+Reproduced shape (paper AUCs in the printed table):
+
+* IPCTC is caught by everything;
+* TRCTC evades the shape test but CCE nails it;
+* MBCTC evades first-order tests; only CCE retains substantial power;
+* the low-rate Needle channel evades every statistical detector;
+* Sanity scores AUC = 1.0 on all four channels.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.analysis.experiment import (NfsTrafficModel, run_detector_matrix,
+                                       vm_covert_schedule)
+from repro.analysis.plot import ascii_scatter
+from repro.detectors.roc import roc_from_scores
+from repro.analysis.stats import auc_mann_whitney
+from repro.apps import build_nfs_workload
+from repro.channels import Ipctc, Mbctc, NeedleChannel, Trctc, random_bits
+from repro.core.audit import compare_traces
+from repro.core.tdr import play, replay
+from repro.determinism import SplitMix64
+from repro.detectors import all_statistical_detectors
+from repro.machine import MachineConfig
+
+#: Paper AUC values (Fig 8 legends), for the printed comparison.
+PAPER_AUC = {
+    ("ipctc", "shape"): 1.000, ("ipctc", "ks"): 1.000,
+    ("ipctc", "regularity"): 1.000, ("ipctc", "cce"): 1.000,
+    ("ipctc", "sanity"): 1.000,
+    ("trctc", "shape"): 0.457, ("trctc", "ks"): 0.833,
+    ("trctc", "regularity"): 0.726, ("trctc", "cce"): 1.000,
+    ("trctc", "sanity"): 1.000,
+    ("mbctc", "shape"): 0.223, ("mbctc", "ks"): 0.412,
+    ("mbctc", "regularity"): 0.527, ("mbctc", "cce"): 0.885,
+    ("mbctc", "sanity"): 1.000,
+    ("needle", "shape"): 0.751, ("needle", "ks"): 0.813,
+    ("needle", "regularity"): 0.532, ("needle", "cce"): 0.638,
+    ("needle", "sanity"): 1.000,
+}
+
+CHANNEL_ORDER = ("ipctc", "trctc", "mbctc", "needle")
+DETECTOR_ORDER = ("shape", "ks", "regularity", "cce", "sanity")
+
+#: VM part parameters (kept small: each trace is a full machine run).
+VM_TRACES_PER_CHANNEL = 4
+VM_LEGIT_TRACES = 4
+VM_REQUESTS = 25
+
+
+def vm_channels():
+    """Channel instances sized to the short VM traces (the Needle's
+    100-packet period would not fire within 25 packets)."""
+    return {
+        "ipctc": Ipctc(),
+        "trctc": Trctc(),
+        "mbctc": Mbctc(),
+        "needle": NeedleChannel(period=8, delta_ms=2.0),
+    }
+
+
+def run_statistical_matrix():
+    channels = [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]
+    cells = run_detector_matrix(channels, all_statistical_detectors,
+                                model=NfsTrafficModel(),
+                                num_training=30, num_test=25,
+                                packets_per_trace=120, seed=2014)
+    aucs = {(c.channel, c.detector): c.auc for c in cells}
+    needle_rocs = {c.detector: c.roc.points for c in cells
+                   if c.channel == "needle"}
+    return aucs, needle_rocs
+
+
+def run_sanity_detector(nfs_program):
+    """End-to-end TDR detection on the simulated machine."""
+    config = MachineConfig()
+
+    def deviation(seed, covert_schedule=None):
+        workload = build_nfs_workload(SplitMix64(7000 + seed),
+                                      num_requests=VM_REQUESTS)
+        observed = play(nfs_program, config, workload=workload, seed=seed,
+                        covert_schedule=covert_schedule)
+        reference = replay(nfs_program, observed.log, config,
+                           seed=30_000 + seed)
+        report = compare_traces(observed, reference)
+        assert report.payloads_match
+        return report.deviation_score()
+
+    legit_scores = [deviation(seed) for seed in range(VM_LEGIT_TRACES)]
+
+    aucs = {}
+    scores_by_channel = {}
+    for name, channel in vm_channels().items():
+        covert_scores = []
+        for i in range(VM_TRACES_PER_CHANNEL):
+            seed = 100 * (CHANNEL_ORDER.index(name) + 1) + i
+            # Calibration pass: the adversary profiles the clean host.
+            calib_workload = build_nfs_workload(SplitMix64(7000 + seed),
+                                                num_requests=VM_REQUESTS)
+            calib = play(nfs_program, config, workload=calib_workload,
+                         seed=seed)
+            natural = calib.ipds_ms()
+            rng = SplitMix64(555 + seed)
+            channel.fit(natural * 4, rng)
+            bits = random_bits(max(1, channel.bits_needed(len(natural))),
+                               rng)
+            schedule = vm_covert_schedule(channel, natural, bits, rng,
+                                          config.frequency_hz)
+            covert_scores.append(deviation(seed, covert_schedule=schedule))
+        aucs[name] = auc_mann_whitney(covert_scores, legit_scores)
+        scores_by_channel[name] = covert_scores
+    return aucs, legit_scores, scores_by_channel
+
+
+def test_fig8_roc(benchmark, nfs_program):
+    def run_all():
+        statistical, needle_rocs = run_statistical_matrix()
+        sanity_aucs, legit_scores, covert_scores = \
+            run_sanity_detector(nfs_program)
+        return (statistical, needle_rocs, sanity_aucs, legit_scores,
+                covert_scores)
+
+    (statistical, needle_rocs, sanity_aucs, legit_scores,
+     covert_scores) = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    aucs = dict(statistical)
+    for name, auc in sanity_aucs.items():
+        aucs[(name, "sanity")] = auc
+
+    print_banner("Figure 8 — detector AUC per channel "
+                 "(measured / paper)")
+    header = "  channel  " + "".join(f"{d:>18s}" for d in DETECTOR_ORDER)
+    print(header)
+    for channel in CHANNEL_ORDER:
+        row = f"  {channel:<8s}"
+        for detector in DETECTOR_ORDER:
+            measured = aucs[(channel, detector)]
+            paper = PAPER_AUC[(channel, detector)]
+            row += f"    {measured:>5.3f}/{paper:<5.3f} "
+        print(row)
+    print(f"  (sanity column from {VM_TRACES_PER_CHANNEL} covert + "
+          f"{VM_LEGIT_TRACES} legit full machine executions per channel; "
+          f"legit residual deviations: "
+          f"{[f'{s:.3f}' for s in legit_scores]} ms)")
+
+    # Fig 8d's curves: the needle channel against a statistical detector
+    # (hugging the diagonal = chance) and against Sanity (the upside-down
+    # L of a perfect classifier).
+    sanity_roc = roc_from_scores("sanity", covert_scores["needle"],
+                                 legit_scores)
+    print()
+    print(ascii_scatter({"cce": needle_rocs["cce"],
+                         "sanity": sanity_roc.points},
+                        diagonal=True, width=50, height=16,
+                        xlabel="false positive rate",
+                        ylabel="true positive rate"))
+
+    # --- Fig 8a: IPCTC is detected by every test. ---
+    for detector in DETECTOR_ORDER:
+        assert aucs[("ipctc", detector)] > 0.95, detector
+    # --- Fig 8b: TRCTC fools the shape test; CCE catches it. ---
+    assert aucs[("trctc", "shape")] < 0.65
+    assert aucs[("trctc", "cce")] > 0.85
+    # --- Fig 8c: MBCTC fools first-order tests; CCE retains power. ---
+    assert aucs[("mbctc", "shape")] < 0.65
+    assert aucs[("mbctc", "ks")] < 0.70
+    assert aucs[("mbctc", "cce")] > 0.80
+    # --- Fig 8d: the needle evades every statistical detector... ---
+    for detector in ("shape", "ks", "regularity", "cce"):
+        assert aucs[("needle", detector)] < 0.75, detector
+    # --- ...but the Sanity detector is perfect on all four channels. ---
+    for channel in CHANNEL_ORDER:
+        assert aucs[(channel, "sanity")] == 1.0, channel

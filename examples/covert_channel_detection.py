@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Covert-channel detection (the paper's §5/§6.8 scenario, end to end).
+
+An adversary compromises an NFS server and exfiltrates a secret through a
+low-rate "needle" timing channel: one bit every few packets, encoded as a
+2 ms extra delay.  The packet *contents* are perfectly innocent.
+
+We then point five detectors at the observed traffic:
+
+* four statistical baselines (shape, KS, regularity, CCE) trained on
+  legitimate traffic — for a single short trace with a handful of delayed
+  packets their scores sit inside the legitimate range;
+* the Sanity/TDR detector, which replays the machine's log on a clean
+  reference machine and compares per-packet timing.  The needles stick
+  out by ~2 ms against a ~0.1 ms noise floor.
+
+Run:  python examples/covert_channel_detection.py
+"""
+
+from repro.analysis.experiment import (NfsTrafficModel,
+                                       generate_legit_traces,
+                                       vm_covert_schedule)
+from repro.apps import build_nfs_program, build_nfs_workload
+from repro.channels import NeedleChannel, random_bits
+from repro.core.audit import compare_traces
+from repro.core.tdr import play, replay
+from repro.determinism import SplitMix64
+from repro.detectors import all_statistical_detectors
+from repro.machine import MachineConfig
+
+REQUESTS = 30
+WORKLOAD_SEED = 1234
+
+
+def main() -> None:
+    program = build_nfs_program()
+    config = MachineConfig()
+
+    # --- The adversary prepares the channel. -------------------------------
+    # It first profiles the compromised host's natural timing...
+    calibration = play(program, config,
+                       workload=build_nfs_workload(SplitMix64(WORKLOAD_SEED),
+                                                   num_requests=REQUESTS),
+                       seed=1)
+    natural_ipds = calibration.ipds_ms()
+    channel = NeedleChannel(period=6, delta_ms=2.0)
+    rng = SplitMix64(99)
+    channel.fit(natural_ipds * 4, rng)
+    secret_bits = random_bits(channel.bits_needed(len(natural_ipds)), rng)
+    schedule = vm_covert_schedule(channel, natural_ipds, secret_bits, rng,
+                                  config.frequency_hz)
+    print(f"secret: {''.join(map(str, secret_bits))} "
+          f"({sum(secret_bits)} needles over {REQUESTS} packets)")
+
+    # --- The compromised server runs with the channel enabled. -------------
+    observed = play(program, config,
+                    workload=build_nfs_workload(SplitMix64(WORKLOAD_SEED),
+                                                num_requests=REQUESTS),
+                    seed=2, covert_schedule=schedule)
+    print(f"observed trace: {len(observed.tx)} packets, contents are "
+          f"byte-identical to a clean run")
+
+    # --- Statistical detectors look at the traffic. -------------------------
+    model = NfsTrafficModel()
+    training = generate_legit_traces(model, 30, 120, SplitMix64(5))
+    legit_reference = generate_legit_traces(model, 20, REQUESTS - 1,
+                                            SplitMix64(6))
+    print("\nstatistical detectors (score vs legitimate range):")
+    for detector in all_statistical_detectors():
+        detector.fit(training)
+        covert_score = detector.score(observed.ipds_ms())
+        legit_scores = sorted(detector.score(t) for t in legit_reference)
+        high = legit_scores[int(0.95 * (len(legit_scores) - 1))]
+        flagged = covert_score > high
+        print(f"  {detector.name:<12s} score={covert_score:8.3f}   "
+              f"legit p95={high:8.3f}   -> "
+              f"{'FLAGGED' if flagged else 'looks legitimate'}")
+
+    # --- The TDR auditor replays the log on a clean machine. ----------------
+    reference = replay(program, observed.log, config, seed=777)
+    report = compare_traces(observed, reference)
+    print("\nSanity (TDR) detector:")
+    print(f"  replayed {report.num_packets} packets; payloads match: "
+          f"{report.payloads_match}")
+    print(f"  worst IPD deviation: {report.deviation_score():.3f} ms "
+          f"(noise floor is ~0.1 ms, needle is 2.0 ms)")
+    deviated = [i for i, (p, r) in enumerate(report.ipd_pairs)
+                if abs(p - r) > 1.0]
+    print(f"  deviating packets: {deviated}")
+    print(f"  verdict: {'COVERT CHANNEL DETECTED' if not report.is_consistent() else 'consistent'}")
+
+    assert not report.is_consistent()
+    # The deviating positions are exactly the needle carriers with bit 1.
+    carriers = channel.carrier_positions(len(natural_ipds))
+    expected = [c for c, bit in zip(carriers, secret_bits) if bit]
+    assert set(deviated) == set(expected), (deviated, expected)
+    print("\nThe TDR detector not only flags the channel — the deviating "
+          "packets are exactly the bit-1 carriers.")
+
+
+if __name__ == "__main__":
+    main()

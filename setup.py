@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 editable
+wheel support (``pip install -e . --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

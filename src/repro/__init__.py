@@ -1,0 +1,78 @@
+"""Time-Deterministic Replay (TDR) — reproduction of Chen et al., OSDI 2014.
+
+``repro`` implements the paper's contribution (time-deterministic replay
+and TDR-based covert-timing-channel detection) together with every
+substrate it depends on, over a simulated hardware platform with an
+explicit virtual timing model.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured results.
+
+Quickstart::
+
+    from repro import (MachineConfig, InteractiveClient, Request,
+                       SplitMix64, compile_app, round_trip)
+
+    program = compile_app('''
+        void main() {
+            int[] buf = new int[64];
+            while (wait_packet(buf) >= 0) { send_packet(buf, 4); }
+            exit();
+        }
+    ''')
+    client = InteractiveClient([Request(b"ping")], SplitMix64(7))
+    outcome = round_trip(program, MachineConfig(), workload=client)
+    assert outcome.audit.is_consistent()   # replay timing == play timing
+
+The most commonly used names are re-exported here; the subpackages hold
+the full API:
+
+* ``repro.core``      — play/replay/audit (the paper's contribution)
+* ``repro.machine``   — the simulated TC/SC machine and noise scenarios
+* ``repro.vm``        — the Sanity bytecode VM
+* ``repro.lang``      — the MiniJ guest-language compiler
+* ``repro.asm``       — assembler/disassembler
+* ``repro.hw``        — caches, TLB, bus, IRQs, storage, CPU model
+* ``repro.channels``  — IPCTC / TRCTC / MBCTC / Needle covert channels
+* ``repro.detectors`` — shape, KS, regularity, CCE, and the TDR detector
+* ``repro.apps``      — guest applications (mini-NFS, SciMark, ...)
+* ``repro.net``       — packets, traces, WAN jitter
+* ``repro.analysis``  — statistics and the experiment harness
+"""
+
+from repro.apps import compile_app
+from repro.core.audit import AuditReport, compare_traces
+from repro.core.log import EventLog
+from repro.core.tdr import TdrResult, play, replay, replay_naive, round_trip
+from repro.determinism import SplitMix64
+from repro.errors import ReproError
+from repro.lang import compile_minij
+from repro.machine import (ExecutionResult, InteractiveClient, Machine,
+                           MachineConfig, Request, ScriptedArrivals,
+                           machine_type, scenario_config)
+from repro.net import PacketTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "EventLog",
+    "ExecutionResult",
+    "InteractiveClient",
+    "Machine",
+    "MachineConfig",
+    "PacketTrace",
+    "Request",
+    "ReproError",
+    "ScriptedArrivals",
+    "SplitMix64",
+    "TdrResult",
+    "__version__",
+    "compare_traces",
+    "compile_app",
+    "compile_minij",
+    "machine_type",
+    "play",
+    "replay",
+    "replay_naive",
+    "round_trip",
+    "scenario_config",
+]

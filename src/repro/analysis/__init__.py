@@ -1,0 +1,23 @@
+"""Statistics and experiment helpers used by the detectors and benches."""
+
+from repro.analysis.stats import (auc_mann_whitney, cdf_points, correlation,
+                                  entropy_bits, equiprobable_bin_edges,
+                                  ks_distance, mean, percentile, quantize,
+                                  roc_points, spread_percent, stdev,
+                                  variance)
+
+__all__ = [
+    "auc_mann_whitney",
+    "cdf_points",
+    "correlation",
+    "entropy_bits",
+    "equiprobable_bin_edges",
+    "ks_distance",
+    "mean",
+    "percentile",
+    "quantize",
+    "roc_points",
+    "spread_percent",
+    "stdev",
+    "variance",
+]

@@ -1,0 +1,106 @@
+"""Terminal plotting for the reproduced figures.
+
+The paper's figures are scatter plots (Fig 3, Fig 7), CDFs (Fig 2), and
+bar/ROC charts; these helpers render their shapes as ASCII so the bench
+output *shows* the result rather than only printing summary statistics.
+No plotting dependency is needed or wanted — the output must live inside
+pytest logs and terminals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(position * (steps - 1) + 0.5)))
+
+
+def ascii_scatter(series: dict[str, list[tuple[float, float]]],
+                  width: int = 60, height: int = 20,
+                  xlabel: str = "x", ylabel: str = "y",
+                  diagonal: bool = False) -> str:
+    """Scatter plot of one or more point series.
+
+    ``diagonal=True`` draws the y=x reference line (the "perfect
+    accuracy" line of Fig 3 and Fig 7).
+    """
+    if not series or all(not points for points in series.values()):
+        raise ReproError("nothing to plot")
+    if width < 10 or height < 5:
+        raise ReproError("plot area too small")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    lo = min(min(xs), min(ys)) if diagonal else min(xs)
+    hi = max(max(xs), max(ys)) if diagonal else max(xs)
+    y_lo = lo if diagonal else min(ys)
+    y_hi = hi if diagonal else max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for column in range(width):
+            x_value = lo + (hi - lo) * column / max(1, width - 1)
+            row = _scale(x_value, y_lo, y_hi, height)
+            grid[height - 1 - row][column] = "."
+    for index, (label, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            column = _scale(x, lo, hi, width)
+            row = _scale(y, y_lo, y_hi, height)
+            grid[height - 1 - row][column] = marker
+
+    lines = [f"{ylabel} ({y_lo:.3g} .. {y_hi:.3g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} ({lo:.3g} .. {hi:.3g})")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} = {label}"
+                        for i, label in enumerate(series))
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf(series: dict[str, list[float]], width: int = 60,
+              height: int = 16, xlabel: str = "value") -> str:
+    """Empirical CDF curves for one or more samples (Fig 2's shape)."""
+    if not series or all(not values for values in series.values()):
+        raise ReproError("nothing to plot")
+    everything = [v for values in series.values() for v in values]
+    lo, hi = min(everything), max(everything)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        ordered = sorted(values)
+        for column in range(width):
+            x_value = lo + (hi - lo) * column / max(1, width - 1)
+            fraction = sum(1 for v in ordered if v <= x_value) / len(ordered)
+            row = _scale(fraction, 0.0, 1.0, height)
+            grid[height - 1 - row][column] = marker
+    lines = ["fraction (0 .. 1)"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} ({lo:.3g} .. {hi:.3g})")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} = {label}"
+                        for i, label in enumerate(series))
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], width: int = 50,
+               unit: str = "") -> str:
+    """Horizontal bar chart (Fig 6's shape)."""
+    if not values:
+        raise ReproError("nothing to plot")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        length = 0 if peak <= 0 else max(
+            1 if value > 0 else 0, int(value / peak * width))
+        lines.append(f"  {label:<{label_width}s} "
+                     f"{value:>10.3f}{unit} |{'#' * length}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Guest applications (MiniJ sources) and their workload drivers.
+
+* :mod:`repro.apps.nfs` — the mini NFS file server (the paper's ``nfsj``
+  stand-in, §6.4/§6.6) plus its client workload builder;
+* :mod:`repro.apps.scimark` — the five SciMark-like kernels (§6.2/§6.3);
+* :mod:`repro.apps.microbench` — the array-zeroing microbenchmark (§2.4).
+"""
+
+from repro.apps.kvstore import (KV_SHUTDOWN, build_kvstore_program,
+                                build_kvstore_workload,
+                                kvstore_server_source)
+from repro.apps.microbench import zero_array_source
+from repro.apps.nfs import (NFS_SHUTDOWN, build_nfs_program,
+                            build_nfs_workload, nfs_server_source)
+from repro.apps.scimark import (SCIMARK_KERNELS, build_kernel_program,
+                                kernel_source)
+
+__all__ = [
+    "KV_SHUTDOWN",
+    "NFS_SHUTDOWN",
+    "SCIMARK_KERNELS",
+    "build_kernel_program",
+    "build_kvstore_program",
+    "build_kvstore_workload",
+    "build_nfs_program",
+    "build_nfs_workload",
+    "compile_app",
+    "kernel_source",
+    "kvstore_server_source",
+    "nfs_server_source",
+    "zero_array_source",
+]
+
+
+def compile_app(source: str, entry: str = "main"):
+    """Compile a MiniJ guest against the machine's native interface."""
+    from repro.lang import compile_minij
+    from repro.machine.natives import (MACHINE_NATIVE_SIGNATURES,
+                                       MACHINE_REGISTRY)
+
+    return compile_minij(source, natives=MACHINE_REGISTRY,
+                         native_signatures=MACHINE_NATIVE_SIGNATURES,
+                         entry=entry)

@@ -1,0 +1,136 @@
+"""A key-value store guest: the paper's "long-running service" shape.
+
+The motivating scenarios of the paper (§1, §2.1) are network services —
+web servers, cloud workloads — whose outputs' timing a remote party wants
+to verify.  Alongside the mini-NFS server, this guest exercises a
+different service profile: small requests, in-memory state that persists
+*across* requests (an open-addressing hash table written in MiniJ), and
+response times that depend on the table's load factor — i.e. on the whole
+request history, which is exactly the property that makes prediction
+hopeless and replay necessary.
+
+Protocol (1 byte per element):
+
+* ``[OP_PUT, key, value]``  → ``[1, key, value]``
+* ``[OP_GET, key]``         → ``[found, key, value]``
+* ``[OP_SHUTDOWN]``         → server exits
+"""
+
+from __future__ import annotations
+
+from repro.determinism import SplitMix64
+from repro.machine.workload import InteractiveClient, Request
+
+OP_PUT = 1
+OP_GET = 2
+OP_SHUTDOWN = 255
+
+KV_SHUTDOWN = bytes([OP_SHUTDOWN])
+
+#: Hash-table capacity (open addressing, linear probing).
+TABLE_SIZE = 251
+
+
+def kvstore_server_source() -> str:
+    """MiniJ source of the key-value server."""
+    return f"""
+    // Key-value store with an open-addressing hash table.
+    global int[] keys;
+    global int[] values;
+    global int[] used;
+    global int stored;
+
+    int slot_for(int key) {{
+        int slot = (key * 2654435761) % {TABLE_SIZE};
+        if (slot < 0) {{ slot += {TABLE_SIZE}; }}
+        while (used[slot] == 1 && keys[slot] != key) {{
+            slot = (slot + 1) % {TABLE_SIZE};
+        }}
+        return slot;
+    }}
+
+    int put(int key, int value) {{
+        if (stored >= {TABLE_SIZE} - 1) {{ return 0; }}  // table full
+        int slot = slot_for(key);
+        if (used[slot] == 0) {{
+            used[slot] = 1;
+            keys[slot] = key;
+            stored += 1;
+        }}
+        values[slot] = value;
+        return 1;
+    }}
+
+    int get(int key, int[] out) {{
+        int slot = slot_for(key);
+        if (used[slot] == 1 && keys[slot] == key) {{
+            out[0] = values[slot];
+            return 1;
+        }}
+        out[0] = 0;
+        return 0;
+    }}
+
+    void main() {{
+        keys = new int[{TABLE_SIZE}];
+        values = new int[{TABLE_SIZE}];
+        used = new int[{TABLE_SIZE}];
+        int[] request = new int[128];
+        int[] response = new int[8];
+        int[] out = new int[1];
+        while (true) {{
+            int n = wait_packet(request);
+            if (n < 0) {{ break; }}
+            if (request[0] == {OP_SHUTDOWN}) {{ break; }}
+            if (request[0] == {OP_PUT} && n >= 3) {{
+                response[0] = put(request[1], request[2]);
+                response[1] = request[1];
+                response[2] = request[2];
+            }} else {{
+                if (request[0] == {OP_GET} && n >= 2) {{
+                    response[0] = get(request[1], out);
+                    response[1] = request[1];
+                    response[2] = out[0];
+                }} else {{
+                    response[0] = 0;
+                    response[1] = 0;
+                    response[2] = 0;
+                }}
+            }}
+            covert_delay(covert_next_delay());
+            send_packet(response, 3);
+        }}
+        print_int(stored);
+        exit();
+    }}
+    """
+
+
+def build_kvstore_program():
+    """Compile the key-value server guest."""
+    from repro.apps import compile_app
+
+    return compile_app(kvstore_server_source())
+
+
+def build_kvstore_workload(rng: SplitMix64, num_requests: int = 40,
+                           key_space: int = 120,
+                           put_fraction: float = 0.6,
+                           mean_think_cycles: float = 800_000.0
+                           ) -> InteractiveClient:
+    """A mixed GET/PUT client over a bounded key space."""
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if not 0.0 <= put_fraction <= 1.0:
+        raise ValueError(f"put fraction out of range: {put_fraction}")
+    requests: list[Request] = []
+    for _ in range(num_requests):
+        key = rng.randint(0, key_space - 1)
+        if rng.random() < put_fraction:
+            value = rng.randint(1, 255)
+            requests.append(Request(bytes([OP_PUT, key, value])))
+        else:
+            requests.append(Request(bytes([OP_GET, key])))
+    return InteractiveClient(requests, rng.fork("client"),
+                             mean_think_cycles=mean_think_cycles,
+                             shutdown_payload=KV_SHUTDOWN)

@@ -1,0 +1,148 @@
+"""The mini NFS file server guest and its client workload (§6.4, §6.6).
+
+Stand-in for the paper's ``nfsj``: a request-driven file server whose
+responses' timing is the covert channel's carrier.
+
+Protocol (1 byte per array element):
+
+* request: ``[OP_READ, file_id, chunk_index]`` — read one 4 kB chunk;
+* request: ``[OP_SHUTDOWN]`` — end of workload (lets the server's accept
+  loop exit deterministically in both play and replay);
+* response: ``[file_id, chunk_index, checksum, payload...]``.
+
+The server reads the chunk from (simulated, padded) storage, does
+file-size-proportional processing work — larger files cost more per
+chunk, which gives legitimate traffic its per-file service levels — and
+then invokes the ``covert_delay``/``covert_next_delay`` primitives before
+transmitting, exactly as the paper instrumented nfsj (§6.6).
+"""
+
+from __future__ import annotations
+
+from repro.determinism import SplitMix64
+from repro.machine.workload import InteractiveClient, Request
+
+OP_READ = 1
+OP_SHUTDOWN = 255
+
+NFS_SHUTDOWN = bytes([OP_SHUTDOWN])
+
+#: File working set: file_id k has size k kB ("30 files with sizes
+#: between 1kB and 30kB", §6.6), read in 4 kB chunks.
+NUM_FILES = 30
+CHUNK_KB = 4
+#: Per-chunk processing loop iterations per kB of file size.
+WORK_PER_KB = 60
+#: Per-chunk compute-kernel cycles per kB of file size (0.3 ms/kB at
+#: 3.4 GHz) — the size-dependent service level that matches the
+#: calibrated :class:`~repro.analysis.experiment.NfsTrafficModel`.
+SERVICE_CYCLES_PER_KB = 1_020_000
+#: Response payload bytes included per chunk.
+RESPONSE_PAYLOAD_BYTES = 48
+#: Request wire size: 3 opcode/argument bytes + RPC/XDR-style header
+#: padding, matching real NFS READ call sizes (~100 bytes).
+REQUEST_BYTES = 96
+
+
+def chunks_for_file(file_id: int) -> int:
+    """Number of chunks a read of ``file_id`` (size = id kB) takes."""
+    if not 1 <= file_id <= NUM_FILES:
+        raise ValueError(f"file id out of range: {file_id}")
+    return max(1, -(-file_id // CHUNK_KB))
+
+
+def nfs_server_source() -> str:
+    """MiniJ source of the server."""
+    return f"""
+    // Mini NFS server: serve chunk reads until shutdown.
+    global int requests_served;
+    global int busy_time;
+
+    int process_chunk(int file_id, int[] data, int words) {{
+        // File-size-proportional work: checksum passes over the chunk.
+        int passes = 1 + (file_id * {WORK_PER_KB}) / 64;
+        int checksum = 0;
+        for (int p = 0; p < passes; p = p + 1) {{
+            for (int i = 0; i < words; i = i + 1) {{
+                checksum = (checksum + data[i]) % 255;
+            }}
+        }}
+        return checksum;
+    }}
+
+    void main() {{
+        int[] request = new int[64];
+        int[] chunk = new int[64];
+        int[] response = new int[{3 + RESPONSE_PAYLOAD_BYTES}];
+        while (true) {{
+            int n = wait_packet(request);
+            if (n < 0) {{ break; }}
+            if (request[0] == {OP_SHUTDOWN}) {{ break; }}
+            if (n < 3 || request[0] != {OP_READ}) {{ continue; }}
+            // Timestamp the request (the nano_time entries of §6.5).
+            int started = nano_time();
+            int file_id = request[1];
+            int chunk_index = request[2];
+            int block = file_id * 32 + chunk_index;
+            int words = storage_read(block, chunk);
+            int checksum = process_chunk(file_id, chunk, words);
+            // Size-dependent compute kernel (encryption/compression of
+            // the chunk in the context of its file).
+            busy_cycles(file_id * {SERVICE_CYCLES_PER_KB});
+            response[0] = file_id;
+            response[1] = chunk_index;
+            response[2] = checksum;
+            for (int i = 0; i < {RESPONSE_PAYLOAD_BYTES}; i = i + 1) {{
+                response[3 + i] = chunk[i % words] % 256;
+            }}
+            requests_served = requests_served + 1;
+            busy_time = busy_time + (nano_time() - started);
+            covert_delay(covert_next_delay());
+            send_packet(response, {3 + RESPONSE_PAYLOAD_BYTES});
+        }}
+        print_int(requests_served);
+        exit();
+    }}
+    """
+
+
+def build_nfs_program():
+    """Compile the server guest."""
+    from repro.apps import compile_app
+
+    return compile_app(nfs_server_source())
+
+
+def build_nfs_workload(rng: SplitMix64, num_requests: int = 60,
+                       jitter_model="east-coast",
+                       one_way_delay_cycles: int = 17_000_000,
+                       mean_think_cycles: float = 1_000_000.0
+                       ) -> InteractiveClient:
+    """A client that reads randomly-chosen files chunk by chunk.
+
+    ``num_requests`` counts chunk reads (= response packets); files are
+    drawn uniformly from the working set and read fully, mirroring the
+    synthetic :class:`~repro.analysis.experiment.NfsTrafficModel` so VM
+    traces and synthetic traces share their statistical structure.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if jitter_model == "east-coast":
+        from repro.net.jitter import EAST_COAST_JITTER
+
+        jitter_model = EAST_COAST_JITTER
+    requests: list[Request] = []
+    header_padding = bytes(REQUEST_BYTES - 3)
+    while len(requests) < num_requests:
+        file_id = rng.randint(1, NUM_FILES)
+        for chunk_index in range(chunks_for_file(file_id)):
+            if len(requests) >= num_requests:
+                break
+            requests.append(Request(bytes([OP_READ, file_id, chunk_index])
+                                    + header_padding))
+    return InteractiveClient(
+        requests, rng.fork("client"),
+        jitter_model=jitter_model,
+        one_way_delay_cycles=one_way_delay_cycles,
+        mean_think_cycles=mean_think_cycles,
+        shutdown_payload=NFS_SHUTDOWN)

@@ -1,0 +1,252 @@
+"""SciMark-like computational kernels in MiniJ (§6.2-§6.3, Table 2/Fig 6).
+
+The five kernels of NIST's SciMark 2.0, re-implemented for the Sanity VM
+at reduced problem sizes:
+
+* **FFT** — radix-2 complex fast Fourier transform;
+* **SOR** — Jacobi successive over-relaxation on a square grid;
+* **MC**  — Monte Carlo integration of pi (in-guest LCG);
+* **SMM** — sparse matrix-vector multiply (compressed-row layout);
+* **LU**  — dense LU factorization with partial pivoting.
+
+Each kernel's ``main`` runs the computation and prints an integer
+checksum, so functional correctness is testable independent of timing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def _fft_source(n: int, iterations: int) -> str:
+    if n & (n - 1) or n < 4:
+        raise ReproError(f"FFT size must be a power of two >= 4: {n}")
+    return f"""
+    global int checksum;
+
+    void fft(float[] re, float[] im, int n) {{
+        // Bit-reversal permutation.
+        int j = 0;
+        for (int i = 0; i < n - 1; i = i + 1) {{
+            if (i < j) {{
+                float tr = re[i]; re[i] = re[j]; re[j] = tr;
+                float ti = im[i]; im[i] = im[j]; im[j] = ti;
+            }}
+            int k = n / 2;
+            while (k <= j) {{ j = j - k; k = k / 2; }}
+            j = j + k;
+        }}
+        // Butterfly stages.
+        int dual = 1;
+        while (dual < n) {{
+            for (int b = 0; b < dual; b = b + 1) {{
+                float angle = 0.0 - (3.141592653589793 * itof(b))
+                              / itof(dual);
+                float wr = cos(angle);
+                float wi = sin(angle);
+                for (int a = b; a < n; a = a + 2 * dual) {{
+                    int hi = a + dual;
+                    float tr = wr * re[hi] - wi * im[hi];
+                    float ti = wr * im[hi] + wi * re[hi];
+                    re[hi] = re[a] - tr;
+                    im[hi] = im[a] - ti;
+                    re[a] = re[a] + tr;
+                    im[a] = im[a] + ti;
+                }}
+            }}
+            dual = dual * 2;
+        }}
+    }}
+
+    void main() {{
+        float[] re = new float[{n}];
+        float[] im = new float[{n}];
+        for (int it = 0; it < {iterations}; it = it + 1) {{
+            int seed = 12345 + it;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                seed = (seed * 1103515245 + 12345) % 2147483648;
+                re[i] = itof(seed % 1000) / 1000.0;
+                im[i] = 0.0;
+            }}
+            fft(re, im, {n});
+            checksum = checksum + ftoi(re[{n} / 2] * 1000.0);
+        }}
+        print_int(checksum);
+        exit();
+    }}
+    """
+
+
+def _sor_source(n: int, iterations: int) -> str:
+    return f"""
+    void main() {{
+        float[] grid = new float[{n * n}];
+        int seed = 42;
+        for (int i = 0; i < {n * n}; i = i + 1) {{
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            grid[i] = itof(seed % 1000) / 1000.0;
+        }}
+        float omega = 1.25;
+        float factor = omega * 0.25;
+        float keep = 1.0 - omega;
+        for (int it = 0; it < {iterations}; it = it + 1) {{
+            for (int i = 1; i < {n} - 1; i = i + 1) {{
+                for (int j = 1; j < {n} - 1; j = j + 1) {{
+                    int idx = i * {n} + j;
+                    grid[idx] = factor * (grid[idx - {n}] + grid[idx + {n}]
+                                + grid[idx - 1] + grid[idx + 1])
+                                + keep * grid[idx];
+                }}
+            }}
+        }}
+        print_int(ftoi(grid[{n} * {n} / 2 + {n} / 2] * 100000.0));
+        exit();
+    }}
+    """
+
+
+def _mc_source(samples: int) -> str:
+    return f"""
+    void main() {{
+        int seed = 987654321;
+        int inside = 0;
+        for (int i = 0; i < {samples}; i = i + 1) {{
+            seed = (seed * 1103515245 + 12345) & 2147483647;
+            float x = itof(seed & 65535) / 65536.0;
+            seed = (seed * 1103515245 + 12345) & 2147483647;
+            float y = itof(seed & 65535) / 65536.0;
+            if (x * x + y * y <= 1.0) {{
+                inside = inside + 1;
+            }}
+        }}
+        // 4 * inside / samples ~= pi; print scaled estimate.
+        print_int((4000 * inside) / {samples});
+        exit();
+    }}
+    """
+
+
+def _smm_source(n: int, nonzeros_per_row: int, iterations: int) -> str:
+    return f"""
+    void main() {{
+        int nz = {n} * {nonzeros_per_row};
+        float[] values = new float[nz];
+        int[] columns = new int[nz];
+        int[] row_start = new int[{n} + 1];
+        float[] x = new float[{n}];
+        float[] y = new float[{n}];
+        int seed = 1337;
+        for (int i = 0; i < {n}; i = i + 1) {{
+            row_start[i] = i * {nonzeros_per_row};
+            x[i] = itof(i + 1) / itof({n});
+            for (int k = 0; k < {nonzeros_per_row}; k = k + 1) {{
+                int e = i * {nonzeros_per_row} + k;
+                seed = (seed * 1103515245 + 12345) % 2147483648;
+                columns[e] = seed % {n};
+                values[e] = itof(seed % 1000) / 1000.0;
+            }}
+        }}
+        row_start[{n}] = nz;
+        float checksum = 0.0;
+        for (int it = 0; it < {iterations}; it = it + 1) {{
+            for (int i = 0; i < {n}; i = i + 1) {{
+                float total = 0.0;
+                int stop = row_start[i + 1];
+                for (int e = row_start[i]; e < stop; e = e + 1) {{
+                    total = total + values[e] * x[columns[e]];
+                }}
+                y[i] = total;
+            }}
+            checksum = checksum + y[{n} / 2];
+            // Mild feedback keeps iterations data-dependent without
+            // driving the vector to zero.
+            for (int i = 0; i < {n}; i = i + 1) {{
+                x[i] = 0.5 * x[i] + y[i] / itof({nonzeros_per_row});
+            }}
+        }}
+        print_int(ftoi(checksum * 100000.0));
+        exit();
+    }}
+    """
+
+
+def _lu_source(n: int) -> str:
+    return f"""
+    void main() {{
+        float[] a = new float[{n * n}];
+        int seed = 24680;
+        for (int i = 0; i < {n * n}; i = i + 1) {{
+            seed = (seed * 1103515245 + 12345) % 2147483648;
+            a[i] = itof(seed % 2000 - 1000) / 1000.0;
+        }}
+        // Diagonal dominance keeps the factorization well-conditioned.
+        for (int i = 0; i < {n}; i = i + 1) {{
+            a[i * {n} + i] = a[i * {n} + i] + itof({n});
+        }}
+        for (int k = 0; k < {n} - 1; k = k + 1) {{
+            // Partial pivoting.
+            int pivot = k;
+            float best = a[k * {n} + k];
+            if (best < 0.0) {{ best = 0.0 - best; }}
+            for (int i = k + 1; i < {n}; i = i + 1) {{
+                float v = a[i * {n} + k];
+                if (v < 0.0) {{ v = 0.0 - v; }}
+                if (v > best) {{ best = v; pivot = i; }}
+            }}
+            if (pivot != k) {{
+                for (int j = 0; j < {n}; j = j + 1) {{
+                    float t = a[k * {n} + j];
+                    a[k * {n} + j] = a[pivot * {n} + j];
+                    a[pivot * {n} + j] = t;
+                }}
+            }}
+            for (int i = k + 1; i < {n}; i = i + 1) {{
+                float m = a[i * {n} + k] / a[k * {n} + k];
+                a[i * {n} + k] = m;
+                for (int j = k + 1; j < {n}; j = j + 1) {{
+                    a[i * {n} + j] = a[i * {n} + j] - m * a[k * {n} + j];
+                }}
+            }}
+        }}
+        float trace = 0.0;
+        for (int i = 0; i < {n}; i = i + 1) {{
+            trace = trace + a[i * {n} + i];
+        }}
+        print_int(ftoi(trace * 1000.0));
+        exit();
+    }}
+    """
+
+
+#: Kernel name -> source builder with the default (scaled) problem size.
+SCIMARK_KERNELS = {
+    "fft": lambda: _fft_source(n=64, iterations=2),
+    "sor": lambda: _sor_source(n=16, iterations=6),
+    "mc": lambda: _mc_source(samples=4000),
+    "smm": lambda: _smm_source(n=32, nonzeros_per_row=4, iterations=20),
+    "lu": lambda: _lu_source(n=14),
+}
+
+
+def kernel_source(name: str, **params) -> str:
+    """Source of one kernel; pass size parameters to override defaults."""
+    builders = {
+        "fft": _fft_source,
+        "sor": _sor_source,
+        "mc": _mc_source,
+        "smm": _smm_source,
+        "lu": _lu_source,
+    }
+    if name not in builders:
+        raise ReproError(f"unknown kernel '{name}'; known: "
+                         f"{sorted(builders)}")
+    if params:
+        return builders[name](**params)
+    return SCIMARK_KERNELS[name]()
+
+
+def build_kernel_program(name: str, **params):
+    """Compile one kernel to a runnable program."""
+    from repro.apps import compile_app
+
+    return compile_app(kernel_source(name, **params))

@@ -1,0 +1,6 @@
+"""Textual assembler and disassembler for the Sanity VM."""
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble
+
+__all__ = ["assemble", "disassemble"]

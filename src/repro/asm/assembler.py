@@ -1,0 +1,262 @@
+"""Assembler: textual listings → :class:`repro.vm.program.Program`.
+
+Syntax
+------
+
+::
+
+    ; comments run to end of line
+    .class Point x y          ; record type with two fields
+    .global counter           ; module-level variable
+    .func main 0 2            ; name, num_params, num_locals
+        iconst 10
+        store 0
+    loop:
+        load 0
+        ifle done
+        load 0
+        iconst 1
+        isub
+        store 0
+        goto loop
+    done:
+        ret
+    .catch loop done handler  ; exception table entry (labels)
+
+Operand resolution:
+
+* branch targets and ``.catch`` ranges are labels;
+* ``call f`` takes a function name, ``native n`` a native name (resolved
+  through the ``natives`` object's ``native_index``);
+* ``gload``/``gstore`` take a global name (or a raw index);
+* ``newobj`` takes a class name; ``getfield``/``putfield`` take
+  ``Class.field`` (or a raw offset);
+* ``newarray`` takes ``i`` or ``f``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.vm.isa import OPERAND_KIND, Op
+from repro.vm.program import ClassDef, ExceptionHandler, Function, Program
+
+_MNEMONICS = {op.name.lower(): op for op in Op}
+
+
+class _PendingFunction:
+    def __init__(self, name: str, num_params: int, num_locals: int) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.num_locals = num_locals
+        self.ops: list[int] = []
+        self.args: list = []
+        self.labels: dict[str, int] = {}
+        # (pc, label, line) for branch fixups; (start, end, handler, line)
+        # label triples for catch fixups.
+        self.branch_fixups: list[tuple[int, str, int]] = []
+        self.catch_fixups: list[tuple[str, str, str, int]] = []
+        # (pc, name, line) fixups resolved at link time.
+        self.call_fixups: list[tuple[int, str, int]] = []
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"expected integer, got '{token}'", line)
+
+
+def _parse_float(token: str, line: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise AssemblerError(f"expected float, got '{token}'", line)
+
+
+def assemble(text: str, natives=None, entry: str = "main") -> Program:
+    """Assemble ``text`` into a linked :class:`Program`.
+
+    ``natives`` must expose ``native_index(name) -> int`` when the listing
+    uses the ``native`` instruction (a :class:`repro.vm.NativeRegistry` or
+    a :class:`repro.vm.NullPlatform`).
+    """
+    classes: list[ClassDef] = []
+    class_by_name: dict[str, ClassDef] = {}
+    global_names: list[str] = []
+    functions: list[_PendingFunction] = []
+    current: _PendingFunction | None = None
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        # Labels may prefix an instruction on the same line.
+        while ":" in line.split()[0]:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"bad label '{label}'", line_no)
+            if current is None:
+                raise AssemblerError("label outside a function", line_no)
+            if label in current.labels:
+                raise AssemblerError(f"duplicate label '{label}'", line_no)
+            current.labels[label] = len(current.ops)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+
+        tokens = line.split()
+        head = tokens[0].lower()
+
+        if head == ".class":
+            if len(tokens) < 2:
+                raise AssemblerError(".class needs a name", line_no)
+            name = tokens[1]
+            if name in class_by_name:
+                raise AssemblerError(f"duplicate class '{name}'", line_no)
+            class_def = ClassDef(name, tokens[2:])
+            class_by_name[name] = class_def
+            classes.append(class_def)
+        elif head == ".global":
+            if len(tokens) != 2:
+                raise AssemblerError(".global needs exactly one name", line_no)
+            if tokens[1] in global_names:
+                raise AssemblerError(f"duplicate global '{tokens[1]}'",
+                                     line_no)
+            global_names.append(tokens[1])
+        elif head == ".func":
+            if len(tokens) != 4:
+                raise AssemblerError(
+                    ".func needs: name num_params num_locals", line_no)
+            current = _PendingFunction(tokens[1],
+                                       _parse_int(tokens[2], line_no),
+                                       _parse_int(tokens[3], line_no))
+            functions.append(current)
+        elif head == ".catch":
+            if current is None:
+                raise AssemblerError(".catch outside a function", line_no)
+            if len(tokens) != 4:
+                raise AssemblerError(
+                    ".catch needs: start_label end_label handler_label",
+                    line_no)
+            current.catch_fixups.append(
+                (tokens[1], tokens[2], tokens[3], line_no))
+        elif head in _MNEMONICS:
+            if current is None:
+                raise AssemblerError("instruction outside a function", line_no)
+            op = _MNEMONICS[head]
+            kind = OPERAND_KIND[op]
+            operand_tokens = tokens[1:]
+            if kind is None:
+                if operand_tokens:
+                    raise AssemblerError(
+                        f"'{head}' takes no operand", line_no)
+                arg = None
+            else:
+                if len(operand_tokens) != 1:
+                    raise AssemblerError(
+                        f"'{head}' needs exactly one operand", line_no)
+                token = operand_tokens[0]
+                if kind == "int":
+                    arg = _parse_int(token, line_no)
+                elif kind == "float":
+                    arg = _parse_float(token, line_no)
+                elif kind in ("slot",):
+                    arg = _parse_int(token, line_no)
+                elif kind == "global":
+                    if token in global_names:
+                        arg = global_names.index(token)
+                    else:
+                        arg = _parse_int(token, line_no)
+                elif kind == "target":
+                    current.branch_fixups.append(
+                        (len(current.ops), token, line_no))
+                    arg = 0  # patched below
+                elif kind == "kind":
+                    if token not in ("i", "f"):
+                        raise AssemblerError(
+                            f"newarray kind must be 'i' or 'f', got "
+                            f"'{token}'", line_no)
+                    arg = 0 if token == "i" else 1
+                elif kind == "class":
+                    if token not in class_by_name:
+                        raise AssemblerError(
+                            f"undefined class '{token}'", line_no)
+                    arg = classes.index(class_by_name[token])
+                elif kind == "field":
+                    if "." in token:
+                        class_name, _, field_name = token.partition(".")
+                        if class_name not in class_by_name:
+                            raise AssemblerError(
+                                f"undefined class '{class_name}'", line_no)
+                        try:
+                            arg = class_by_name[class_name].field_offset(
+                                field_name)
+                        except Exception:
+                            raise AssemblerError(
+                                f"class '{class_name}' has no field "
+                                f"'{field_name}'", line_no)
+                    else:
+                        arg = _parse_int(token, line_no)
+                elif kind == "func":
+                    current.call_fixups.append(
+                        (len(current.ops), token, line_no))
+                    arg = 0  # patched at link
+                elif kind == "native":
+                    if token.lstrip("-").isdigit():
+                        # Raw index form, as the disassembler emits.
+                        arg = _parse_int(token, line_no)
+                        if arg < 0:
+                            raise AssemblerError(
+                                f"negative native index {arg}", line_no)
+                    elif natives is None:
+                        raise AssemblerError(
+                            "listing uses natives but no registry was "
+                            "provided", line_no)
+                    else:
+                        try:
+                            arg = natives.native_index(token)
+                        except Exception:
+                            raise AssemblerError(
+                                f"undefined native '{token}'", line_no)
+                else:  # pragma: no cover - exhaustive
+                    raise AssemblerError(
+                        f"unhandled operand kind '{kind}'", line_no)
+            current.ops.append(int(op))
+            current.args.append(arg)
+        else:
+            raise AssemblerError(f"unknown mnemonic or directive '{head}'",
+                                 line_no)
+
+    if not functions:
+        raise AssemblerError("no functions defined")
+
+    # Resolve branch targets and exception tables.
+    func_index = {f.name: i for i, f in enumerate(functions)}
+    built: list[Function] = []
+    for pending in functions:
+        for pc, label, line_no in pending.branch_fixups:
+            if label not in pending.labels:
+                raise AssemblerError(f"undefined label '{label}'", line_no)
+            pending.args[pc] = pending.labels[label]
+        for pc, name, line_no in pending.call_fixups:
+            if name not in func_index:
+                raise AssemblerError(f"undefined function '{name}'", line_no)
+            pending.args[pc] = func_index[name]
+        handlers = []
+        for start, end, handler, line_no in pending.catch_fixups:
+            for label in (start, end, handler):
+                if label not in pending.labels:
+                    raise AssemblerError(f"undefined label '{label}'",
+                                         line_no)
+            handlers.append(ExceptionHandler(pending.labels[start],
+                                             pending.labels[end],
+                                             pending.labels[handler]))
+        built.append(Function(pending.name, pending.num_params,
+                              pending.num_locals, pending.ops, pending.args,
+                              handlers))
+
+    return Program(built, classes, global_names, entry=entry)

@@ -1,0 +1,54 @@
+"""Disassembler: :class:`~repro.vm.program.Program` → readable listing.
+
+Primarily a debugging aid and a round-trip test anchor for the assembler
+and the MiniJ code generator.
+"""
+
+from __future__ import annotations
+
+from repro.vm.isa import OPERAND_KIND, Op, opcode_name
+from repro.vm.program import Function, Program
+
+
+def _format_operand(program: Program, function: Function, op: Op, arg) -> str:
+    kind = OPERAND_KIND[op]
+    if kind is None:
+        return ""
+    if kind == "target":
+        return f" L{arg}"
+    if kind == "func":
+        return f" {program.functions[arg].name}"
+    if kind == "class":
+        return f" {program.classes[arg].name}"
+    if kind == "kind":
+        return " i" if arg == 0 else " f"
+    if kind == "global" and arg < len(program.global_names):
+        return f" {program.global_names[arg]}"
+    return f" {arg}"
+
+
+def disassemble(program: Program) -> str:
+    """Render a program as an annotated listing."""
+    lines: list[str] = []
+    for class_def in program.classes:
+        lines.append(f".class {class_def.name} " + " ".join(class_def.fields))
+    for name in program.global_names:
+        lines.append(f".global {name}")
+    for function in program.functions:
+        lines.append(f".func {function.name} {function.num_params} "
+                     f"{function.num_locals}")
+        targets = {arg for op, arg in zip(function.ops, function.args)
+                   if OPERAND_KIND[Op(op)] == "target"}
+        for handler in function.handlers:
+            targets.update((handler.start_pc, handler.end_pc,
+                            handler.handler_pc))
+        for pc, (op_value, arg) in enumerate(zip(function.ops,
+                                                 function.args)):
+            op = Op(op_value)
+            prefix = f"L{pc}:" if pc in targets else "    "
+            operand = _format_operand(program, function, op, arg)
+            lines.append(f"{prefix} {opcode_name(op_value).lower()}{operand}")
+        for handler in function.handlers:
+            lines.append(f".catch L{handler.start_pc} L{handler.end_pc} "
+                         f"L{handler.handler_pc}")
+    return "\n".join(lines) + "\n"

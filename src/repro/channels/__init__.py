@@ -1,0 +1,45 @@
+"""Covert timing channels (§5.1, §6.6-§6.8).
+
+Four channels, three from the literature plus the paper's low-rate
+"needle" channel:
+
+============  ========================================================
+Channel       Encoding
+============  ========================================================
+IPCTC         bit 1 → packet in a "large" slot, bit 0 → "small" slot
+TRCTC         replay IPDs from two bins of recorded legitimate traffic
+MBCTC         sample IPDs from a statistical model fit to legit traffic
+Needle        one bit every ``period`` packets, via a small extra delay
+============  ========================================================
+
+All channels implement :class:`~repro.channels.base.CovertChannel`:
+``fit`` on the adversary's recorded legitimate IPDs, ``encode`` a bit
+string into a covert IPD sequence, ``delays_for`` the equivalent
+per-packet extra-delay schedule for the ``covert_delay`` VM primitive,
+and ``decode`` on the receiver side.
+"""
+
+from repro.channels.base import CovertChannel
+from repro.channels.codec import (bit_accuracy, bits_to_bytes,
+                                  bytes_to_bits, random_bits)
+from repro.channels.ipctc import Ipctc
+from repro.channels.mbctc import Mbctc
+from repro.channels.needle import NeedleChannel
+from repro.channels.trctc import Trctc
+
+__all__ = [
+    "CovertChannel",
+    "Ipctc",
+    "Mbctc",
+    "NeedleChannel",
+    "Trctc",
+    "bit_accuracy",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "random_bits",
+]
+
+
+def all_channels() -> list[CovertChannel]:
+    """Fresh instances of the four channels (paper defaults)."""
+    return [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]

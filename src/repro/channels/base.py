@@ -1,0 +1,85 @@
+"""Common covert-channel interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+class CovertChannel(abc.ABC):
+    """A covert timing channel over inter-packet delays.
+
+    Life cycle:
+
+    1. :meth:`fit` — the adversary records some legitimate IPDs from the
+       compromised host (TRCTC and MBCTC need this; IPCTC and Needle are
+       parameterized directly);
+    2. :meth:`encode` — transform a natural IPD sequence into the covert
+       one carrying ``bits``;
+    3. :meth:`delays_for` — express the same transformation as the
+       per-packet extra-delay schedule consumed by the ``covert_delay``
+       VM primitive (delays are clamped at zero: a server can postpone a
+       response but never send it before it is ready);
+    4. :meth:`decode` — receiver-side bit recovery from observed IPDs.
+    """
+
+    name: str = "channel"
+    #: How many packets carry one bit (1 for dense channels).
+    packets_per_bit: int = 1
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, legit_ipds_ms: list[float], rng: SplitMix64) -> None:
+        """Train on the adversary's recorded legitimate IPD sample."""
+        if not legit_ipds_ms:
+            raise ChannelError(f"{self.name}: empty legitimate sample")
+        self._fit(legit_ipds_ms, rng)
+        self._fitted = True
+
+    def encode(self, natural_ipds_ms: list[float], bits: list[int],
+               rng: SplitMix64) -> list[float]:
+        """Covert IPD sequence carrying ``bits`` over a natural trace."""
+        self._require_fitted()
+        if not all(b in (0, 1) for b in bits):
+            raise ChannelError(f"{self.name}: bits must be 0/1")
+        return self._encode(natural_ipds_ms, bits, rng)
+
+    def delays_for(self, natural_ipds_ms: list[float], bits: list[int],
+                   rng: SplitMix64) -> list[float]:
+        """Per-packet extra delays (ms) realizing :meth:`encode`.
+
+        Element k is the delay inserted before transmitting packet k+1
+        (packet 0 anchors the trace).  Negative adjustments are clamped
+        to zero — timing channels can only postpone.
+        """
+        covert = self.encode(natural_ipds_ms, bits, rng)
+        return [max(0.0, c - n) for c, n in zip(covert, natural_ipds_ms)]
+
+    def decode(self, observed_ipds_ms: list[float]) -> list[int]:
+        """Receiver-side bit recovery."""
+        self._require_fitted()
+        return self._decode(observed_ipds_ms)
+
+    def bits_needed(self, num_ipds: int) -> int:
+        """How many payload bits a trace with ``num_ipds`` IPDs carries."""
+        return max(0, num_ipds // self.packets_per_bit)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ChannelError(f"{self.name}: fit() before use")
+
+    @abc.abstractmethod
+    def _fit(self, legit_ipds_ms: list[float], rng: SplitMix64) -> None:
+        """Channel-specific training."""
+
+    @abc.abstractmethod
+    def _encode(self, natural_ipds_ms: list[float], bits: list[int],
+                rng: SplitMix64) -> list[float]:
+        """Channel-specific encoding."""
+
+    @abc.abstractmethod
+    def _decode(self, observed_ipds_ms: list[float]) -> list[int]:
+        """Channel-specific decoding."""

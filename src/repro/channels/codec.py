@@ -1,0 +1,48 @@
+"""Bit-level helpers for covert payloads."""
+
+from __future__ import annotations
+
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    """MSB-first bit expansion."""
+    bits: list[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: list[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; trailing partial bytes are
+    zero-padded."""
+    if not all(b in (0, 1) for b in bits):
+        raise ChannelError("bits must be 0/1")
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        chunk = bits[start:start + 8]
+        chunk = chunk + [0] * (8 - len(chunk))
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | bit
+        out.append(value)
+    return bytes(out)
+
+
+def random_bits(count: int, rng: SplitMix64) -> list[int]:
+    """A uniform covert payload (what an encrypted secret looks like)."""
+    if count < 0:
+        raise ChannelError(f"negative bit count: {count}")
+    return rng.sample_bits(count)
+
+
+def bit_accuracy(sent: list[int], received: list[int]) -> float:
+    """Fraction of correctly received bits (over the overlap)."""
+    if not sent or not received:
+        return 0.0
+    overlap = min(len(sent), len(received))
+    correct = sum(1 for a, b in zip(sent[:overlap], received[:overlap])
+                  if a == b)
+    return correct / overlap

@@ -1,0 +1,174 @@
+"""Model-based covert timing channel (MBCTC; Gianvecchio et al., §5.1).
+
+"MBCTC generates IPDs to mimic the statistical properties of legitimate
+traffic.  It periodically fits samples of a legitimate traffic to several
+models and picks the best fit. ... the shape of the MBCTC traffic is
+almost the same as the one of legitimate traffic.  However, as there is
+no correlation between consecutive IPDs, MBCTC is highly regular."
+
+Like the original, this implementation fits *several* candidate models
+and picks the best one by Kolmogorov-Smirnov distance on the training
+sample: a shifted log-normal (WAN IPDs have a propagation-delay floor)
+and a smoothed-quantile model (a piecewise-linear inverse CDF — the
+flexible nonparametric end of the candidate family).  It refreshes the
+fit every ``refit_window`` packets over the natural stream it observes,
+as the original does.  Encoding: bit 0 draws from the lower half of the
+fitted model, bit 1 from the upper half (inverse-CDF split at the
+median), so the marginal stays model-shaped while bits remain decodable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.channels.base import CovertChannel
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+def _lognormal_mle(values: list[float]) -> tuple[float, float]:
+    """(mu, sigma) of a log-normal by MLE; values must be positive."""
+    logs = [math.log(max(v, 1e-6)) for v in values]
+    mu = sum(logs) / len(logs)
+    var = sum((x - mu) ** 2 for x in logs) / len(logs)
+    return mu, math.sqrt(max(var, 1e-8))
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation of the standard normal inverse CDF."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile out of range: {p}")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                            + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+class _ShiftedLognormal:
+    """Candidate model: floor + LogNormal(mu, sigma)."""
+
+    def __init__(self, sample: list[float]) -> None:
+        self.floor = 0.95 * min(sample)
+        residuals = [max(v - self.floor, 1e-3) for v in sample]
+        self.mu, self.sigma = _lognormal_mle(residuals)
+
+    def quantile(self, p: float) -> float:
+        p = min(max(p, 1e-9), 1 - 1e-9)
+        return self.floor + math.exp(self.mu
+                                     + self.sigma * _normal_quantile(p))
+
+    def median(self) -> float:
+        return self.floor + math.exp(self.mu)
+
+
+class _QuantileModel:
+    """Candidate model: smoothed piecewise-linear inverse CDF."""
+
+    ANCHORS = 16
+
+    def __init__(self, sample: list[float]) -> None:
+        ordered = sorted(sample)
+        n = len(ordered)
+        self.points: list[tuple[float, float]] = []
+        for k in range(self.ANCHORS + 1):
+            q = k / self.ANCHORS
+            rank = min(n - 1, int(q * (n - 1)))
+            self.points.append((q, ordered[rank]))
+
+    def quantile(self, p: float) -> float:
+        p = min(max(p, 0.0), 1.0)
+        for (q0, v0), (q1, v1) in zip(self.points, self.points[1:]):
+            if p <= q1:
+                fraction = (p - q0) / (q1 - q0)
+                return v0 + fraction * (v1 - v0)
+        return self.points[-1][1]
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+
+def _model_ks(model, sample: list[float]) -> float:
+    """KS distance between a fitted model and the training sample."""
+    ordered = sorted(sample)
+    n = len(ordered)
+    worst = 0.0
+    for k in range(1, 20):
+        p = k / 20.0
+        value = model.quantile(p)
+        empirical = sum(1 for v in ordered if v <= value) / n
+        worst = max(worst, abs(empirical - p))
+    return worst
+
+
+class Mbctc(CovertChannel):
+    """Best-fit model channel with periodic refits."""
+
+    name = "mbctc"
+
+    def __init__(self, refit_window: int = 15) -> None:
+        super().__init__()
+        if refit_window < 4:
+            raise ChannelError("refit window must be >= 4")
+        self.refit_window = refit_window
+        self._sample: list[float] = []
+        self._model = None
+
+    def _refit(self, sample: list[float]) -> None:
+        # "It periodically fits samples of a legitimate traffic to
+        # several models and picks the best fit."
+        candidates = [_ShiftedLognormal(sample), _QuantileModel(sample)]
+        self._model = min(candidates, key=lambda m: _model_ks(m, sample))
+
+    def _fit(self, legit_ipds_ms: list[float], rng: SplitMix64) -> None:
+        if any(v <= 0 for v in legit_ipds_ms):
+            legit_ipds_ms = [max(v, 1e-3) for v in legit_ipds_ms]
+        self._sample = list(legit_ipds_ms)
+        self._refit(self._sample)
+
+    def _draw(self, bit: int, rng: SplitMix64) -> float:
+        # Inverse-CDF sampling restricted to the bit's half of the model.
+        u = rng.random()
+        p = 0.5 * u if bit == 0 else 0.5 + 0.5 * u
+        return self._model.quantile(p)
+
+    def _encode(self, natural_ipds_ms: list[float], bits: list[int],
+                rng: SplitMix64) -> list[float]:
+        covert: list[float] = []
+        window: list[float] = []
+        for i, natural in enumerate(natural_ipds_ms):
+            bit = bits[i % len(bits)] if bits else 0
+            covert.append(self._draw(bit, rng))
+            # Periodic refit over the most recent *legitimate* IPDs the
+            # channel can observe (the natural stream it is suppressing).
+            window.append(max(natural, 1e-3))
+            if len(window) >= self.refit_window:
+                self._refit(window)
+                window = []
+        return covert
+
+    def _decode(self, observed_ipds_ms: list[float]) -> list[int]:
+        median = self._model.median()
+        return [1 if ipd > median else 0 for ipd in observed_ipds_ms]

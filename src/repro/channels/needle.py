@@ -1,0 +1,63 @@
+"""The low-rate "needle" channel (§6.8).
+
+"the sender toggles its use of the covert channel, transmitting a single
+bit once every 100 packets.  Thus, the channel does not change high-level
+traffic statistics very much, which makes it very difficult to detect
+with existing methods."
+
+Encoding: every ``period``-th packet carries one bit; bit 1 adds
+``delta_ms`` of extra delay, bit 0 adds nothing.  Every other packet keeps
+its natural timing.  The delta sits inside the legitimate jitter tail
+(p99 = 3.91 ms on the paper's path), so one delayed packet per hundred is
+statistically invisible — but a per-packet TDR comparison sees exactly
+``delta_ms`` of unexplained deviation (Fig 8d: Sanity AUC 1.0, all
+statistical detectors fail).
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import CovertChannel
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+class NeedleChannel(CovertChannel):
+    """One bit every ``period`` packets via a small extra delay."""
+
+    name = "needle"
+
+    def __init__(self, period: int = 100, delta_ms: float = 2.0,
+                 offset: int = 0) -> None:
+        super().__init__()
+        if period < 1:
+            raise ChannelError(f"period must be >= 1: {period}")
+        if delta_ms <= 0:
+            raise ChannelError(f"delta must be positive: {delta_ms}")
+        self.period = period
+        self.delta_ms = delta_ms
+        self.offset = offset % period
+        self.packets_per_bit = period
+        self._baseline_ms = 0.0
+
+    def carrier_positions(self, num_ipds: int) -> list[int]:
+        """IPD indices that carry bits."""
+        return list(range(self.offset, num_ipds, self.period))
+
+    def _fit(self, legit_ipds_ms: list[float], rng: SplitMix64) -> None:
+        # The receiver thresholds against typical legitimate IPDs.
+        ordered = sorted(legit_ipds_ms)
+        self._baseline_ms = ordered[len(ordered) // 2]
+
+    def _encode(self, natural_ipds_ms: list[float], bits: list[int],
+                rng: SplitMix64) -> list[float]:
+        covert = list(natural_ipds_ms)
+        for slot, index in enumerate(self.carrier_positions(len(covert))):
+            bit = bits[slot % len(bits)] if bits else 0
+            if bit:
+                covert[index] += self.delta_ms
+        return covert
+
+    def _decode(self, observed_ipds_ms: list[float]) -> list[int]:
+        threshold = self._baseline_ms + self.delta_ms / 2.0
+        return [1 if observed_ipds_ms[index] > threshold else 0
+                for index in self.carrier_positions(len(observed_ipds_ms))]

@@ -1,0 +1,51 @@
+"""The paper's contribution: time-deterministic replay (TDR).
+
+* :mod:`repro.core.log` — the log of nondeterministic events (§3.2, §6.5);
+* :mod:`repro.core.symmetric` — symmetric read/writes with ``playMask``
+  (§3.5, Fig 4);
+* :mod:`repro.core.session` — recorder / TDR replayer / naive replayer
+  session objects that the machine's timed core drives;
+* :mod:`repro.core.tdr` — the high-level play/replay orchestration;
+* :mod:`repro.core.audit` — observed-vs-replayed trace comparison (§5.3);
+* :mod:`repro.core.checkpoint` — segment replay support (§3.2).
+"""
+
+from repro.core.audit import AuditReport, compare_traces
+from repro.core.checkpoint import Checkpoint, snapshot_interpreter
+from repro.core.log import EventKind, EventLog, LogEntry
+from repro.core.session import (NaiveReplaySession, PlaySession,
+                                ReplaySession, Session)
+from repro.core.symmetric import SymmetricCell, symmetric_access
+
+_TDR_NAMES = ("TdrResult", "play", "replay", "replay_naive", "round_trip")
+
+
+def __getattr__(name: str):
+    # repro.core.tdr imports repro.machine, which imports repro.core.log;
+    # re-exporting tdr lazily breaks that import cycle.
+    if name in _TDR_NAMES:
+        from repro.core import tdr
+
+        return getattr(tdr, name)
+    raise AttributeError(f"module 'repro.core' has no attribute '{name}'")
+
+__all__ = [
+    "AuditReport",
+    "Checkpoint",
+    "EventKind",
+    "EventLog",
+    "LogEntry",
+    "NaiveReplaySession",
+    "PlaySession",
+    "ReplaySession",
+    "Session",
+    "SymmetricCell",
+    "TdrResult",
+    "compare_traces",
+    "play",
+    "replay",
+    "replay_naive",
+    "round_trip",
+    "snapshot_interpreter",
+    "symmetric_access",
+]

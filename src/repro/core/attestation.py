@@ -1,0 +1,138 @@
+"""Tamper-evident event logs (the paper's §7 "Accountability" extension).
+
+"Although TDR can detect inconsistencies between the timing of messages
+and the machine configuration that supposedly produced them, it cannot
+directly prove such inconsistencies to a third party.  This capability
+could be added by combining TDR with accountability techniques, such as
+accountable virtual machines."
+
+This module implements the log half of that combination, PeerReview-style
+(Haeberlen et al., SOSP'07): each log entry is folded into a hash chain,
+and the machine periodically emits signed *authenticators* — commitments
+to a chain prefix.  An auditor holding any authenticator can later verify
+that the log it is given is a prefix-consistent extension; a machine that
+rewrites history (e.g. to hide the inputs that triggered a covert-channel
+transmission) produces a chain that no longer matches its own
+authenticators.
+
+Signatures are modelled as keyed hashes (HMAC-SHA256) — the simulation
+equivalent of per-machine signing keys; swapping in real asymmetric
+signatures changes nothing structurally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.core.log import EventLog, LogEntry
+from repro.errors import ReplayError
+
+_GENESIS = b"TDR-ATTEST-GENESIS"
+
+
+def _entry_digest(previous: bytes, entry: LogEntry) -> bytes:
+    hasher = hashlib.sha256()
+    hasher.update(previous)
+    hasher.update(int(entry.kind).to_bytes(1, "little"))
+    hasher.update(entry.instr_count.to_bytes(8, "little"))
+    hasher.update(len(entry.payload).to_bytes(4, "little"))
+    hasher.update(entry.payload)
+    hasher.update(entry.value.to_bytes(8, "little", signed=True))
+    return hasher.digest()
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """A signed commitment to the first ``length`` log entries."""
+
+    length: int
+    chain_head: bytes
+    signature: bytes
+
+
+class LogAttestor:
+    """Machine-side: maintains the hash chain and signs commitments."""
+
+    def __init__(self, signing_key: bytes) -> None:
+        if not signing_key:
+            raise ValueError("signing key must be non-empty")
+        self._key = signing_key
+        self._chain = _GENESIS
+        self._length = 0
+
+    def extend(self, entry: LogEntry) -> None:
+        """Fold the next log entry into the chain."""
+        self._chain = _entry_digest(self._chain, entry)
+        self._length += 1
+
+    def extend_all(self, log: EventLog) -> None:
+        """Fold every not-yet-folded entry of ``log``."""
+        for entry in log.entries[self._length:]:
+            self.extend(entry)
+
+    def authenticator(self) -> Authenticator:
+        """Sign the current chain head."""
+        signature = hmac.new(self._key, self._chain + b"|"
+                             + self._length.to_bytes(8, "little"),
+                             hashlib.sha256).digest()
+        return Authenticator(self._length, self._chain, signature)
+
+
+class LogVerifier:
+    """Auditor-side: checks a log against a machine's authenticators."""
+
+    def __init__(self, signing_key: bytes) -> None:
+        self._key = signing_key
+
+    def chain_head(self, log: EventLog, length: int | None = None) -> bytes:
+        """Recompute the chain head over the first ``length`` entries."""
+        if length is None:
+            length = len(log.entries)
+        if length > len(log.entries):
+            raise ReplayError(
+                f"authenticator covers {length} entries but the log has "
+                f"only {len(log.entries)}")
+        chain = _GENESIS
+        for entry in log.entries[:length]:
+            chain = _entry_digest(chain, entry)
+        return chain
+
+    def verify(self, log: EventLog, auth: Authenticator) -> bool:
+        """Is ``log`` a prefix-consistent extension of ``auth``?"""
+        expected_signature = hmac.new(
+            self._key, auth.chain_head + b"|"
+            + auth.length.to_bytes(8, "little"), hashlib.sha256).digest()
+        if not hmac.compare_digest(expected_signature, auth.signature):
+            return False
+        try:
+            recomputed = self.chain_head(log, auth.length)
+        except ReplayError:
+            return False
+        return hmac.compare_digest(recomputed, auth.chain_head)
+
+    def find_divergence(self, log: EventLog,
+                        auth: Authenticator) -> int | None:
+        """Index of the first entry inconsistent with ``auth``, if any.
+
+        Only meaningful when :meth:`verify` returned False for a log of
+        sufficient length; a return of None means the prefix matches.
+        """
+        if auth.length > len(log.entries):
+            return len(log.entries)
+        chain = _GENESIS
+        # Recompute forward; without per-entry authenticators we can only
+        # say *that* the prefix diverged, so report the covered length.
+        for index, entry in enumerate(log.entries[:auth.length]):
+            chain = _entry_digest(chain, entry)
+        if chain != auth.chain_head:
+            return auth.length - 1
+        return None
+
+
+def attest_execution(log: EventLog, signing_key: bytes) -> Authenticator:
+    """Convenience: chain and sign a complete execution log."""
+    attestor = LogAttestor(signing_key)
+    attestor.extend_all(log)
+    return attestor.authenticator()

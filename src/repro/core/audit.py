@@ -1,0 +1,108 @@
+"""Auditing: compare an observed trace against its TDR replay (§5.3).
+
+"In the absence of timing channels, the packet timing during replay should
+match any observations during play; any significant deviation would be a
+strong sign that a channel is present."
+
+The comparison covers both what the paper plots in Fig 7 (per-IPD
+differences between play and replay) and the total-execution-time accuracy
+statistic of §6.4 (97% of replays within 1%, max 1.85%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReplayError
+
+
+@dataclass
+class AuditReport:
+    """Outcome of comparing one observed trace with its replay."""
+
+    num_packets: int
+    payloads_match: bool
+    play_total_ms: float
+    replay_total_ms: float
+    #: |replay - play| / play for the total execution time.
+    total_time_error: float
+    #: (play_ipd_ms, replay_ipd_ms) pairs — Fig 7's scatter data.
+    ipd_pairs: list[tuple[float, float]] = field(default_factory=list)
+    max_abs_ipd_diff_ms: float = 0.0
+    max_rel_ipd_diff: float = 0.0
+    mean_rel_ipd_diff: float = 0.0
+
+    def is_consistent(self, rel_threshold: float = 0.0185,
+                      abs_threshold_ms: float = 0.05) -> bool:
+        """Does the observed timing match the replay?
+
+        A deviation counts only if it exceeds *both* the relative threshold
+        (the paper's 1.85% replay accuracy) and an absolute floor (very
+        short IPDs make relative error meaningless).
+        """
+        if not self.payloads_match:
+            return False
+        for play_ipd, replay_ipd in self.ipd_pairs:
+            diff = abs(play_ipd - replay_ipd)
+            baseline = max(replay_ipd, 1e-9)
+            if diff > abs_threshold_ms and diff / baseline > rel_threshold:
+                return False
+        return True
+
+    def deviation_score(self) -> float:
+        """A scalar anomaly score: the largest absolute IPD deviation (ms).
+
+        This is the discrimination statistic of the Sanity-based detector
+        (§6.7): sweeping a threshold over it yields the ROC curve.
+        """
+        if not self.payloads_match:
+            return float("inf")
+        return self.max_abs_ipd_diff_ms
+
+
+def _times_and_payloads(result) -> tuple[list[float], list[bytes]]:
+    times = result.tx_times_ms()
+    payloads = [payload for _, payload in result.tx]
+    return times, payloads
+
+
+def compare_traces(play_result, replay_result) -> AuditReport:
+    """Audit a play/replay pair of :class:`ExecutionResult` objects."""
+    play_times, play_payloads = _times_and_payloads(play_result)
+    replay_times, replay_payloads = _times_and_payloads(replay_result)
+    if len(play_times) != len(replay_times):
+        raise ReplayError(
+            f"functional divergence: play transmitted {len(play_times)} "
+            f"packets, replay {len(replay_times)}")
+    payloads_match = play_payloads == replay_payloads
+
+    play_total = play_result.total_ns * 1e-6
+    replay_total = replay_result.total_ns * 1e-6
+    total_error = (abs(replay_total - play_total) / play_total
+                   if play_total > 0 else 0.0)
+
+    ipd_pairs: list[tuple[float, float]] = []
+    max_abs = 0.0
+    max_rel = 0.0
+    rel_sum = 0.0
+    for i in range(1, len(play_times)):
+        play_ipd = play_times[i] - play_times[i - 1]
+        replay_ipd = replay_times[i] - replay_times[i - 1]
+        ipd_pairs.append((play_ipd, replay_ipd))
+        diff = abs(play_ipd - replay_ipd)
+        rel = diff / max(replay_ipd, 1e-9)
+        max_abs = max(max_abs, diff)
+        max_rel = max(max_rel, rel)
+        rel_sum += rel
+    mean_rel = rel_sum / len(ipd_pairs) if ipd_pairs else 0.0
+
+    return AuditReport(
+        num_packets=len(play_times),
+        payloads_match=payloads_match,
+        play_total_ms=play_total,
+        replay_total_ms=replay_total,
+        total_time_error=total_error,
+        ipd_pairs=ipd_pairs,
+        max_abs_ipd_diff_ms=max_abs,
+        max_rel_ipd_diff=max_rel,
+        mean_rel_ipd_diff=mean_rel)

@@ -1,0 +1,75 @@
+"""Checkpointing for segment replay (§3.2).
+
+"If Sanity is used for long-running services ... it is important to enable
+auditors to reproduce smaller segments of the execution individually.
+Like other deterministic replay systems, Sanity could provide
+checkpointing for this purpose."
+
+A :class:`Checkpoint` captures the VM-visible state (heap, globals,
+threads, instruction counter).  Restoring one into a fresh interpreter and
+replaying the log's suffix reproduces the segment functionally; for
+*time*-deterministic segment replay the machine must additionally be
+quiesced at the checkpoint (caches flushed, §3.6), which is how
+:func:`segment_boundary_cost` models the checkpoint overhead.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.errors import ReplayError
+from repro.vm.interpreter import Interpreter
+
+
+@dataclass
+class Checkpoint:
+    """A VM-state snapshot at a specific instruction count."""
+
+    instr_count: int
+    heap_state: object
+    globals_state: list
+    threads_state: object
+    halted: bool
+    next_thread_id: int
+    current_index: int
+
+
+def snapshot_interpreter(vm: Interpreter) -> Checkpoint:
+    """Capture the interpreter's complete guest-visible state."""
+    return Checkpoint(
+        instr_count=vm.instruction_count,
+        heap_state=copy.deepcopy(vm.heap),
+        globals_state=copy.deepcopy(vm.globals),
+        threads_state=copy.deepcopy(vm.threads),
+        halted=vm.halted,
+        next_thread_id=vm._next_thread_id,
+        current_index=vm._current_index)
+
+
+def restore_interpreter(vm: Interpreter, checkpoint: Checkpoint) -> None:
+    """Overwrite an interpreter's state with a snapshot.
+
+    The interpreter must have been built from the same program; guest
+    state is replaced wholesale.
+    """
+    if not checkpoint.threads_state:
+        raise ReplayError("cannot restore an empty checkpoint")
+    vm.instruction_count = checkpoint.instr_count
+    vm.heap = copy.deepcopy(checkpoint.heap_state)
+    vm.globals = copy.deepcopy(checkpoint.globals_state)
+    vm.threads = copy.deepcopy(checkpoint.threads_state)
+    vm.halted = checkpoint.halted
+    vm._next_thread_id = checkpoint.next_thread_id
+    vm._current_index = checkpoint.current_index
+
+
+#: Cycles to quiesce the machine at a checkpoint boundary (cache + TLB
+#: flush and the §3.6 quiescence period) so segment replay can start from
+#: a reproducible microarchitectural state.
+SEGMENT_QUIESCE_CYCLES = 150_000
+
+
+def segment_boundary_cost() -> int:
+    """Cycle cost of taking a time-deterministic checkpoint."""
+    return SEGMENT_QUIESCE_CYCLES

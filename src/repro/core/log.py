@@ -1,0 +1,161 @@
+"""The event log of nondeterministic inputs.
+
+"During the original execution ('play'), we record all nondeterministic
+events in a log, and during the reproduced execution ('replay'), we inject
+the same events at the same points" (§3.2).  Points are identified by the
+VM's global instruction counter.
+
+Two event kinds exist, matching the paper's accounting (§6.5: "the logs
+mostly contained incoming network packets (84% in our trace) ... a small
+fraction consisted of other entries, e.g., entries that record the
+wall-clock time during play when the VM invokes System.nanoTime"):
+
+* ``PACKET`` — an incoming network packet, recorded in its entirety;
+* ``TIME`` — the value returned by a ``nano_time`` call.
+
+Outgoing packets are *not* logged: "packets that the NFS server transmits
+need not be recorded because the replayed execution will produce an exact
+copy" (§6.5).
+
+The binary serialization exists so log sizes can be measured the same way
+the paper measures them (bytes on stable storage).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import LogFormatError
+
+_MAGIC = b"TDRL"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHI")       # magic, version, entry count
+_ENTRY_HEAD = struct.Struct("<BQI")    # kind, instruction count, length
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of logged nondeterministic events."""
+
+    PACKET = 1
+    TIME = 2
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One nondeterministic event, keyed by the instruction counter."""
+
+    kind: EventKind
+    instr_count: int
+    payload: bytes = b""
+    value: int = 0
+
+    def encoded_size(self) -> int:
+        """Bytes this entry occupies in the serialized log."""
+        body = len(self.payload) if self.kind == EventKind.PACKET else 8
+        return _ENTRY_HEAD.size + body
+
+
+class EventLog:
+    """An append-only log of nondeterministic events."""
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+
+    def record_packet(self, instr_count: int, payload: bytes) -> None:
+        """Record an incoming packet observed at ``instr_count``."""
+        self._check_monotonic(instr_count)
+        self.entries.append(LogEntry(EventKind.PACKET, instr_count,
+                                     payload=payload))
+
+    def record_time(self, instr_count: int, value_ns: int) -> None:
+        """Record a ``nano_time`` result observed at ``instr_count``."""
+        self._check_monotonic(instr_count)
+        self.entries.append(LogEntry(EventKind.TIME, instr_count,
+                                     value=value_ns))
+
+    def _check_monotonic(self, instr_count: int) -> None:
+        if self.entries and instr_count < self.entries[-1].instr_count:
+            raise LogFormatError(
+                f"log entries must be appended in instruction order: "
+                f"{instr_count} after {self.entries[-1].instr_count}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- size accounting (§6.5) ---------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total serialized size."""
+        return _HEADER.size + sum(e.encoded_size() for e in self.entries)
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes per event kind (plus the fixed header)."""
+        breakdown = {"header": _HEADER.size, "packet": 0, "time": 0}
+        for entry in self.entries:
+            key = "packet" if entry.kind == EventKind.PACKET else "time"
+            breakdown[key] += entry.encoded_size()
+        return breakdown
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-disk format."""
+        chunks = [_HEADER.pack(_MAGIC, _VERSION, len(self.entries))]
+        for entry in self.entries:
+            if entry.kind == EventKind.PACKET:
+                body = entry.payload
+            else:
+                body = struct.pack("<q", entry.value)
+            chunks.append(_ENTRY_HEAD.pack(int(entry.kind),
+                                           entry.instr_count, len(body)))
+            chunks.append(body)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EventLog":
+        """Parse the on-disk format."""
+        if len(data) < _HEADER.size:
+            raise LogFormatError("truncated log header")
+        magic, version, count = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise LogFormatError(f"bad log magic {magic!r}")
+        if version != _VERSION:
+            raise LogFormatError(f"unsupported log version {version}")
+        log = cls()
+        offset = _HEADER.size
+        for _ in range(count):
+            if offset + _ENTRY_HEAD.size > len(data):
+                raise LogFormatError("truncated log entry header")
+            kind_value, instr_count, length = _ENTRY_HEAD.unpack_from(
+                data, offset)
+            offset += _ENTRY_HEAD.size
+            if offset + length > len(data):
+                raise LogFormatError("truncated log entry body")
+            body = data[offset:offset + length]
+            offset += length
+            try:
+                kind = EventKind(kind_value)
+            except ValueError:
+                raise LogFormatError(f"unknown event kind {kind_value}")
+            if kind == EventKind.PACKET:
+                log.entries.append(LogEntry(kind, instr_count, payload=body))
+            else:
+                if length != 8:
+                    raise LogFormatError("TIME entry body must be 8 bytes")
+                (value,) = struct.unpack("<q", body)
+                log.entries.append(LogEntry(kind, instr_count, value=value))
+        if offset != len(data):
+            raise LogFormatError(f"{len(data) - offset} trailing bytes")
+        return log
+
+    def growth_rate_kb_per_minute(self, duration_ns: float) -> float:
+        """Log growth rate for a trace of the given duration (§6.5)."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        minutes = duration_ns / 60e9
+        return self.size_bytes() / 1024.0 / minutes

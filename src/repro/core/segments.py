@@ -1,0 +1,156 @@
+"""Machine-level segment replay (§3.2).
+
+"If Sanity is used for long-running services — perhaps a web server,
+which can run for months or even years — it is important to enable
+auditors to reproduce smaller segments of the execution individually.
+Like other deterministic replay systems, Sanity could provide
+checkpointing for this purpose, and thus enable the auditor to replay any
+segment that starts at a checkpoint."
+
+A :class:`MachineCheckpoint` extends the VM snapshot of
+:mod:`repro.core.checkpoint` with the machine-visible context a
+time-deterministic resume needs: the virtual-clock reading and the log
+position.  Resuming *quiesces* the machine first (§3.6: flush caches,
+TLB, predictor) — the same trick that makes whole-execution replay
+reproducible makes segment boundaries reproducible, at the cost of a
+warm-up transient right after the boundary.
+
+Workflow::
+
+    observed, checkpoint = play_with_checkpoint(program, config,
+                                                workload, at_instr=N)
+    segment = replay_segment(program, observed.log, checkpoint, config)
+    # segment.tx covers only transmissions after the checkpoint, with
+    # timing consistent with the observed suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checkpoint import (Checkpoint, restore_interpreter,
+                                   snapshot_interpreter)
+from repro.core.log import EventKind, EventLog
+from repro.core.session import ReplaySession
+from repro.errors import ReplayError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import ExecutionResult, Machine
+from repro.machine.workload import Workload
+from repro.vm.interpreter import Interpreter, VmConfig
+from repro.vm.program import Program
+
+
+@dataclass
+class MachineCheckpoint:
+    """A resumable point of an execution."""
+
+    vm_state: Checkpoint
+    clock_cycles: int
+    log_position: int           # events consumed before the checkpoint
+    tx_count: int               # packets transmitted before the checkpoint
+    covert_cursor: int
+
+
+def play_with_checkpoint(program: Program, config: MachineConfig,
+                         workload: Workload | None, at_instr: int,
+                         seed: int = 0,
+                         covert_schedule: list[int] | None = None,
+                         max_instructions: int | None = 200_000_000
+                         ) -> tuple[ExecutionResult, MachineCheckpoint]:
+    """Play to completion, snapshotting state at instruction ``at_instr``.
+
+    The checkpoint is taken the first time the instruction counter
+    reaches ``at_instr`` (between instructions, as a real implementation
+    would at a safepoint).
+    """
+    if at_instr <= 0:
+        raise ReplayError("checkpoint instruction must be positive")
+    machine = Machine(config, seed=seed, mode="play", workload=workload,
+                      covert_schedule=covert_schedule)
+    vm = Interpreter(program, machine.platform,
+                     VmConfig(thread_quantum=config.thread_quantum,
+                              poll_interval=config.vm_poll_interval))
+    if workload is not None:
+        workload.start(machine)
+
+    # Run up to the checkpoint, snapshot, then finish.
+    vm.run(max_instructions=at_instr)
+    if vm.instruction_count < at_instr:
+        raise ReplayError(
+            f"execution ended at instruction {vm.instruction_count}, "
+            f"before the requested checkpoint at {at_instr}")
+    checkpoint = MachineCheckpoint(
+        vm_state=snapshot_interpreter(vm),
+        clock_cycles=machine.clock.cycles,
+        log_position=len(machine.session.log.entries),
+        tx_count=len(machine.platform.tx_trace),
+        covert_cursor=machine._covert_cursor)
+    remaining = (None if max_instructions is None
+                 else max_instructions - at_instr)
+    vm.run(max_instructions=remaining)
+
+    machine._ran = True
+    result = ExecutionResult(
+        mode="play", config_name=config.name, seed=seed,
+        tx=list(machine.platform.tx_trace),
+        console=list(machine.platform.console),
+        total_cycles=machine.clock.cycles,
+        total_ns=machine.clock.now_ns(),
+        instructions=vm.instruction_count,
+        log=machine.session.log,
+        stats=machine._collect_stats(vm))
+    return result, checkpoint
+
+
+def replay_segment(program: Program, log: EventLog,
+                   checkpoint: MachineCheckpoint,
+                   config: MachineConfig, seed: int = 1,
+                   max_instructions: int | None = 200_000_000
+                   ) -> ExecutionResult:
+    """Replay the suffix of ``log`` starting from ``checkpoint``.
+
+    Returns an :class:`ExecutionResult` whose transmissions and clock
+    cover only the segment; transmission cycles are offset so they line
+    up with the original execution's timeline (the clock is restored to
+    the checkpoint's reading).
+    """
+    machine = Machine(config, seed=seed, mode="replay", log=log)
+    session = machine.session
+    assert isinstance(session, ReplaySession)
+    # Fast-forward the session past the events the prefix consumed.
+    if checkpoint.log_position > len(log.entries):
+        raise ReplayError("checkpoint log position beyond the log")
+    session._cursor = checkpoint.log_position
+    for entry in log.entries[:checkpoint.log_position]:
+        if entry.kind == EventKind.PACKET:
+            session.events_handled += 1
+    # Restore machine context: clock and quiesced microarchitecture
+    # (§3.6 — the checkpoint boundary behaves like an execution start).
+    machine.clock.advance(checkpoint.clock_cycles)
+    machine.hierarchy.flush()
+    machine.tlb.flush()
+    machine.predictor.flush()
+    machine._covert_cursor = checkpoint.covert_cursor
+
+    vm = Interpreter(program, machine.platform,
+                     VmConfig(thread_quantum=config.thread_quantum,
+                              poll_interval=config.vm_poll_interval))
+    restore_interpreter(vm, checkpoint.vm_state)
+    vm.run(max_instructions=max_instructions)
+
+    machine._ran = True
+    return ExecutionResult(
+        mode="replay", config_name=config.name, seed=seed,
+        tx=list(machine.platform.tx_trace),
+        console=list(machine.platform.console),
+        total_cycles=machine.clock.cycles,
+        total_ns=machine.clock.now_ns(),
+        instructions=vm.instruction_count,
+        log=None,
+        stats=machine._collect_stats(vm))
+
+
+def segment_of(result: ExecutionResult,
+               checkpoint: MachineCheckpoint) -> list[tuple[int, bytes]]:
+    """The post-checkpoint transmissions of a full-execution result."""
+    return result.tx[checkpoint.tx_count:]

@@ -1,0 +1,64 @@
+"""Symmetric read/writes (§3.5, Figure 4).
+
+The problem: logging an event naively would branch on a "replay flag" and
+either *write* the value to the T-S buffer (play) or *read* it (replay) —
+different control flow, different dirty cache lines, different BTB state.
+
+The paper's fix::
+
+    void accessInt(int *value, int *buf) {
+        int temp = (*value) & playMask;
+        temp = temp | (*buf & ~playMask);
+        *value = *buf = temp;
+    }
+
+``playMask`` is all-ones during play and zero during replay, so the same
+straight-line code selects the live value during play and the logged value
+during replay, while touching the same memory locations in the same order.
+
+:func:`symmetric_access` reproduces this computation bit-for-bit and
+reports the memory addresses touched, so the timed-core platform can charge
+the identical access sequence in both modes.  :class:`SymmetricCell` wraps
+one T-S buffer slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+
+PLAY_MASK = _MASK64     # playMask during play
+REPLAY_MASK = 0         # playMask during replay
+
+
+@dataclass
+class SymmetricCell:
+    """One slot of the T-S buffer with a stable virtual address."""
+
+    vaddr: int
+    stored: int = 0
+
+
+def symmetric_access(live_value: int, cell: SymmetricCell,
+                     play_mask: int) -> tuple[int, tuple[int, int]]:
+    """Figure 4's ``accessInt``.
+
+    ``live_value`` is what would need to be recorded if this were play
+    (e.g. the current wall-clock time); ``cell`` holds what would need to
+    be returned if this were replay (the logged value, pre-staged by the
+    supporting core).  Returns ``(selected_value, touched_addresses)``:
+    during play the live value (now also stored in the cell, i.e. "logged");
+    during replay the cell's value.  The touched addresses are identical in
+    both modes — that is the whole point.
+    """
+    if play_mask not in (PLAY_MASK, REPLAY_MASK):
+        raise ValueError(f"play_mask must be all-ones or zero, got "
+                         f"{play_mask:#x}")
+    temp = (live_value & play_mask) & _MASK64
+    temp |= cell.stored & (~play_mask & _MASK64)
+    cell.stored = temp
+    # Reads *value and *buf, writes both: two addresses, same order in
+    # both modes.  The live value lives in a register in our model, so the
+    # data traffic is the cell plus the caller's result slot.
+    return temp, (cell.vaddr, cell.vaddr)

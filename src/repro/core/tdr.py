@@ -1,0 +1,90 @@
+"""High-level TDR orchestration: play, replay, compare.
+
+The auditing workflow of §5.3: record an execution's nondeterministic
+inputs during play, hand the log to an auditor, and let the auditor replay
+it with TDR on another machine of the same type using a known-good binary.
+The packet timing during replay is what the timing "ought to have been";
+deviations indicate a different machine type (§2.1 scenario a) or tampered
+software such as a covert timing channel (scenario b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditReport, compare_traces
+from repro.core.log import EventLog
+from repro.errors import ReplayError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import ExecutionResult, Machine
+from repro.machine.workload import Workload
+from repro.vm.program import Program
+
+
+def play(program: Program, config: MachineConfig | None = None,
+         workload: Workload | None = None, seed: int = 0,
+         covert_enabled: bool = False,
+         covert_schedule: list[int] | None = None,
+         max_instructions: int | None = 200_000_000) -> ExecutionResult:
+    """Run the original execution, recording a log of its inputs."""
+    machine = Machine(config or MachineConfig(), seed=seed, mode="play",
+                      workload=workload, covert_enabled=covert_enabled,
+                      covert_schedule=covert_schedule)
+    return machine.run(program, max_instructions=max_instructions)
+
+
+def replay(program: Program, log: EventLog,
+           config: MachineConfig | None = None, seed: int = 1,
+           max_instructions: int | None = 200_000_000) -> ExecutionResult:
+    """Time-deterministically replay a recorded log.
+
+    ``seed`` deliberately defaults to a different value than
+    :func:`play`'s: the replay machine's *noise* (bus contention,
+    speculation) is genuinely different hardware state — only the logged
+    inputs are reproduced.  Use the same seed to check simulator
+    determinism instead.
+    """
+    machine = Machine(config or MachineConfig(), seed=seed, mode="replay",
+                      log=log)
+    return machine.run(program, max_instructions=max_instructions)
+
+
+def replay_naive(program: Program, log: EventLog,
+                 config: MachineConfig | None = None, seed: int = 1,
+                 max_instructions: int | None = 200_000_000
+                 ) -> ExecutionResult:
+    """Replay with the functional-only baseline replayer (Fig 3)."""
+    machine = Machine(config or MachineConfig(), seed=seed,
+                      mode="naive-replay", log=log)
+    return machine.run(program, max_instructions=max_instructions)
+
+
+@dataclass
+class TdrResult:
+    """A full play-then-replay round trip plus its audit."""
+
+    play: ExecutionResult
+    replay: ExecutionResult
+    audit: AuditReport
+
+
+def round_trip(program: Program, config: MachineConfig | None = None,
+               workload: Workload | None = None, play_seed: int = 0,
+               replay_seed: int = 1, covert_enabled: bool = False,
+               replay_config: MachineConfig | None = None,
+               max_instructions: int | None = 200_000_000) -> TdrResult:
+    """Play, replay, and audit in one call.
+
+    ``replay_config`` defaults to ``config`` (same machine type T); pass a
+    different type to model the Alice/Bob machine-substitution scenario.
+    """
+    play_result = play(program, config, workload, seed=play_seed,
+                       covert_enabled=covert_enabled,
+                       max_instructions=max_instructions)
+    if play_result.log is None:
+        raise ReplayError("play produced no log")
+    replay_result = replay(program, play_result.log,
+                           replay_config or config, seed=replay_seed,
+                           max_instructions=max_instructions)
+    report = compare_traces(play_result, replay_result)
+    return TdrResult(play_result, replay_result, report)

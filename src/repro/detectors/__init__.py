@@ -1,0 +1,45 @@
+"""Covert-timing-channel detectors (§5.2-§5.3, §6.6-§6.8).
+
+Four statistical baselines and the paper's TDR-based detector:
+
+=================  ==========================================
+Detector           Module / reference
+=================  ==========================================
+Shape test         :mod:`repro.detectors.shape` (Cabuk et al.)
+KS test            :mod:`repro.detectors.kstest` (Peng et al.)
+Regularity test    :mod:`repro.detectors.regularity` (Cabuk et al.)
+CCE                :mod:`repro.detectors.cce` (Gianvecchio & Wang)
+Sanity (TDR)       :mod:`repro.detectors.tdr_detector`
+=================  ==========================================
+
+All statistical detectors share the :class:`~repro.detectors.base.Detector`
+interface: ``fit`` on legitimate traffic, then ``score`` test traces
+(higher = more covert).  ROC/AUC machinery lives in
+:mod:`repro.detectors.roc`.
+"""
+
+from repro.detectors.base import Detector
+from repro.detectors.cce import CceDetector
+from repro.detectors.kstest import KsDetector
+from repro.detectors.regularity import RegularityDetector
+from repro.detectors.roc import RocCurve, evaluate_detector, roc_from_scores
+from repro.detectors.shape import ShapeDetector
+from repro.detectors.tdr_detector import TdrDetector
+
+__all__ = [
+    "CceDetector",
+    "Detector",
+    "KsDetector",
+    "RegularityDetector",
+    "RocCurve",
+    "ShapeDetector",
+    "TdrDetector",
+    "evaluate_detector",
+    "roc_from_scores",
+]
+
+
+def all_statistical_detectors() -> list[Detector]:
+    """Fresh instances of the four statistical baselines."""
+    return [ShapeDetector(), KsDetector(), RegularityDetector(),
+            CceDetector()]

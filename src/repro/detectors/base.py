@@ -1,0 +1,48 @@
+"""Common detector interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import DetectorError
+
+
+class Detector(abc.ABC):
+    """A trainable covert-channel detector over IPD traces.
+
+    ``fit`` learns a model of legitimate traffic; ``score`` maps one test
+    trace's IPDs (milliseconds) to an anomaly score where larger means
+    "more likely covert".  Thresholding is left to the ROC machinery —
+    "we vary the discrimination threshold of each detection technique"
+    (§6.7).
+    """
+
+    #: Human-readable name used in reports and bench output.
+    name: str = "detector"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, training_traces: list[list[float]]) -> None:
+        """Learn legitimate-traffic statistics."""
+        if not training_traces or not any(training_traces):
+            raise DetectorError(f"{self.name}: empty training set")
+        self._fit(training_traces)
+        self._fitted = True
+
+    def score(self, ipds_ms: list[float]) -> float:
+        """Anomaly score of one trace (higher = more covert)."""
+        if not self._fitted:
+            raise DetectorError(f"{self.name}: fit() before score()")
+        if len(ipds_ms) < 2:
+            raise DetectorError(
+                f"{self.name}: need at least 2 IPDs, got {len(ipds_ms)}")
+        return self._score(ipds_ms)
+
+    @abc.abstractmethod
+    def _fit(self, training_traces: list[list[float]]) -> None:
+        """Detector-specific training."""
+
+    @abc.abstractmethod
+    def _score(self, ipds_ms: list[float]) -> float:
+        """Detector-specific scoring."""

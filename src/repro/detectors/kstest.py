@@ -1,0 +1,40 @@
+"""The Kolmogorov-Smirnov test (Peng et al., S&P'06; §5.2).
+
+"The KS-test calculates the distance between the empirical distributions
+of the test sample and training sample (from legitimate traffic).  If the
+distance is above a pre-determined threshold, the test distribution is
+considered to contain a covert timing channel."
+
+The training sample is the pooled IPDs of all legitimate traces; the
+score is the two-sample KS statistic, used directly as the anomaly score.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ks_distance
+from repro.detectors.base import Detector
+
+
+class KsDetector(Detector):
+    """Two-sample Kolmogorov-Smirnov distance against pooled legit IPDs."""
+
+    name = "ks"
+
+    def __init__(self, max_training_samples: int = 20_000) -> None:
+        super().__init__()
+        self.max_training_samples = max_training_samples
+        self._training: list[float] = []
+
+    def _fit(self, training_traces: list[list[float]]) -> None:
+        pooled: list[float] = []
+        for trace in training_traces:
+            pooled.extend(trace)
+        # Deterministic decimation keeps the per-score cost bounded.
+        if len(pooled) > self.max_training_samples:
+            step = len(pooled) / self.max_training_samples
+            pooled = [pooled[int(i * step)]
+                      for i in range(self.max_training_samples)]
+        self._training = sorted(pooled)
+
+    def _score(self, ipds_ms: list[float]) -> float:
+        return ks_distance(ipds_ms, self._training)

@@ -1,0 +1,76 @@
+"""The mirror-VM detector (Liu et al. [34]; paper §8 "Related Work").
+
+"We know of only one other work that uses a VM-based detector, but [34]
+simply replicates incoming traffic to two VMs on the same machine and
+compares the timing of the outputs.  Moreover, without determinism the
+two VMs would soon diverge and cause a large number of false positives."
+
+Model: the mirror VM receives the same inputs *live* (same client
+workload), on an ordinary — non-time-deterministic — machine.  Its output
+timing therefore differs from the monitored machine's by the full
+environmental noise of a live run, not by TDR's carefully-minimized
+replay residual.  The detector's discrimination statistic is the same
+max-IPD-deviation as the TDR detector's; the comparison quantifies why
+determinism matters: the mirror's noise floor is an order of magnitude
+above TDR's, so channels must be correspondingly louder to be seen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.audit import compare_traces
+from repro.errors import DetectorError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import ExecutionResult
+from repro.machine.noise import scenario_config
+from repro.machine.workload import Workload
+
+
+class MirrorDetector:
+    """Compare a monitored execution against a live mirror VM."""
+
+    name = "mirror"
+
+    def __init__(self, mirror_config: MachineConfig | None = None,
+                 mirror_seed: int = 2_000_003) -> None:
+        # [34]'s mirror is an ordinary VM: the paper's "clean" machine
+        # (single-user mode, no TDR design) is the generous default.
+        self.mirror_config = (mirror_config if mirror_config is not None
+                              else scenario_config("clean"))
+        self.mirror_seed = mirror_seed
+
+    def score_execution(self, program, observed_result: ExecutionResult,
+                        workload_factory: Callable[[], Workload]) -> float:
+        """Max IPD deviation between the observed trace and the mirror.
+
+        ``workload_factory`` must rebuild the *same* client behaviour
+        (same seed) — the mirror receives replicated inputs.
+        """
+        from repro.core.tdr import play
+
+        mirror = play(program, self.mirror_config,
+                      workload=workload_factory(), seed=self.mirror_seed)
+        if len(mirror.tx) != len(observed_result.tx):
+            # Functional divergence between the replicas: [34]'s failure
+            # mode.  Report an un-scoreable (maximal) deviation.
+            return float("inf")
+        report = compare_traces(observed_result, mirror)
+        return report.max_abs_ipd_diff_ms
+
+    def noise_floor(self, program, workload_factory, config=None,
+                    probes: int = 3) -> float:
+        """The deviation a *clean* machine shows against the mirror —
+        anything below this is undetectable without false positives."""
+        from repro.core.tdr import play
+
+        if probes < 1:
+            raise DetectorError("need at least one probe")
+        config = config or MachineConfig()
+        floor = 0.0
+        for probe in range(probes):
+            clean = play(program, config, workload=workload_factory(),
+                         seed=31_000 + probe)
+            floor = max(floor, self.score_execution(program, clean,
+                                                    workload_factory))
+        return floor

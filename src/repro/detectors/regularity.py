@@ -1,0 +1,72 @@
+"""The regularity test (Cabuk et al., CCS'04; §5.2).
+
+"The RT-test is based on the observation that the variance of IPDs in
+legitimate traffic varies over time, while a covert channel manifests a
+relatively constant variance due to its constant encoding scheme.
+RT-test groups the traffic into sets of w packets, and compares the
+standard deviation of pairwise differences between each set."
+
+The classic statistic::
+
+    regularity = STDEV( |sigma_i - sigma_j| / sigma_i ,  for all i < j )
+
+is *small* for covert traffic (window variances stay put) and *large* for
+bursty legitimate traffic.  To fit the common higher-is-covert score
+orientation, the detector calibrates the legitimate regularity range
+during fit and scores by how far *below* the legitimate median a test
+trace's regularity falls.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean, percentile, stdev
+from repro.detectors.base import Detector
+
+
+def regularity_statistic(ipds_ms: list[float], window: int) -> float:
+    """Cabuk's regularity statistic over windows of ``window`` IPDs."""
+    sigmas = []
+    for start in range(0, len(ipds_ms) - window + 1, window):
+        sigma = stdev(ipds_ms[start:start + window])
+        if sigma > 1e-9:
+            sigmas.append(sigma)
+    if len(sigmas) < 2:
+        # Degenerate traces (constant IPDs) are maximally regular.
+        return 0.0
+    ratios = []
+    for i in range(len(sigmas)):
+        for j in range(i + 1, len(sigmas)):
+            ratios.append(abs(sigmas[i] - sigmas[j]) / sigmas[i])
+    return stdev(ratios)
+
+
+class RegularityDetector(Detector):
+    """Window-variance regularity test."""
+
+    name = "regularity"
+
+    def __init__(self, window: int = 10) -> None:
+        super().__init__()
+        if window < 2:
+            raise ValueError("regularity window must be >= 2")
+        self.window = window
+        self._legit_median = 0.0
+        self._legit_scale = 1.0
+
+    def _fit(self, training_traces: list[list[float]]) -> None:
+        stats = [regularity_statistic(t, self.window)
+                 for t in training_traces if len(t) >= self.window]
+        if not stats:
+            stats = [regularity_statistic(t, max(2, len(t) // 2))
+                     for t in training_traces if len(t) >= 4]
+        if not stats:
+            stats = [0.0]
+        self._legit_median = percentile(stats, 50.0)
+        spread = percentile(stats, 90.0) - percentile(stats, 10.0)
+        self._legit_scale = max(spread, 1e-3)
+
+    def _score(self, ipds_ms: list[float]) -> float:
+        statistic = regularity_statistic(ipds_ms, self.window)
+        # Covert traffic is *more* regular: statistic below the
+        # legitimate median scores positive.
+        return (self._legit_median - statistic) / self._legit_scale

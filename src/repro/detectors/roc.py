@@ -1,0 +1,59 @@
+"""ROC curves and AUC for detector evaluation (§6.7).
+
+"For each setting, we obtain a true-positive and a false-positive rate,
+and we plot these in a graph to obtain each detector's receiver operating
+characteristic (ROC) curve. ... We also measure the area under the curve
+(AUC) of each ROC curve."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import auc_mann_whitney, roc_points
+from repro.detectors.base import Detector
+
+
+@dataclass
+class RocCurve:
+    """One detector's ROC curve on one channel."""
+
+    detector_name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    auc: float = 0.0
+    positive_scores: list[float] = field(default_factory=list)
+    negative_scores: list[float] = field(default_factory=list)
+
+    def tpr_at_fpr(self, max_fpr: float) -> float:
+        """Best true-positive rate achievable at or below ``max_fpr``."""
+        best = 0.0
+        for fpr, tpr in self.points:
+            if fpr <= max_fpr:
+                best = max(best, tpr)
+        return best
+
+    def format_row(self) -> str:
+        """One bench-output row, like the paper's legend entries."""
+        return f"{self.detector_name:<12s} AUC={self.auc:.3f}"
+
+
+def roc_from_scores(detector_name: str, positive_scores: list[float],
+                    negative_scores: list[float]) -> RocCurve:
+    """Build a ROC curve from raw anomaly scores."""
+    return RocCurve(
+        detector_name=detector_name,
+        points=roc_points(positive_scores, negative_scores),
+        auc=auc_mann_whitney(positive_scores, negative_scores),
+        positive_scores=list(positive_scores),
+        negative_scores=list(negative_scores))
+
+
+def evaluate_detector(detector: Detector,
+                      training_traces: list[list[float]],
+                      covert_traces: list[list[float]],
+                      legit_traces: list[list[float]]) -> RocCurve:
+    """Train on legitimate traffic, score covert + held-out legit traces."""
+    detector.fit(training_traces)
+    positives = [detector.score(t) for t in covert_traces]
+    negatives = [detector.score(t) for t in legit_traces]
+    return roc_from_scores(detector.name, positives, negatives)

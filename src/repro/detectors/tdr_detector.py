@@ -1,0 +1,60 @@
+"""The Sanity-based (TDR) detector (§5.3, §6.7).
+
+Unlike the statistical tests, this detector does not look for patterns in
+the observed traffic.  It replays the machine's log with TDR on a clean
+reference machine of the same type and compares per-packet timing:
+
+"For the Sanity-based detector, [the discrimination threshold] is the
+minimum difference between an observed IPD and the corresponding IPD
+during replay that will cause the detector to report the presence of a
+channel."
+
+The detector therefore needs (program, log, machine type) in addition to
+the observed trace; it does not fit on training traffic at all — which is
+exactly its advantage: "Existing statistic-based detection techniques rely
+on the availability of a sufficient amount of legitimate traffic ..."
+"""
+
+from __future__ import annotations
+
+from repro.core.audit import AuditReport, compare_traces
+from repro.errors import DetectorError
+
+
+class TdrDetector:
+    """Per-packet play-vs-replay IPD comparison.
+
+    This class intentionally does not subclass
+    :class:`~repro.detectors.base.Detector`: it consumes executions and
+    logs, not bare IPD lists, and it needs no training.
+    """
+
+    name = "sanity"
+
+    def __init__(self, replay_seed: int = 1_000_003) -> None:
+        self.replay_seed = replay_seed
+
+    def score_execution(self, program, observed_result, config) -> float:
+        """Replay ``observed_result``'s log and score the deviation.
+
+        Returns the maximum absolute IPD deviation in ms (the detector's
+        discrimination statistic).
+        """
+        from repro.core.tdr import replay
+
+        if observed_result.log is None:
+            raise DetectorError("observed execution carries no log; "
+                                "was it recorded in play mode?")
+        reference = replay(program, observed_result.log, config,
+                           seed=self.replay_seed)
+        report = compare_traces(observed_result, reference)
+        return self.score_report(report)
+
+    def score_report(self, report: AuditReport) -> float:
+        """Score a pre-computed audit report."""
+        return report.deviation_score()
+
+    @staticmethod
+    def decide(report: AuditReport, threshold_ms: float) -> bool:
+        """Flag a channel when any IPD deviates more than ``threshold_ms``."""
+        return report.deviation_score() > threshold_ms

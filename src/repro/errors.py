@@ -1,0 +1,90 @@
+"""Exception hierarchy for the TDR reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class HardwareConfigError(ReproError):
+    """A hardware component was configured with invalid parameters."""
+
+
+class VMError(ReproError):
+    """Base class for virtual-machine execution errors."""
+
+
+class VMLoadError(VMError):
+    """A program could not be loaded into the VM."""
+
+
+class VMRuntimeError(VMError):
+    """The VM trapped during execution (host-level fault, not a guest throw)."""
+
+    def __init__(self, message: str, pc: int | None = None,
+                 function: str | None = None) -> None:
+        self.pc = pc
+        self.function = function
+        location = ""
+        if function is not None:
+            location = f" in {function}"
+            if pc is not None:
+                location += f" at pc={pc}"
+        super().__init__(message + location)
+
+
+class GuestError(VMError):
+    """An uncaught exception propagated out of the guest program."""
+
+    def __init__(self, kind: str, message: str = "") -> None:
+        self.kind = kind
+        self.guest_message = message
+        super().__init__(f"uncaught guest exception {kind}: {message}")
+
+
+class AssemblerError(ReproError):
+    """The assembler rejected an assembly listing."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CompileError(ReproError):
+    """The MiniJ compiler rejected a source program."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 col: int | None = None) -> None:
+        self.source_line = line
+        self.source_col = col
+        if line is not None:
+            pos = f"line {line}" + (f", col {col}" if col is not None else "")
+            message = f"{pos}: {message}"
+        super().__init__(message)
+
+
+class ReplayError(ReproError):
+    """Record/replay machinery failed (log mismatch, divergence, ...)."""
+
+
+class ReplayDivergenceError(ReplayError):
+    """The replayed execution diverged from the recorded one."""
+
+
+class LogFormatError(ReplayError):
+    """An event log could not be parsed."""
+
+
+class DetectorError(ReproError):
+    """A covert-channel detector was misused (e.g. not trained)."""
+
+
+class ChannelError(ReproError):
+    """A covert-channel encoder was configured or used incorrectly."""

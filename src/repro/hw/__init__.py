@@ -1,0 +1,59 @@
+"""Simulated hardware substrate with an explicit virtual timing model.
+
+This package stands in for the commodity x86 platform of the paper.  Every
+source of "time noise" the paper enumerates (Table 1) is an explicit model
+component here:
+
+==================  =======================================
+Component           Module
+==================  =======================================
+virtual cycle clock :mod:`repro.hw.clock`
+CPU cost model      :mod:`repro.hw.cpu`
+caches (L1/L2)      :mod:`repro.hw.cache`
+TLB                 :mod:`repro.hw.tlb`
+physical memory     :mod:`repro.hw.memory`
+memory bus          :mod:`repro.hw.bus`
+branch predictor    :mod:`repro.hw.branch`
+interrupts          :mod:`repro.hw.interrupts`
+storage (HDD/SSD)   :mod:`repro.hw.storage`
+network interface   :mod:`repro.hw.nic`
+==================  =======================================
+"""
+
+from repro.hw.branch import BranchPredictor, BranchPredictorConfig
+from repro.hw.bus import BusConfig, MemoryBus
+from repro.hw.cache import Cache, CacheConfig, CacheHierarchy, ReplacementPolicy
+from repro.hw.clock import VirtualClock
+from repro.hw.cpu import CpuModel, CpuTimingConfig, CostClass
+from repro.hw.interrupts import InterruptController, IrqSource
+from repro.hw.memory import AddressSpace, FrameAllocator, PAGE_SIZE
+from repro.hw.nic import Nic
+from repro.hw.storage import Hdd, PaddedStorage, Ssd, StorageDevice
+from repro.hw.tlb import Tlb, TlbConfig
+
+__all__ = [
+    "AddressSpace",
+    "BranchPredictor",
+    "BranchPredictorConfig",
+    "BusConfig",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CostClass",
+    "CpuModel",
+    "CpuTimingConfig",
+    "FrameAllocator",
+    "Hdd",
+    "InterruptController",
+    "IrqSource",
+    "MemoryBus",
+    "Nic",
+    "PAGE_SIZE",
+    "PaddedStorage",
+    "ReplacementPolicy",
+    "Ssd",
+    "StorageDevice",
+    "Tlb",
+    "TlbConfig",
+    "VirtualClock",
+]

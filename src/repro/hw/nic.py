@@ -1,0 +1,63 @@
+"""Network interface model.
+
+The NIC belongs to the supporting core's world (§3.3): packet DMA never
+touches the timed core directly, but it does raise the shared-bus traffic
+level.  Arrival times are *external* inputs expressed in timed-core cycles;
+during play they come from the simulated network/client, during replay the
+recorded log takes their place (the NIC is then unused on the replay side).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _QueuedPacket:
+    arrival_cycle: int
+    seq: int
+    payload: bytes = field(compare=False)
+
+
+class Nic:
+    """A 1 Gbps-class NIC with an arrival queue in virtual time."""
+
+    #: Bus traffic contributed by one packet DMA (decays at the next poll).
+    DMA_TRAFFIC = 0.15
+
+    def __init__(self) -> None:
+        self._rx: list[_QueuedPacket] = []
+        self._seq = 0
+        self.tx_packets: list[tuple[int, bytes]] = []
+        self.rx_delivered = 0
+
+    def schedule_rx(self, arrival_cycle: int, payload: bytes) -> None:
+        """Enqueue a packet to arrive at the given virtual time."""
+        if arrival_cycle < 0:
+            raise ValueError(f"negative arrival cycle: {arrival_cycle}")
+        heapq.heappush(self._rx,
+                       _QueuedPacket(arrival_cycle, self._seq, payload))
+        self._seq += 1
+
+    def poll_rx(self, now_cycles: int) -> list[bytes]:
+        """Pop every packet whose arrival time has passed."""
+        arrived: list[bytes] = []
+        while self._rx and self._rx[0].arrival_cycle <= now_cycles:
+            arrived.append(heapq.heappop(self._rx).payload)
+            self.rx_delivered += 1
+        return arrived
+
+    def next_arrival_cycle(self) -> int | None:
+        """Arrival time of the earliest pending packet, if any."""
+        if not self._rx:
+            return None
+        return self._rx[0].arrival_cycle
+
+    def transmit(self, now_cycles: int, payload: bytes) -> None:
+        """Record an outgoing packet with its transmission time."""
+        self.tx_packets.append((now_cycles, payload))
+
+    @property
+    def pending_rx(self) -> int:
+        return len(self._rx)

@@ -1,0 +1,137 @@
+"""Storage device latency models (§3.7).
+
+"Storage devices are more challenging because the latency between the point
+where the VM issues a read request and the point where the data is
+available can be difficult to reproduce.  A common way to address this is
+to pad all requests to their maximal duration.  This approach is expensive
+for HDDs because of their high rotational latency ... but it is more
+practical for the increasingly common SSDs."
+
+Three models:
+
+* :class:`Hdd` — seek + rotational latency, highly variable and
+  position-dependent;
+* :class:`Ssd` — near-constant latency with small variance, three orders
+  of magnitude faster;
+* :class:`PaddedStorage` — wraps a device and pads every read to a fixed
+  ceiling, which *eliminates* latency variance at the cost of throughput.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.determinism import SplitMix64, ZeroNoise
+from repro.errors import HardwareConfigError
+
+
+class StorageDevice(abc.ABC):
+    """A block device whose reads cost a (possibly variable) cycle count."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.total_cycles = 0
+
+    def read(self, block: int) -> int:
+        """Read one block; returns the cycle cost of the operation."""
+        if block < 0:
+            raise ValueError(f"negative block number: {block}")
+        cost = self._read_cost(block)
+        self.reads += 1
+        self.total_cycles += cost
+        return cost
+
+    @abc.abstractmethod
+    def _read_cost(self, block: int) -> int:
+        """Device-specific cost of reading ``block``."""
+
+    @property
+    @abc.abstractmethod
+    def max_read_cycles(self) -> int:
+        """Worst-case read cost (the padding ceiling)."""
+
+
+class Ssd(StorageDevice):
+    """Solid-state storage: ~25 µs reads with a small stochastic tail."""
+
+    def __init__(self, noise_rng: SplitMix64 | ZeroNoise,
+                 base_cycles: int = 85_000, jitter_cycles: int = 6_000) -> None:
+        super().__init__()
+        if base_cycles <= 0 or jitter_cycles < 0:
+            raise HardwareConfigError("invalid SSD latency parameters")
+        self._rng = noise_rng
+        self.base_cycles = base_cycles
+        self.jitter_cycles = jitter_cycles
+
+    def _read_cost(self, block: int) -> int:
+        jitter = 0
+        if self.jitter_cycles:
+            jitter = self._rng.randint(0, self.jitter_cycles)
+        return self.base_cycles + jitter
+
+    @property
+    def max_read_cycles(self) -> int:
+        return self.base_cycles + self.jitter_cycles
+
+
+class Hdd(StorageDevice):
+    """Rotating storage: seek distance + rotational position dominate.
+
+    Seek cost is proportional to the distance from the previous block;
+    rotational latency is uniform over a full revolution (7200 rpm ≈
+    8.3 ms/rev ≈ 28 M cycles at 3.4 GHz — scaled down by default so that
+    simulations stay fast while preserving the HDD ≫ SSD variance ratio).
+    """
+
+    def __init__(self, noise_rng: SplitMix64 | ZeroNoise,
+                 seek_cycles_per_block: int = 40,
+                 max_seek_cycles: int = 20_000_000,
+                 rotation_cycles: int = 28_000_000) -> None:
+        super().__init__()
+        if seek_cycles_per_block < 0 or rotation_cycles <= 0:
+            raise HardwareConfigError("invalid HDD latency parameters")
+        self._rng = noise_rng
+        self.seek_cycles_per_block = seek_cycles_per_block
+        self.max_seek_cycles = max_seek_cycles
+        self.rotation_cycles = rotation_cycles
+        self._head_position = 0
+
+    def _read_cost(self, block: int) -> int:
+        seek = min(self.max_seek_cycles,
+                   abs(block - self._head_position) * self.seek_cycles_per_block)
+        self._head_position = block
+        rotation = self._rng.randint(0, self.rotation_cycles - 1)
+        return seek + rotation
+
+    @property
+    def max_read_cycles(self) -> int:
+        return self.max_seek_cycles + self.rotation_cycles
+
+
+class PaddedStorage(StorageDevice):
+    """Pads every read of the wrapped device to a fixed ceiling.
+
+    With padding, read latency is a constant, which removes storage I/O
+    from the set of noise sources entirely (Table 1: "I/O — Pad
+    variable-time operations ... Reduced"); the residual listed as
+    "reduced" in the paper comes from devices that cannot be padded.
+    """
+
+    def __init__(self, device: StorageDevice,
+                 pad_to_cycles: int | None = None) -> None:
+        super().__init__()
+        self.device = device
+        self.pad_to_cycles = (pad_to_cycles if pad_to_cycles is not None
+                              else device.max_read_cycles)
+        if self.pad_to_cycles < device.max_read_cycles:
+            raise HardwareConfigError(
+                "padding ceiling below the device's worst case would "
+                "re-introduce variance")
+
+    def _read_cost(self, block: int) -> int:
+        self.device.read(block)
+        return self.pad_to_cycles
+
+    @property
+    def max_read_cycles(self) -> int:
+        return self.pad_to_cycles

@@ -1,0 +1,38 @@
+"""MiniJ: the typed guest language compiled to Sanity VM bytecode.
+
+The paper's guest applications are Java programs; ours are MiniJ programs.
+MiniJ is a small statically-typed language with ``int`` (64-bit), ``float``
+(IEEE double), ``int[]``/``float[]`` arrays, record classes, functions,
+structured control flow, and ``try``/``catch`` over integer exception
+codes.  The compiler emits Sanity assembly (see :mod:`repro.asm`), so every
+compiled program is also inspectable as a listing.
+
+Example::
+
+    from repro.lang import compile_minij
+    from repro.vm import Interpreter, NullPlatform
+
+    source = '''
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    void main() {
+        print_int(fib(10));
+    }
+    '''
+    platform = NullPlatform()
+    program = compile_minij(source, natives=platform,
+                            native_signatures={"print_int": (("int",), "void")})
+"""
+
+from repro.lang.compiler import compile_minij, compile_to_assembly
+from repro.lang.lexer import Lexer, Token, TokenKind
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "compile_minij",
+    "compile_to_assembly",
+]

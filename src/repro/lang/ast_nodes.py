@@ -1,0 +1,213 @@
+"""MiniJ abstract syntax tree node definitions.
+
+Plain dataclasses; the parser builds them and the code generator consumes
+them.  Every node carries its source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- types -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniJ type: ``int``, ``float``, ``void``, ``T[]``, or a class."""
+
+    name: str            # "int", "float", "void", or a class name
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return self.name + ("[]" if self.is_array else "")
+
+
+INT = Type("int")
+FLOAT = Type("float")
+VOID = Type("void")
+INT_ARRAY = Type("int", is_array=True)
+FLOAT_ARRAY = Type("float", is_array=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str              # "-", "!", "~"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str              # arithmetic / comparison / logical / bitwise
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    obj: Expr
+    field: str
+
+
+@dataclass
+class NewArray(Expr):
+    element_type: Type   # int or float
+    length: Expr
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str
+
+
+# -- statements -----------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: Type
+    name: str
+    initializer: Expr | None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr         # VarRef, Index, or FieldAccess
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    condition: Expr | None
+    update: Stmt | None
+    body: list[Stmt]
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Throw(Stmt):
+    code: Expr
+
+
+@dataclass
+class TryCatch(Stmt):
+    try_body: list[Stmt]
+    catch_var: str
+    catch_body: list[Stmt]
+
+
+# -- declarations -----------------------------------------------------------------
+
+@dataclass
+class Param:
+    param_type: Type
+    name: str
+    line: int
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    params: list[Param]
+    return_type: Type
+    body: list[Stmt]
+    line: int
+
+
+@dataclass
+class FieldDecl:
+    field_type: Type
+    name: str
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    fields: list[FieldDecl]
+    line: int
+
+
+@dataclass
+class GlobalDecl:
+    var_type: Type
+    name: str
+    initializer: Expr | None
+    line: int
+
+
+@dataclass
+class Module:
+    classes: list[ClassDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FunctionDecl] = field(default_factory=list)

@@ -1,0 +1,756 @@
+"""MiniJ type checker and code generator (emits Sanity assembly).
+
+Code generation is deliberately simple-minded — no register allocation, no
+peephole pass — because the *predictability* of the emitted code matters
+more here than its speed: the paper's own JVM omitted the JIT for the same
+reason (§3.1).  Comparisons lower to ``cmp`` + a conditional branch; in
+boolean-value contexts they are materialized to 0/1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+#: Maximum local slots per frame (must match the interpreter's layout).
+MAX_LOCALS = 64
+
+_INT = ast.INT
+_FLOAT = ast.FLOAT
+_VOID = ast.VOID
+
+#: Intrinsics compile to dedicated opcodes instead of native calls.
+_INTRINSICS = {
+    "sqrt": ((_FLOAT,), _FLOAT, "fsqrt"),
+    "sin": ((_FLOAT,), _FLOAT, "fsin"),
+    "cos": ((_FLOAT,), _FLOAT, "fcos"),
+    "itof": ((_INT,), _FLOAT, "i2f"),
+    "ftoi": ((_FLOAT,), _INT, "f2i"),
+}
+
+_CMP_FALSE_BRANCH = {
+    "<": "ifge", "<=": "ifgt", ">": "ifle", ">=": "iflt",
+    "==": "ifne", "!=": "ifeq",
+}
+_CMP_TRUE_BRANCH = {
+    "<": "iflt", "<=": "ifle", ">": "ifgt", ">=": "ifge",
+    "==": "ifeq", "!=": "ifne",
+}
+_COMPARISON_OPS = frozenset(_CMP_FALSE_BRANCH)
+_INT_ONLY_OPS = {"%": "irem", "<<": "ishl", ">>": "ishr", "&": "iand",
+                 "|": "ior", "^": "ixor"}
+_ARITH_OPS = {"+": ("iadd", "fadd"), "-": ("isub", "fsub"),
+              "*": ("imul", "fmul"), "/": ("idiv", "fdiv")}
+
+
+def _parse_type_string(text: str) -> ast.Type:
+    if text.endswith("[]"):
+        return ast.Type(text[:-2], is_array=True)
+    return ast.Type(text)
+
+
+class _Scope:
+    """A lexical scope mapping names to (slot, type)."""
+
+    def __init__(self, parent: "_Scope | None") -> None:
+        self.parent = parent
+        self.bindings: dict[str, tuple[int, ast.Type]] = {}
+
+    def lookup(self, name: str) -> tuple[int, ast.Type] | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+
+class CodeGenerator:
+    """Generates one module's assembly listing."""
+
+    def __init__(self, module: ast.Module,
+                 native_signatures: dict[str, tuple[tuple[str, ...], str]],
+                 entry: str = "main") -> None:
+        self.module = module
+        self.entry = entry
+        self.natives: dict[str, tuple[tuple[ast.Type, ...], ast.Type]] = {}
+        for name, (params, ret) in native_signatures.items():
+            self.natives[name] = (
+                tuple(_parse_type_string(p) for p in params),
+                _parse_type_string(ret))
+        self.classes: dict[str, ast.ClassDecl] = {}
+        self.globals: dict[str, tuple[int, ast.Type]] = {}
+        self.functions: dict[str, ast.FunctionDecl] = {}
+        self.function_index: dict[str, int] = {}
+        self._lines: list[str] = []
+        self._label_counter = 0
+        self._collect_declarations()
+
+    # -- declaration collection ------------------------------------------------
+
+    def _collect_declarations(self) -> None:
+        for class_decl in self.module.classes:
+            if class_decl.name in self.classes:
+                raise CompileError(f"duplicate class '{class_decl.name}'",
+                                   line=class_decl.line)
+            seen: set[str] = set()
+            for field in class_decl.fields:
+                if field.name in seen:
+                    raise CompileError(
+                        f"duplicate field '{field.name}' in class "
+                        f"'{class_decl.name}'", line=field.line)
+                seen.add(field.name)
+                self._check_type_exists(field.field_type, field.line)
+            self.classes[class_decl.name] = class_decl
+        for index, global_decl in enumerate(self.module.globals):
+            if global_decl.name in self.globals:
+                raise CompileError(f"duplicate global '{global_decl.name}'",
+                                   line=global_decl.line)
+            self._check_type_exists(global_decl.var_type, global_decl.line)
+            self.globals[global_decl.name] = (index, global_decl.var_type)
+        for index, function in enumerate(self.module.functions):
+            if function.name in self.functions:
+                raise CompileError(f"duplicate function '{function.name}'",
+                                   line=function.line)
+            if function.name in self.natives or function.name in _INTRINSICS:
+                raise CompileError(
+                    f"function '{function.name}' shadows a builtin",
+                    line=function.line)
+            self._check_type_exists(function.return_type, function.line)
+            for param in function.params:
+                self._check_type_exists(param.param_type, param.line)
+            self.functions[function.name] = function
+            self.function_index[function.name] = index
+        if self.entry not in self.functions:
+            raise CompileError(f"missing entry function '{self.entry}'")
+        entry_fn = self.functions[self.entry]
+        if entry_fn.params or entry_fn.return_type != _VOID:
+            raise CompileError(
+                f"entry function '{self.entry}' must be 'void {self.entry}()'",
+                line=entry_fn.line)
+
+    def _check_type_exists(self, type_: ast.Type, line: int) -> None:
+        if type_.name in ("int", "float", "void"):
+            return
+        if type_.is_array:
+            raise CompileError(f"arrays of class type are not supported: "
+                               f"{type_}", line=line)
+        if type_.name not in {c.name for c in self.module.classes}:
+            raise CompileError(f"unknown type '{type_.name}'", line=line)
+
+    # -- emission helpers -----------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append("    " + text)
+
+    def _emit_label(self, label: str) -> None:
+        self._lines.append(f"{label}:")
+
+    def _fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"_{hint}_{self._label_counter}"
+
+    # -- top level -------------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the full assembly listing for the module."""
+        self._lines = []
+        for class_decl in self.module.classes:
+            fields = " ".join(f.name for f in class_decl.fields)
+            self._lines.append(f".class {class_decl.name} {fields}".rstrip())
+        for global_decl in self.module.globals:
+            self._lines.append(f".global {global_decl.name}")
+        for function in self.module.functions:
+            self._generate_function(function)
+        return "\n".join(self._lines) + "\n"
+
+    def _generate_function(self, function: ast.FunctionDecl) -> None:
+        gen = _FunctionContext(self, function)
+        gen.generate()
+
+
+class _FunctionContext:
+    """Code generation state for one function body."""
+
+    def __init__(self, parent: CodeGenerator,
+                 function: ast.FunctionDecl) -> None:
+        self.gen = parent
+        self.function = function
+        self.scope = _Scope(None)
+        self.next_slot = 0
+        self.max_slot = 0
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.body_lines: list[str] = []
+        self.catch_directives: list[str] = []
+
+    # -- slot allocation ------------------------------------------------------------
+
+    def _alloc_slot(self, name: str, type_: ast.Type, line: int) -> int:
+        if self.scope.bindings.get(name) is not None:
+            raise CompileError(f"duplicate variable '{name}' in scope",
+                               line=line)
+        slot = self.next_slot
+        self.next_slot += 1
+        self.max_slot = max(self.max_slot, self.next_slot)
+        if self.max_slot > MAX_LOCALS:
+            raise CompileError(
+                f"function '{self.function.name}' needs more than "
+                f"{MAX_LOCALS} local slots", line=line)
+        self.scope.bindings[name] = (slot, type_)
+        return slot
+
+    # -- emission --------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.body_lines.append("    " + text)
+
+    def _emit_label(self, label: str) -> None:
+        self.body_lines.append(f"{label}:")
+
+    def _fresh(self, hint: str) -> str:
+        return self.gen._fresh_label(hint)
+
+    # -- entry ------------------------------------------------------------------------
+
+    def generate(self) -> None:
+        function = self.function
+        for param in function.params:
+            self._alloc_slot(param.name, param.param_type, param.line)
+        if function.name == self.gen.entry:
+            self._emit_global_initializers()
+        returned = self._gen_block(function.body)
+        if not returned:
+            if function.return_type == _VOID:
+                self._emit("ret")
+            else:
+                # Fall-off-the-end of a value-returning function: return a
+                # zero of the right type rather than trapping.
+                if function.return_type == _FLOAT:
+                    self._emit("fconst 0.0")
+                else:
+                    self._emit("iconst 0")
+                self._emit("retv")
+        header = (f".func {function.name} {len(function.params)} "
+                  f"{max(self.max_slot, len(function.params))}")
+        self.gen._lines.append(header)
+        self.gen._lines.extend(self.body_lines)
+        self.gen._lines.extend(self.catch_directives)
+
+    def _emit_global_initializers(self) -> None:
+        for global_decl in self.gen.module.globals:
+            if global_decl.initializer is None:
+                continue
+            index, declared = self.gen.globals[global_decl.name]
+            actual = self._gen_expr(global_decl.initializer)
+            if actual != declared:
+                raise CompileError(
+                    f"global '{global_decl.name}': initializer type "
+                    f"{actual} does not match {declared}",
+                    line=global_decl.line)
+            self._emit(f"gstore {global_decl.name}")
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _gen_block(self, statements: list[ast.Stmt]) -> bool:
+        """Generate a block; returns True if it definitely returned."""
+        self.scope = _Scope(self.scope)
+        saved_slot = self.next_slot
+        returned = False
+        for statement in statements:
+            if returned:
+                raise CompileError("unreachable statement after return",
+                                   line=statement.line)
+            returned = self._gen_stmt(statement)
+        self.scope = self.scope.parent
+        self.next_slot = saved_slot
+        return returned
+
+    def _gen_stmt(self, statement: ast.Stmt) -> bool:
+        if isinstance(statement, ast.VarDecl):
+            self._gen_var_decl(statement)
+        elif isinstance(statement, ast.Assign):
+            self._gen_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            result = self._gen_expr(statement.expr, allow_void=True)
+            if result != _VOID:
+                self._emit("pop")
+        elif isinstance(statement, ast.If):
+            return self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+            return True
+        elif isinstance(statement, ast.Break):
+            if not self.loop_stack:
+                raise CompileError("break outside a loop",
+                                   line=statement.line)
+            self._emit(f"goto {self.loop_stack[-1][1]}")
+        elif isinstance(statement, ast.Continue):
+            if not self.loop_stack:
+                raise CompileError("continue outside a loop",
+                                   line=statement.line)
+            self._emit(f"goto {self.loop_stack[-1][0]}")
+        elif isinstance(statement, ast.Throw):
+            code_type = self._gen_expr(statement.code)
+            if code_type != _INT:
+                raise CompileError("throw needs an int code",
+                                   line=statement.line)
+            self._emit("throw")
+        elif isinstance(statement, ast.TryCatch):
+            self._gen_try(statement)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unsupported statement {statement!r}",
+                               line=statement.line)
+        return False
+
+    def _gen_var_decl(self, statement: ast.VarDecl) -> None:
+        if statement.var_type == _VOID:
+            raise CompileError("variables cannot be void",
+                               line=statement.line)
+        self.gen._check_type_exists(statement.var_type, statement.line)
+        slot = self._alloc_slot(statement.name, statement.var_type,
+                                statement.line)
+        if statement.initializer is not None:
+            actual = self._gen_expr(statement.initializer)
+            self._check_assignable(statement.var_type, actual,
+                                   statement.line)
+        else:
+            if statement.var_type == _FLOAT:
+                self._emit("fconst 0.0")
+            else:
+                self._emit("iconst 0")  # ints and null references
+        self._emit(f"store {slot}")
+
+    def _gen_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            binding = self.scope.lookup(target.name)
+            if binding is not None:
+                slot, declared = binding
+                actual = self._gen_expr(statement.value)
+                self._check_assignable(declared, actual, statement.line)
+                self._emit(f"store {slot}")
+                return
+            if target.name in self.gen.globals:
+                _, declared = self.gen.globals[target.name]
+                actual = self._gen_expr(statement.value)
+                self._check_assignable(declared, actual, statement.line)
+                self._emit(f"gstore {target.name}")
+                return
+            raise CompileError(f"undefined variable '{target.name}'",
+                               line=statement.line)
+        if isinstance(target, ast.Index):
+            array_type = self._gen_expr(target.array)
+            if not array_type.is_array:
+                raise CompileError(f"cannot index into {array_type}",
+                                   line=statement.line)
+            index_type = self._gen_expr(target.index)
+            if index_type != _INT:
+                raise CompileError("array index must be int",
+                                   line=statement.line)
+            value_type = self._gen_expr(statement.value)
+            self._check_assignable(ast.Type(array_type.name), value_type,
+                                   statement.line)
+            self._emit("astore")
+            return
+        if isinstance(target, ast.FieldAccess):
+            class_name, field_type = self._field_info(target)
+            self._gen_expr(target.obj)
+            value_type = self._gen_expr(statement.value)
+            self._check_assignable(field_type, value_type, statement.line)
+            self._emit(f"putfield {class_name}.{target.field}")
+            return
+        raise CompileError("invalid assignment target", line=statement.line)
+
+    def _gen_if(self, statement: ast.If) -> bool:
+        else_label = self._fresh("else")
+        end_label = self._fresh("endif")
+        self._gen_condition(statement.condition, else_label, jump_if=False)
+        then_returned = self._gen_block(statement.then_body)
+        if statement.else_body:
+            if not then_returned:
+                self._emit(f"goto {end_label}")
+            self._emit_label(else_label)
+            else_returned = self._gen_block(statement.else_body)
+            if not then_returned:
+                self._emit_label(end_label)
+            return then_returned and else_returned
+        self._emit_label(else_label)
+        return False
+
+    def _gen_while(self, statement: ast.While) -> None:
+        start = self._fresh("while")
+        end = self._fresh("endwhile")
+        self._emit_label(start)
+        self._gen_condition(statement.condition, end, jump_if=False)
+        self.loop_stack.append((start, end))
+        self._gen_block(statement.body)
+        self.loop_stack.pop()
+        self._emit(f"goto {start}")
+        self._emit_label(end)
+
+    def _gen_for(self, statement: ast.For) -> None:
+        # The init declaration scopes over the whole loop.
+        self.scope = _Scope(self.scope)
+        saved_slot = self.next_slot
+        if statement.init is not None:
+            self._gen_stmt(statement.init)
+        cond_label = self._fresh("for")
+        continue_label = self._fresh("forcont")
+        end_label = self._fresh("endfor")
+        self._emit_label(cond_label)
+        if statement.condition is not None:
+            self._gen_condition(statement.condition, end_label,
+                                jump_if=False)
+        self.loop_stack.append((continue_label, end_label))
+        self._gen_block(statement.body)
+        self.loop_stack.pop()
+        self._emit_label(continue_label)
+        if statement.update is not None:
+            self._gen_stmt(statement.update)
+        self._emit(f"goto {cond_label}")
+        self._emit_label(end_label)
+        self.scope = self.scope.parent
+        self.next_slot = saved_slot
+
+    def _gen_return(self, statement: ast.Return) -> None:
+        expected = self.function.return_type
+        if statement.value is None:
+            if expected != _VOID:
+                raise CompileError(
+                    f"'{self.function.name}' must return {expected}",
+                    line=statement.line)
+            self._emit("ret")
+            return
+        if expected == _VOID:
+            raise CompileError(
+                f"'{self.function.name}' returns void", line=statement.line)
+        actual = self._gen_expr(statement.value)
+        self._check_assignable(expected, actual, statement.line)
+        self._emit("retv")
+
+    def _gen_try(self, statement: ast.TryCatch) -> None:
+        try_start = self._fresh("try")
+        try_end = self._fresh("endtry")
+        handler = self._fresh("catch")
+        done = self._fresh("done")
+        self._emit_label(try_start)
+        self._gen_block(statement.try_body)
+        self._emit_label(try_end)
+        self._emit(f"goto {done}")
+        self._emit_label(handler)
+        # Bind the exception code in a fresh scope around the catch body.
+        self.scope = _Scope(self.scope)
+        saved_slot = self.next_slot
+        slot = self._alloc_slot(statement.catch_var, _INT, statement.line)
+        self._emit(f"store {slot}")
+        self._gen_block(statement.catch_body)
+        self.scope = self.scope.parent
+        self.next_slot = saved_slot
+        self._emit_label(done)
+        self.catch_directives.append(
+            f".catch {try_start} {try_end} {handler}")
+
+    # -- conditions --------------------------------------------------------------------------
+
+    def _gen_condition(self, expr: ast.Expr, target: str,
+                       jump_if: bool) -> None:
+        """Emit code that jumps to ``target`` when ``expr`` is ``jump_if``."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISON_OPS:
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            if left != right or left.is_array or \
+                    left.name not in ("int", "float"):
+                raise CompileError(
+                    f"cannot compare {left} with {right}", line=expr.line)
+            self._emit("cmp")
+            table = _CMP_TRUE_BRANCH if jump_if else _CMP_FALSE_BRANCH
+            self._emit(f"{table[expr.op]} {target}")
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_condition(expr.operand, target, not jump_if)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            if not jump_if:
+                self._gen_condition(expr.left, target, False)
+                self._gen_condition(expr.right, target, False)
+            else:
+                skip = self._fresh("and")
+                self._gen_condition(expr.left, skip, False)
+                self._gen_condition(expr.right, target, True)
+                self._emit_label(skip)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            if jump_if:
+                self._gen_condition(expr.left, target, True)
+                self._gen_condition(expr.right, target, True)
+            else:
+                skip = self._fresh("or")
+                self._gen_condition(expr.left, skip, True)
+                self._gen_condition(expr.right, target, False)
+                self._emit_label(skip)
+            return
+        if isinstance(expr, ast.IntLit):
+            if bool(expr.value) == jump_if:
+                self._emit(f"goto {target}")
+            return
+        value_type = self._gen_expr(expr)
+        if value_type != _INT:
+            raise CompileError(f"condition must be int, got {value_type}",
+                               line=expr.line)
+        self._emit(f"{'ifne' if jump_if else 'ifeq'} {target}")
+
+    # -- expressions ----------------------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr, allow_void: bool = False) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            self._emit(f"iconst {expr.value}")
+            return _INT
+        if isinstance(expr, ast.FloatLit):
+            self._emit(f"fconst {expr.value!r}")
+            return _FLOAT
+        if isinstance(expr, ast.VarRef):
+            binding = self.scope.lookup(expr.name)
+            if binding is not None:
+                slot, type_ = binding
+                self._emit(f"load {slot}")
+                return type_
+            if expr.name in self.gen.globals:
+                _, type_ = self.gen.globals[expr.name]
+                self._emit(f"gload {expr.name}")
+                return type_
+            raise CompileError(f"undefined variable '{expr.name}'",
+                               line=expr.line)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, allow_void)
+        if isinstance(expr, ast.Index):
+            array_type = self._gen_expr(expr.array)
+            if not array_type.is_array:
+                raise CompileError(f"cannot index into {array_type}",
+                                   line=expr.line)
+            index_type = self._gen_expr(expr.index)
+            if index_type != _INT:
+                raise CompileError("array index must be int", line=expr.line)
+            self._emit("aload")
+            return ast.Type(array_type.name)
+        if isinstance(expr, ast.FieldAccess):
+            class_name, field_type = self._field_info(expr)
+            self._gen_expr(expr.obj)
+            self._emit(f"getfield {class_name}.{expr.field}")
+            return field_type
+        if isinstance(expr, ast.NewArray):
+            length_type = self._gen_expr(expr.length)
+            if length_type != _INT:
+                raise CompileError("array length must be int", line=expr.line)
+            self._emit(f"newarray {'i' if expr.element_type == _INT else 'f'}")
+            return ast.Type(expr.element_type.name, is_array=True)
+        if isinstance(expr, ast.NewObject):
+            if expr.class_name not in self.gen.classes:
+                raise CompileError(f"unknown class '{expr.class_name}'",
+                                   line=expr.line)
+            self._emit(f"newobj {expr.class_name}")
+            return ast.Type(expr.class_name)
+        raise CompileError(f"unsupported expression {expr!r}",
+                           line=expr.line)  # pragma: no cover
+
+    def _gen_unary(self, expr: ast.Unary) -> ast.Type:
+        if expr.op == "!":
+            return self._materialize_bool(expr)
+        operand = self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if operand == _INT:
+                self._emit("ineg")
+                return _INT
+            if operand == _FLOAT:
+                self._emit("fneg")
+                return _FLOAT
+            raise CompileError(f"cannot negate {operand}", line=expr.line)
+        if expr.op == "~":
+            if operand != _INT:
+                raise CompileError(f"cannot complement {operand}",
+                                   line=expr.line)
+            self._emit("iconst -1")
+            self._emit("ixor")
+            return _INT
+        raise CompileError(f"unsupported unary '{expr.op}'",
+                           line=expr.line)  # pragma: no cover
+
+    def _gen_binary(self, expr: ast.Binary) -> ast.Type:
+        if expr.op in _COMPARISON_OPS or expr.op in ("&&", "||"):
+            return self._materialize_bool(expr)
+        if expr.op in _INT_ONLY_OPS:
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            if left != _INT or right != _INT:
+                raise CompileError(
+                    f"'{expr.op}' needs int operands, got {left} and "
+                    f"{right}", line=expr.line)
+            self._emit(_INT_ONLY_OPS[expr.op])
+            return _INT
+        if expr.op in _ARITH_OPS:
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            if left != right or left not in (_INT, _FLOAT):
+                raise CompileError(
+                    f"'{expr.op}' needs matching numeric operands, got "
+                    f"{left} and {right}", line=expr.line)
+            int_op, float_op = _ARITH_OPS[expr.op]
+            self._emit(int_op if left == _INT else float_op)
+            return left
+        raise CompileError(f"unsupported operator '{expr.op}'",
+                           line=expr.line)  # pragma: no cover
+
+    def _materialize_bool(self, expr: ast.Expr) -> ast.Type:
+        true_label = self._fresh("true")
+        end_label = self._fresh("bool")
+        self._gen_condition(expr, true_label, jump_if=True)
+        self._emit("iconst 0")
+        self._emit(f"goto {end_label}")
+        self._emit_label(true_label)
+        self._emit("iconst 1")
+        self._emit_label(end_label)
+        return _INT
+
+    def _gen_call(self, expr: ast.Call, allow_void: bool) -> ast.Type:
+        name = expr.name
+        if name == "len":
+            if len(expr.args) != 1:
+                raise CompileError("len() takes one argument", line=expr.line)
+            array_type = self._gen_expr(expr.args[0])
+            if not array_type.is_array:
+                raise CompileError(f"len() needs an array, got {array_type}",
+                                   line=expr.line)
+            self._emit("arraylen")
+            return _INT
+        if name == "spawn" and "spawn" in self.gen.natives:
+            return self._gen_spawn(expr)
+        if name in _INTRINSICS:
+            param_types, return_type, mnemonic = _INTRINSICS[name]
+            self._check_call_args(name, expr, param_types)
+            self._emit(mnemonic)
+            return return_type
+        if name in self.gen.functions:
+            function = self.gen.functions[name]
+            param_types = tuple(p.param_type for p in function.params)
+            self._check_call_args(name, expr, param_types)
+            self._emit(f"call {name}")
+            if function.return_type == _VOID and not allow_void:
+                raise CompileError(
+                    f"void function '{name}' used as a value",
+                    line=expr.line)
+            return function.return_type
+        if name in self.gen.natives:
+            param_types, return_type = self.gen.natives[name]
+            self._check_call_args(name, expr, param_types)
+            self._emit(f"native {name}")
+            if return_type == _VOID and not allow_void:
+                raise CompileError(
+                    f"void native '{name}' used as a value", line=expr.line)
+            return return_type
+        raise CompileError(f"undefined function '{name}'", line=expr.line)
+
+    def _gen_spawn(self, expr: ast.Call) -> ast.Type:
+        """``spawn(worker, arg)``: start ``worker(arg)`` on a new thread."""
+        if len(expr.args) != 2 or not isinstance(expr.args[0], ast.VarRef):
+            raise CompileError(
+                "spawn() takes a function name and one int argument",
+                line=expr.line)
+        target_name = expr.args[0].name
+        if target_name not in self.gen.functions:
+            raise CompileError(f"spawn(): undefined function "
+                               f"'{target_name}'", line=expr.line)
+        target = self.gen.functions[target_name]
+        if (len(target.params) != 1 or target.params[0].param_type != _INT
+                or target.return_type != _VOID):
+            raise CompileError(
+                f"spawn() target '{target_name}' must be "
+                "'void f(int arg)'", line=expr.line)
+        self._emit(f"iconst {self.gen.function_index[target_name]}")
+        arg_type = self._gen_expr(expr.args[1])
+        if arg_type != _INT:
+            raise CompileError("spawn() argument must be int", line=expr.line)
+        self._emit("native spawn")
+        return _VOID
+
+    def _check_call_args(self, name: str, expr: ast.Call,
+                         param_types: tuple[ast.Type, ...]) -> None:
+        if len(expr.args) != len(param_types):
+            raise CompileError(
+                f"'{name}' expects {len(param_types)} arguments, got "
+                f"{len(expr.args)}", line=expr.line)
+        for i, (argument, expected) in enumerate(zip(expr.args, param_types)):
+            actual = self._gen_expr(argument)
+            if actual != expected:
+                raise CompileError(
+                    f"'{name}' argument {i + 1}: expected {expected}, got "
+                    f"{actual}", line=expr.line)
+
+    def _check_assignable(self, declared: ast.Type, actual: ast.Type,
+                          line: int) -> None:
+        if declared != actual:
+            raise CompileError(f"cannot assign {actual} to {declared}",
+                               line=line)
+
+    def _field_info(self, access: ast.FieldAccess) -> tuple[str, ast.Type]:
+        obj_type = self._infer_type(access.obj)
+        if obj_type.is_array or obj_type.name not in self.gen.classes:
+            raise CompileError(f"{obj_type} has no fields", line=access.line)
+        class_decl = self.gen.classes[obj_type.name]
+        for field in class_decl.fields:
+            if field.name == access.field:
+                return obj_type.name, field.field_type
+        raise CompileError(
+            f"class '{obj_type.name}' has no field '{access.field}'",
+            line=access.line)
+
+    def _infer_type(self, expr: ast.Expr) -> ast.Type:
+        """Type of an expression without emitting code (for field lookups)."""
+        if isinstance(expr, ast.VarRef):
+            binding = self.scope.lookup(expr.name)
+            if binding is not None:
+                return binding[1]
+            if expr.name in self.gen.globals:
+                return self.gen.globals[expr.name][1]
+            raise CompileError(f"undefined variable '{expr.name}'",
+                               line=expr.line)
+        if isinstance(expr, ast.FieldAccess):
+            _, field_type = self._field_info_static(expr)
+            return field_type
+        if isinstance(expr, ast.NewObject):
+            return ast.Type(expr.class_name)
+        if isinstance(expr, ast.Call) and expr.name in self.gen.functions:
+            return self.gen.functions[expr.name].return_type
+        if isinstance(expr, ast.Index):
+            inner = self._infer_type(expr.array)
+            return ast.Type(inner.name)
+        raise CompileError("expression too complex for field access; "
+                           "assign it to a variable first", line=expr.line)
+
+    def _field_info_static(self,
+                           access: ast.FieldAccess) -> tuple[str, ast.Type]:
+        obj_type = self._infer_type(access.obj)
+        if obj_type.is_array or obj_type.name not in self.gen.classes:
+            raise CompileError(f"{obj_type} has no fields", line=access.line)
+        class_decl = self.gen.classes[obj_type.name]
+        for field in class_decl.fields:
+            if field.name == access.field:
+                return obj_type.name, field.field_type
+        raise CompileError(
+            f"class '{obj_type.name}' has no field '{access.field}'",
+            line=access.line)
+
+
+def generate_assembly(module: ast.Module,
+                      native_signatures: dict[str, tuple[tuple[str, ...],
+                                                         str]],
+                      entry: str = "main") -> str:
+    """Compile a parsed module to an assembly listing."""
+    return CodeGenerator(module, native_signatures, entry).generate()

@@ -1,0 +1,32 @@
+"""MiniJ compiler driver: source → assembly → linked Program."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.lang.codegen import generate_assembly
+from repro.lang.parser import parse
+from repro.vm.program import Program
+
+
+def compile_to_assembly(source: str,
+                        native_signatures: dict[str, tuple[tuple[str, ...],
+                                                           str]] | None = None,
+                        entry: str = "main") -> str:
+    """Compile MiniJ source to a Sanity assembly listing."""
+    module = parse(source)
+    return generate_assembly(module, native_signatures or {}, entry)
+
+
+def compile_minij(source: str, natives=None,
+                  native_signatures: dict[str, tuple[tuple[str, ...],
+                                                     str]] | None = None,
+                  entry: str = "main") -> Program:
+    """Compile MiniJ source to a linked :class:`Program`.
+
+    ``natives`` resolves native names to indices (a
+    :class:`~repro.vm.NativeRegistry` or platform exposing
+    ``native_index``); ``native_signatures`` declares their MiniJ types,
+    e.g. ``{"send_packet": (("int[]", "int"), "void")}``.
+    """
+    listing = compile_to_assembly(source, native_signatures, entry)
+    return assemble(listing, natives=natives, entry=entry)

@@ -1,0 +1,159 @@
+"""MiniJ lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+
+class TokenKind(enum.Enum):
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "class", "global", "if", "else", "while", "for",
+    "return", "break", "continue", "new", "try", "catch", "throw", "true",
+    "false",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_PUNCTUATIONS = [
+    "+=", "-=", "*=", "/=", "%=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, @{self.line}:{self.col})"
+
+
+class Lexer:
+    """Turns MiniJ source into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, line=self.line, col=self.col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(src) and not src.startswith("*/",
+                                                                 self.pos):
+                    self._advance()
+                if self.pos >= len(src):
+                    raise CompileError("unterminated block comment",
+                                       line=start_line)
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole source; the list always ends with an EOF token."""
+        result: list[Token] = []
+        src = self.source
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(src):
+                result.append(Token(TokenKind.EOF, "", None,
+                                    self.line, self.col))
+                return result
+            line, col = self.line, self.col
+            ch = src[self.pos]
+            if ch.isdigit() or (ch == "." and self.pos + 1 < len(src)
+                                and src[self.pos + 1].isdigit()):
+                result.append(self._lex_number(line, col))
+            elif ch.isalpha() or ch == "_":
+                start = self.pos
+                while (self.pos < len(src)
+                       and (src[self.pos].isalnum() or src[self.pos] == "_")):
+                    self._advance()
+                text = src[start:self.pos]
+                kind = (TokenKind.KEYWORD if text in KEYWORDS
+                        else TokenKind.IDENT)
+                result.append(Token(kind, text, text, line, col))
+            else:
+                for punct in _PUNCTUATIONS:
+                    if src.startswith(punct, self.pos):
+                        self._advance(len(punct))
+                        result.append(Token(TokenKind.PUNCT, punct, punct,
+                                            line, col))
+                        break
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith("0x", self.pos) or src.startswith("0X", self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                self._advance()
+            text = src[start:self.pos]
+            try:
+                return Token(TokenKind.INT_LIT, text, int(text, 16), line, col)
+            except ValueError:
+                raise CompileError(f"bad hex literal '{text}'", line=line,
+                                   col=col)
+        is_float = False
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance()
+        if self.pos < len(src) and src[self.pos] == ".":
+            # Disambiguate a float literal from member access on a literal
+            # (which MiniJ doesn't have anyway).
+            is_float = True
+            self._advance()
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+        if self.pos < len(src) and src[self.pos] in "eE":
+            is_float = True
+            self._advance()
+            if self.pos < len(src) and src[self.pos] in "+-":
+                self._advance()
+            if self.pos >= len(src) or not src[self.pos].isdigit():
+                raise CompileError("malformed exponent", line=line, col=col)
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+        text = src[start:self.pos]
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, text, float(text), line, col)
+        return Token(TokenKind.INT_LIT, text, int(text), line, col)

@@ -1,0 +1,404 @@
+"""MiniJ recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Lexer, Token, TokenKind
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.ast_nodes.Module`."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = Lexer(source).tokens()
+        self._pos = 0
+        self._class_names: set[str] = set()
+        # Pre-scan class names so types can reference classes declared later.
+        for i, token in enumerate(self._tokens[:-1]):
+            if token.kind == TokenKind.KEYWORD and token.text == "class":
+                nxt = self._tokens[i + 1]
+                if nxt.kind == TokenKind.IDENT:
+                    self._class_names.add(nxt.text)
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _error(self, message: str, token: Token | None = None) -> CompileError:
+        token = token or self._current
+        return CompileError(message, line=token.line, col=token.col)
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._match(kind, text)
+        if token is None:
+            want = text or kind.value
+            raise self._error(
+                f"expected '{want}', got '{self._current.text or 'EOF'}'")
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        return self._expect(TokenKind.PUNCT, text)
+
+    # -- types ---------------------------------------------------------------
+
+    def _looks_like_type(self) -> bool:
+        token = self._current
+        if token.kind == TokenKind.KEYWORD and token.text in ("int", "float",
+                                                              "void"):
+            return True
+        return token.kind == TokenKind.IDENT and token.text in self._class_names
+
+    def _parse_type(self) -> ast.Type:
+        token = self._current
+        if token.kind == TokenKind.KEYWORD and token.text in ("int", "float",
+                                                              "void"):
+            self._advance()
+            base = token.text
+        elif token.kind == TokenKind.IDENT and token.text in self._class_names:
+            self._advance()
+            base = token.text
+        else:
+            raise self._error(f"expected a type, got '{token.text}'")
+        if self._check(TokenKind.PUNCT, "[") and \
+                self._tokens[self._pos + 1].text == "]":
+            if base == "void":
+                raise self._error("void[] is not a type", token)
+            self._advance()
+            self._advance()
+            return ast.Type(base, is_array=True)
+        return ast.Type(base)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self._check(TokenKind.EOF):
+            if self._check(TokenKind.KEYWORD, "class"):
+                module.classes.append(self._parse_class())
+            elif self._check(TokenKind.KEYWORD, "global"):
+                module.globals.append(self._parse_global())
+            else:
+                module.functions.append(self._parse_function())
+        return module
+
+    def _parse_class(self) -> ast.ClassDecl:
+        start = self._expect(TokenKind.KEYWORD, "class")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect_punct("{")
+        fields: list[ast.FieldDecl] = []
+        while not self._match(TokenKind.PUNCT, "}"):
+            field_type = self._parse_type()
+            if field_type.name == "void":
+                raise self._error("fields cannot be void")
+            field_name = self._expect(TokenKind.IDENT)
+            self._expect_punct(";")
+            fields.append(ast.FieldDecl(field_type, field_name.text,
+                                        field_name.line))
+        return ast.ClassDecl(name, fields, start.line)
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        start = self._expect(TokenKind.KEYWORD, "global")
+        var_type = self._parse_type()
+        if var_type.name == "void":
+            raise self._error("globals cannot be void")
+        name = self._expect(TokenKind.IDENT).text
+        initializer = None
+        if self._match(TokenKind.PUNCT, "="):
+            initializer = self._parse_expression()
+        self._expect_punct(";")
+        return ast.GlobalDecl(var_type, name, initializer, start.line)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        return_type = self._parse_type()
+        name_token = self._expect(TokenKind.IDENT)
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        if not self._check(TokenKind.PUNCT, ")"):
+            while True:
+                param_type = self._parse_type()
+                if param_type.name == "void":
+                    raise self._error("parameters cannot be void")
+                param_name = self._expect(TokenKind.IDENT)
+                params.append(ast.Param(param_type, param_name.text,
+                                        param_name.line))
+                if not self._match(TokenKind.PUNCT, ","):
+                    break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FunctionDecl(name_token.text, params, return_type, body,
+                                name_token.line)
+
+    # -- statements -------------------------------------------------------------
+
+    def _parse_block(self) -> list[ast.Stmt]:
+        self._expect_punct("{")
+        statements: list[ast.Stmt] = []
+        while not self._match(TokenKind.PUNCT, "}"):
+            if self._check(TokenKind.EOF):
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == TokenKind.KEYWORD:
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self._advance()
+                value = None
+                if not self._check(TokenKind.PUNCT, ";"):
+                    value = self._parse_expression()
+                self._expect_punct(";")
+                return ast.Return(token.line, value)
+            if token.text == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Continue(token.line)
+            if token.text == "throw":
+                self._advance()
+                code = self._parse_expression()
+                self._expect_punct(";")
+                return ast.Throw(token.line, code)
+            if token.text == "try":
+                return self._parse_try()
+        if self._looks_like_type() and \
+                self._tokens[self._pos + 1].kind in (TokenKind.IDENT,
+                                                     TokenKind.PUNCT):
+            # Could be a declaration ("int x ..." / "int[] x ...") or an
+            # expression starting with a class-named variable; declarations
+            # always have IDENT after the (possibly array-suffixed) type.
+            save = self._pos
+            try:
+                var_type = self._parse_type()
+                name = self._expect(TokenKind.IDENT).text
+            except CompileError:
+                self._pos = save
+            else:
+                initializer = None
+                if self._match(TokenKind.PUNCT, "="):
+                    initializer = self._parse_expression()
+                self._expect_punct(";")
+                return ast.VarDecl(token.line, var_type, name, initializer)
+        return self._parse_simple_statement(expect_semicolon=True)
+
+    _COMPOUND_OPS = ("+=", "-=", "*=", "/=", "%=")
+
+    def _parse_simple_statement(self, expect_semicolon: bool) -> ast.Stmt:
+        """An assignment or expression statement (used by ``for`` too)."""
+        token = self._current
+        expr = self._parse_expression()
+        if self._match(TokenKind.PUNCT, "="):
+            if not isinstance(expr, (ast.VarRef, ast.Index, ast.FieldAccess)):
+                raise self._error("invalid assignment target", token)
+            value = self._parse_expression()
+            if expect_semicolon:
+                self._expect_punct(";")
+            return ast.Assign(token.line, expr, value)
+        for compound in self._COMPOUND_OPS:
+            if self._match(TokenKind.PUNCT, compound):
+                # Desugar `x op= e` to `x = x op e`.  Restricted to plain
+                # variables so the target is evaluated exactly once.
+                if not isinstance(expr, ast.VarRef):
+                    raise self._error(
+                        f"'{compound}' target must be a variable "
+                        "(arrays/fields would evaluate the target twice)",
+                        token)
+                value = self._parse_expression()
+                if expect_semicolon:
+                    self._expect_punct(";")
+                combined = ast.Binary(token.line, compound[0], expr, value)
+                return ast.Assign(token.line, expr, combined)
+        if expect_semicolon:
+            self._expect_punct(";")
+        return ast.ExprStmt(token.line, expr)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect(TokenKind.KEYWORD, "if")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._parse_block()
+        else_body: list[ast.Stmt] = []
+        if self._match(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(start.line, condition, then_body, else_body)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect(TokenKind.KEYWORD, "while")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.While(start.line, condition, body)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect(TokenKind.KEYWORD, "for")
+        self._expect_punct("(")
+        init: ast.Stmt | None = None
+        if not self._check(TokenKind.PUNCT, ";"):
+            if self._looks_like_type():
+                var_type = self._parse_type()
+                name = self._expect(TokenKind.IDENT).text
+                initializer = None
+                if self._match(TokenKind.PUNCT, "="):
+                    initializer = self._parse_expression()
+                init = ast.VarDecl(start.line, var_type, name, initializer)
+            else:
+                init = self._parse_simple_statement(expect_semicolon=False)
+        self._expect_punct(";")
+        condition = None
+        if not self._check(TokenKind.PUNCT, ";"):
+            condition = self._parse_expression()
+        self._expect_punct(";")
+        update: ast.Stmt | None = None
+        if not self._check(TokenKind.PUNCT, ")"):
+            update = self._parse_simple_statement(expect_semicolon=False)
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.For(start.line, init, condition, update, body)
+
+    def _parse_try(self) -> ast.TryCatch:
+        start = self._expect(TokenKind.KEYWORD, "try")
+        try_body = self._parse_block()
+        self._expect(TokenKind.KEYWORD, "catch")
+        self._expect_punct("(")
+        catch_var = self._expect(TokenKind.IDENT).text
+        self._expect_punct(")")
+        catch_body = self._parse_block()
+        return ast.TryCatch(start.line, try_body, catch_var, catch_body)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._current
+            if token.kind != TokenKind.PUNCT:
+                return left
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(token.line, token.text, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == TokenKind.PUNCT and token.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.line, token.text, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenKind.PUNCT, "["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(self._current.line, expr, index)
+            elif self._check(TokenKind.PUNCT, "."):
+                self._advance()
+                field = self._expect(TokenKind.IDENT)
+                expr = ast.FieldAccess(field.line, expr, field.text)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLit(token.line, token.value)
+        if token.kind == TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(token.line, token.value)
+        if token.kind == TokenKind.KEYWORD and token.text in ("true", "false"):
+            self._advance()
+            return ast.IntLit(token.line, 1 if token.text == "true" else 0)
+        if token.kind == TokenKind.KEYWORD and token.text == "new":
+            self._advance()
+            element = self._current
+            if element.kind == TokenKind.KEYWORD and element.text in ("int",
+                                                                      "float"):
+                self._advance()
+                self._expect_punct("[")
+                length = self._parse_expression()
+                self._expect_punct("]")
+                return ast.NewArray(token.line, ast.Type(element.text),
+                                    length)
+            class_name = self._expect(TokenKind.IDENT).text
+            self._expect_punct("(")
+            self._expect_punct(")")
+            return ast.NewObject(token.line, class_name)
+        if token.kind == TokenKind.IDENT:
+            self._advance()
+            if self._check(TokenKind.PUNCT, "("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.PUNCT, ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._match(TokenKind.PUNCT, ","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(token.line, token.text, args)
+            return ast.VarRef(token.line, token.text)
+        if token.kind == TokenKind.PUNCT and token.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token '{token.text or 'EOF'}'")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MiniJ source into a module AST."""
+    return Parser(source).parse_module()

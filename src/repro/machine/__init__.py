@@ -1,0 +1,29 @@
+"""The simulated machine: timed core + supporting core + devices.
+
+Assembles the hardware substrate (:mod:`repro.hw`), the Sanity VM
+(:mod:`repro.vm`), and a record/replay session (:mod:`repro.core.session`)
+into a runnable machine with the paper's TC/SC architecture (§3.3-§3.4).
+"""
+
+from repro.machine.config import (MachineConfig, machine_type,
+                                  MACHINE_TYPES)
+from repro.machine.machine import ExecutionResult, Machine
+from repro.machine.noise import (NOISE_SCENARIOS, NoiseScenario,
+                                 scenario_config)
+from repro.machine.workload import (InteractiveClient, Request,
+                                    ScriptedArrivals, Workload)
+
+__all__ = [
+    "ExecutionResult",
+    "InteractiveClient",
+    "MACHINE_TYPES",
+    "Machine",
+    "MachineConfig",
+    "NOISE_SCENARIOS",
+    "NoiseScenario",
+    "Request",
+    "ScriptedArrivals",
+    "Workload",
+    "machine_type",
+    "scenario_config",
+]

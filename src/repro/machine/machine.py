@@ -1,0 +1,321 @@
+"""The machine: hardware assembly, mode handling, and the run loop.
+
+A :class:`Machine` is single-shot: construct it with a config, a seed, and
+a mode (``play`` / ``replay`` / ``naive-replay``), then :meth:`Machine.run`
+one program on it.  The seed drives only the machine's *noise* — the
+sources of time variability that the record/replay machinery deliberately
+does not capture.  Running the same program with the same inputs and a
+different seed is the paper's definition of a repeated execution on real
+hardware; with the same seed it is the simulator's determinism check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.log import EventLog
+from repro.core.session import (NaiveReplaySession, PlaySession,
+                                ReplaySession, Session)
+from repro.determinism import SplitMix64, ZeroNoise
+from repro.errors import HardwareConfigError, ReplayError
+from repro.hw.branch import BranchPredictor, BranchPredictorConfig
+from repro.hw.bus import BusConfig, MemoryBus
+from repro.hw.cache import Cache, CacheHierarchy
+from repro.hw.clock import VirtualClock
+from repro.hw.cpu import CpuModel, CpuTimingConfig
+from repro.hw.interrupts import InterruptController, standard_sources
+from repro.hw.memory import AddressSpace, FrameAllocator
+from repro.hw.nic import Nic
+from repro.hw.storage import Hdd, PaddedStorage, Ssd
+from repro.hw.tlb import Tlb, TlbConfig
+from repro.machine.config import MachineConfig, StorageKind
+from repro.machine.natives import MACHINE_REGISTRY
+from repro.machine.platform import TimedCorePlatform
+from repro.machine.ringbuf import STBuffer, TSBuffer
+from repro.machine.workload import Workload
+from repro.vm.interpreter import Interpreter, VmConfig
+from repro.vm.program import Program
+
+MODES = ("play", "replay", "naive-replay")
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one execution produced."""
+
+    mode: str
+    config_name: str
+    seed: int
+    tx: list[tuple[int, bytes]]           # (cycle, payload) transmissions
+    console: list
+    total_cycles: int
+    total_ns: float
+    instructions: int
+    log: EventLog | None                  # present after a play run
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def tx_times_ms(self) -> list[float]:
+        """Transmission times in milliseconds."""
+        scale = self.total_ns / self.total_cycles if self.total_cycles else 0.0
+        return [cycle * scale * 1e-6 for cycle, _ in self.tx]
+
+    def ipds_ms(self) -> list[float]:
+        """Inter-packet delays of the transmitted trace, in ms."""
+        times = self.tx_times_ms()
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+class Machine:
+    """One simulated machine, assembled per the TC/SC design of §3.3."""
+
+    def __init__(self, config: MachineConfig, seed: int = 0,
+                 mode: str = "play", log: EventLog | None = None,
+                 workload: Workload | None = None,
+                 covert_enabled: bool = False,
+                 covert_schedule: list[int] | None = None) -> None:
+        if mode not in MODES:
+            raise HardwareConfigError(f"unknown mode '{mode}'; "
+                                      f"expected one of {MODES}")
+        if mode != "play" and log is None:
+            raise ReplayError(f"mode '{mode}' needs an event log")
+        if mode != "play" and workload is not None:
+            raise ReplayError("replay modes take inputs from the log, "
+                              "not from a workload")
+        self.config = config
+        self.seed = seed
+        self.mode = mode
+        self.workload = workload
+        # A non-empty schedule implies the channel primitive is active.
+        self.covert_schedule = list(covert_schedule or [])
+        self.covert_enabled = covert_enabled or bool(self.covert_schedule)
+        self._covert_cursor = 0
+        self.registry = MACHINE_REGISTRY
+
+        root = SplitMix64(seed)
+        # Residual sources: always stochastic (§6.9 — they bound accuracy).
+        bus_rng = root.fork("bus")
+        cpu_rng = root.fork("cpu")
+        irq_rng = root.fork("irq")
+        preempt_rng = root.fork("preempt")
+        storage_rng = root.fork("storage")
+        frames_rng = root.fork("frames")
+        cache_init_rng = root.fork("cache-init")
+
+        self.clock = VirtualClock(config.frequency_hz)
+        self.bus = MemoryBus(
+            BusConfig(contention_probability=config.bus_contention_probability,
+                      max_stall_cycles=config.bus_max_stall_cycles),
+            bus_rng)
+        self.cpu = CpuModel(
+            CpuTimingConfig(costs=config.cost_table,
+                            freq_scaling_enabled=config.freq_scaling,
+                            turbo_enabled=config.turbo,
+                            speculation_sigma=config.speculation_sigma),
+            cpu_rng)
+        self.l1 = Cache(config.l1_config)
+        l2_config = config.l2_config
+        if config.cache_partitioning:
+            # Page-coloring-style partitioning: the timed core keeps a
+            # private half of the L2 (half the sets), and the co-tenant
+            # can no longer touch it.
+            from dataclasses import replace as _replace
+
+            l2_config = _replace(l2_config,
+                                 size_bytes=l2_config.size_bytes // 2)
+        self.l2 = Cache(l2_config)
+        self.hierarchy = CacheHierarchy(self.l1, self.l2, self.bus,
+                                        dram_cycles=config.dram_cycles)
+        self.tlb = Tlb(TlbConfig(entries=config.tlb_entries,
+                                 miss_cycles=config.tlb_miss_cycles))
+        self.predictor = BranchPredictor(BranchPredictorConfig(
+            table_entries=config.btb_entries,
+            mispredict_cycles=config.mispredict_cycles))
+        frame_allocator = FrameAllocator(
+            config.num_frames, deterministic=config.deterministic_frames,
+            noise_rng=frames_rng)
+        self.address_space = AddressSpace(frame_allocator)
+        self._irq_rng = irq_rng
+        self.irq_controller = InterruptController(
+            standard_sources(),
+            irq_rng if config.irqs_enabled else ZeroNoise(),
+            routed_to_timed_core=(config.irqs_enabled
+                                  and not config.irqs_to_supporting_core))
+        self._co_tenant_rng = root.fork("co-tenant")
+        # The neighbor VM alternates bursty busy/idle phases; while busy
+        # it contends for memory bandwidth and slows the timed core.
+        self._co_tenant_busy = False
+        self._co_tenant_phase_end = 0
+        self._last_world_cycle = 0
+        self._preempt_rng = preempt_rng
+        self._next_preempt = (
+            int(preempt_rng.exponential(config.preempt_mean_interval_cycles))
+            if config.preemption_enabled else None)
+        if config.storage == StorageKind.HDD:
+            device = Hdd(storage_rng)
+        else:
+            device = Ssd(storage_rng)
+        self.storage = PaddedStorage(device) if config.pad_storage else device
+        self.nic = Nic()
+        self.st_buffer = STBuffer()
+        self.ts_buffer = TSBuffer()
+
+        # Initialization and quiescence (§3.6): flush the caches, TLB, and
+        # predictor, or start them in a pseudo-random "dirty" state.
+        if config.flush_caches_at_start:
+            self.hierarchy.flush()
+            self.tlb.flush()
+            self.predictor.flush()
+        elif config.random_initial_cache:
+            self.l1.randomize(cache_init_rng)
+            self.l2.randomize(cache_init_rng)
+
+        self.session: Session = self._build_session(log)
+        self.platform = TimedCorePlatform(self)
+        self._ran = False
+
+    def _build_session(self, log: EventLog | None) -> Session:
+        if self.mode == "play":
+            return PlaySession()
+        if self.mode == "replay":
+            return ReplaySession(log)
+        return NaiveReplaySession(log)
+
+    @property
+    def is_play(self) -> bool:
+        return self.mode == "play"
+
+    def next_covert_delay(self) -> int:
+        """Pop the next covert-delay schedule entry (0 when exhausted or
+        on a clean machine)."""
+        if self._covert_cursor >= len(self.covert_schedule):
+            return 0
+        value = self.covert_schedule[self._covert_cursor]
+        self._covert_cursor += 1
+        return max(0, int(value))
+
+    # -- world interface (SC side) -----------------------------------------------
+
+    def schedule_arrival(self, cycle: int, payload: bytes) -> None:
+        """Workload hook: a packet reaches the NIC at ``cycle``."""
+        self.nic.schedule_rx(cycle, payload)
+
+    def no_more_arrivals(self) -> bool:
+        """True when no input packet can ever appear again (play mode)."""
+        if self.st_buffer.pending or self.nic.pending_rx:
+            return False
+        return self.workload is None or self.workload.finished()
+
+    def service_world(self) -> None:
+        """Advance the supporting core's world to the current time.
+
+        Called from the interpreter's quantum hook and from every idle
+        poll iteration: stages arrived packets, applies IRQ and preemption
+        interference, and decays bus traffic.
+        """
+        now = self.clock.cycles
+        config = self.config
+        if self.is_play:
+            ready = self.nic.poll_rx(now - config.sc_processing_cycles)
+            for payload in ready:
+                self.st_buffer.stage(payload)
+                self.bus.add_traffic(Nic.DMA_TRAFFIC)
+        if config.irqs_enabled:
+            direct, lines, traffic = \
+                self.irq_controller.pending_interference(now)
+            if direct:
+                self.clock.advance(direct)
+                self.hierarchy.pollute(self._irq_rng, lines,
+                                       lines * 2)
+            if traffic:
+                self.bus.add_traffic(traffic)
+        if self._next_preempt is not None:
+            while self._next_preempt <= now:
+                duration = int(self._preempt_rng.exponential(
+                    config.preempt_mean_duration_cycles))
+                self.clock.advance(duration)
+                self.hierarchy.pollute(self._preempt_rng, 96, 384)
+                self._next_preempt += max(1, int(self._preempt_rng.exponential(
+                    config.preempt_mean_interval_cycles)))
+        if config.co_tenant_intensity > 0.0:
+            self._co_tenant_interference(now)
+        self.bus.decay_traffic(0.6)
+        if self.bus.traffic_level < config.background_bus_traffic:
+            self.bus.set_traffic_level(config.background_bus_traffic)
+
+    def _co_tenant_interference(self, now: int) -> None:
+        """Cross-VM interference (§7 "Multi-tenancy").
+
+        The neighbor alternates busy/idle phases (exponential durations).
+        While busy it saturates the shared memory bus, stretching the
+        timed core's progress; without partitioning it also pollutes the
+        shared L2.  Cache/memory partitioning [33] confines the damage to
+        a small bandwidth residual — "we speculate that recent work in
+        the real-time domain could mitigate the cross-talk".
+        """
+        config = self.config
+        rng = self._co_tenant_rng
+        elapsed = now - self._last_world_cycle
+        self._last_world_cycle = now
+        while self._co_tenant_phase_end <= now:
+            self._co_tenant_busy = not self._co_tenant_busy
+            mean = 4e6 if self._co_tenant_busy else \
+                4e6 * (1.0 / max(config.co_tenant_intensity, 1e-3) - 1.0 + 0.2)
+            self._co_tenant_phase_end = now + max(
+                1, int(rng.exponential(mean)))
+        if not self._co_tenant_busy or elapsed <= 0:
+            return
+        slowdown = 0.05 if not config.cache_partitioning else 0.005
+        self.clock.advance(int(elapsed * config.co_tenant_intensity
+                               * slowdown))
+        self.bus.add_traffic(config.co_tenant_intensity * 0.3)
+        if not config.cache_partitioning:
+            self.l2.pollute(rng, 16)
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, program: Program,
+            max_instructions: int | None = 200_000_000) -> ExecutionResult:
+        """Execute ``program`` to completion; returns the result."""
+        if self._ran:
+            raise HardwareConfigError(
+                "a Machine is single-shot; build a new one per execution")
+        self._ran = True
+        vm = Interpreter(program, self.platform,
+                         VmConfig(thread_quantum=self.config.thread_quantum,
+                                  poll_interval=self.config.vm_poll_interval))
+        if self.workload is not None:
+            self.workload.start(self)
+        vm.run(max_instructions)
+        log = self.session.log if isinstance(self.session, PlaySession) \
+            else None
+        stats = self._collect_stats(vm)
+        return ExecutionResult(
+            mode=self.mode,
+            config_name=self.config.name,
+            seed=self.seed,
+            tx=list(self.platform.tx_trace),
+            console=list(self.platform.console),
+            total_cycles=self.clock.cycles,
+            total_ns=self.clock.now_ns(),
+            instructions=vm.instruction_count,
+            log=log,
+            stats=stats)
+
+    def _collect_stats(self, vm: Interpreter) -> dict[str, float]:
+        l1, l2 = self.l1, self.l2
+        stats = {
+            "l1_hits": l1.hits, "l1_misses": l1.misses,
+            "l2_hits": l2.hits, "l2_misses": l2.misses,
+            "dram_accesses": self.hierarchy.dram_accesses,
+            "tlb_misses": self.tlb.misses,
+            "branch_mispredicts": self.predictor.mispredictions,
+            "bus_collisions": self.bus.collisions,
+            "bus_stall_cycles": self.bus.total_stall_cycles,
+            "irq_firings": self.irq_controller.firings,
+            "gc_runs": vm.heap.gc_runs,
+            "storage_reads": self.storage.reads,
+            "events_handled": self.session.events_handled,
+        }
+        if isinstance(self.session, ReplaySession):
+            stats["injection_slack"] = self.session.max_injection_slack
+        return stats

@@ -1,0 +1,65 @@
+"""The machine's native interface: the VM's window to the world.
+
+Every native is implemented on the timed-core platform
+(:mod:`repro.machine.platform`); this module declares the table — names,
+arities, MiniJ type signatures — that the assembler and the MiniJ compiler
+resolve against.
+
+The ``covert_delay`` native is the paper's instrumentation hook (§6.6):
+"The channels add delays using a special JVM primitive that we can enable
+or disable at runtime; this allows us to easily collect traces with and
+without timing channels, without making changes to the server code."
+"""
+
+from __future__ import annotations
+
+from repro.vm.natives import NativeRegistry, NativeSpec
+
+#: (name, num_args, returns_value, handler method name on the platform).
+_NATIVE_TABLE: list[tuple[str, int, bool]] = [
+    ("print_int", 1, False),
+    ("print_float", 1, False),
+    ("nano_time", 0, True),
+    ("send_packet", 2, False),
+    ("recv_packet", 1, True),
+    ("wait_packet", 1, True),
+    ("storage_read", 2, True),
+    ("covert_delay", 1, False),
+    ("covert_next_delay", 0, True),
+    ("busy_cycles", 1, False),
+    ("spawn", 2, False),
+    ("exit", 0, False),
+]
+
+#: MiniJ signatures for :func:`repro.lang.compile_minij`.
+MACHINE_NATIVE_SIGNATURES: dict[str, tuple[tuple[str, ...], str]] = {
+    "print_int": (("int",), "void"),
+    "print_float": (("float",), "void"),
+    "nano_time": ((), "int"),
+    "send_packet": (("int[]", "int"), "void"),
+    "recv_packet": (("int[]",), "int"),
+    "wait_packet": (("int[]",), "int"),
+    "storage_read": (("int", "int[]"), "int"),
+    "covert_delay": (("int",), "void"),
+    "covert_next_delay": ((), "int"),
+    "busy_cycles": (("int",), "void"),
+    "spawn": (("int", "int"), "void"),
+    "exit": ((), "void"),
+}
+
+
+def build_registry() -> NativeRegistry:
+    """The machine's native registry (handlers dispatch on the platform)."""
+    registry = NativeRegistry()
+    for name, num_args, returns_value in _NATIVE_TABLE:
+        registry.register(NativeSpec(name, num_args, returns_value,
+                                     handler=None))
+    return registry
+
+
+#: A shared immutable registry instance; index order is part of the
+#: machine ABI (programs assembled against it run on any Machine).
+MACHINE_REGISTRY = build_registry()
+
+#: Words returned by one ``storage_read`` call.
+STORAGE_BLOCK_WORDS = 64

@@ -1,0 +1,157 @@
+"""Noise-environment presets matching the paper's experimental setups.
+
+Four environments appear in Figure 2 (zeroing a 4 MB array):
+
+1. *user-noisy* — user level with GUI and network on;
+2. *user-quiet* — user level, single-user mode, RAM disk;
+3. *kernel*     — kernel mode;
+4. *kernel-quiet* — kernel mode, IRQs off, caches flushed, pinned core.
+
+Three more appear in Figure 6 (SciMark timing stability):
+
+* *dirty*  — Oracle JVM, multi-user mode with GUI and networking;
+* *clean*  — Oracle JVM, single-user mode, only the JVM running;
+* *sanity* — the full Sanity mitigation set (the library default).
+
+Each preset is a :class:`MachineConfig` differing only in which noise
+sources are active, so ablations (Table 1) can toggle them one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import HardwareConfigError
+from repro.machine.config import MachineConfig, RuntimeKind
+
+
+class NoiseScenario(enum.Enum):
+    USER_NOISY = "user-noisy"
+    USER_QUIET = "user-quiet"
+    KERNEL = "kernel"
+    KERNEL_QUIET = "kernel-quiet"
+    DIRTY = "dirty"
+    CLEAN = "clean"
+    SANITY = "sanity"
+
+
+def _user_noisy() -> MachineConfig:
+    return MachineConfig(
+        name="user-noisy",
+        runtime=RuntimeKind.ORACLE_INT,
+        irqs_to_supporting_core=False,
+        preemption_enabled=True,
+        preempt_mean_interval_cycles=1.2e6,
+        preempt_mean_duration_cycles=6.0e5,
+        flush_caches_at_start=False,
+        random_initial_cache=True,
+        deterministic_frames=False,
+        freq_scaling=True,
+        turbo=True,
+        pad_storage=False,
+        background_bus_traffic=0.5,
+        bus_contention_probability=0.25)
+
+
+def _user_quiet() -> MachineConfig:
+    return MachineConfig(
+        name="user-quiet",
+        runtime=RuntimeKind.ORACLE_INT,
+        irqs_to_supporting_core=False,
+        preemption_enabled=True,
+        preempt_mean_interval_cycles=8.0e6,
+        preempt_mean_duration_cycles=1.5e5,
+        flush_caches_at_start=False,
+        random_initial_cache=True,
+        deterministic_frames=False,
+        freq_scaling=True,
+        turbo=False,
+        pad_storage=False,
+        background_bus_traffic=0.1,
+        bus_contention_probability=0.12)
+
+
+def _kernel() -> MachineConfig:
+    return MachineConfig(
+        name="kernel",
+        runtime=RuntimeKind.ORACLE_INT,
+        irqs_to_supporting_core=False,
+        preemption_enabled=False,
+        flush_caches_at_start=False,
+        random_initial_cache=True,
+        deterministic_frames=False,
+        freq_scaling=False,
+        turbo=False,
+        pad_storage=False,
+        background_bus_traffic=0.03,
+        bus_contention_probability=0.08)
+
+
+def _kernel_quiet() -> MachineConfig:
+    return MachineConfig(
+        name="kernel-quiet",
+        runtime=RuntimeKind.ORACLE_INT,
+        irqs_enabled=False,
+        irqs_to_supporting_core=False,
+        preemption_enabled=False,
+        flush_caches_at_start=True,
+        random_initial_cache=False,
+        deterministic_frames=False,   # still an ordinary OS allocator
+        freq_scaling=False,
+        turbo=False,
+        pad_storage=False,
+        background_bus_traffic=0.01,
+        bus_contention_probability=0.05)
+
+
+def _dirty() -> MachineConfig:
+    # The Oracle JVM in multi-user mode: same noise as user-noisy.
+    return _user_noisy().with_overrides(name="dirty")
+
+
+def _clean() -> MachineConfig:
+    # Single-user mode, only the JVM running: no GUI/network preemptions,
+    # but still ordinary IRQ routing, unflushed caches, OS frames, and
+    # default power management (TurboBoost re-enabled by Linux, §4.2).
+    return MachineConfig(
+        name="clean",
+        runtime=RuntimeKind.ORACLE_INT,
+        irqs_to_supporting_core=False,
+        preemption_enabled=False,
+        flush_caches_at_start=False,
+        random_initial_cache=True,
+        deterministic_frames=False,
+        freq_scaling=False,
+        turbo=True,
+        pad_storage=False,
+        background_bus_traffic=0.01,
+        bus_contention_probability=0.05)
+
+
+def _sanity() -> MachineConfig:
+    return MachineConfig(name="sanity")
+
+
+_BUILDERS = {
+    NoiseScenario.USER_NOISY: _user_noisy,
+    NoiseScenario.USER_QUIET: _user_quiet,
+    NoiseScenario.KERNEL: _kernel,
+    NoiseScenario.KERNEL_QUIET: _kernel_quiet,
+    NoiseScenario.DIRTY: _dirty,
+    NoiseScenario.CLEAN: _clean,
+    NoiseScenario.SANITY: _sanity,
+}
+
+NOISE_SCENARIOS = tuple(NoiseScenario)
+
+
+def scenario_config(scenario: NoiseScenario | str) -> MachineConfig:
+    """The :class:`MachineConfig` preset for a noise scenario."""
+    if isinstance(scenario, str):
+        try:
+            scenario = NoiseScenario(scenario)
+        except ValueError:
+            raise HardwareConfigError(
+                f"unknown scenario '{scenario}'; known: "
+                f"{[s.value for s in NoiseScenario]}") from None
+    return _BUILDERS[scenario]()

@@ -1,0 +1,290 @@
+"""The timed core: the :class:`~repro.vm.platform.Platform` implementation
+backed by the simulated hardware.
+
+Everything the paper's §3 describes comes together here:
+
+* per-instruction cycle charging through the CPU model (with its residual
+  speculation noise and optional frequency scaling);
+* data/instruction accesses through TLB → virt-phys translation →
+  physically-indexed L1/L2 → DRAM over the contended bus;
+* conditional branches through the 2-bit predictor;
+* the S-T / T-S ring-buffer protocol with symmetric costs in play and
+  replay (§3.4-3.5);
+* the blocking-receive idle loop, which advances the instruction counter
+  once per poll stride so arrivals are identifiable points (§3.2) and
+  which the *naive* replayer skips (§2.5);
+* the native interface (I/O, ``nano_time``, ``covert_delay``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hw.cpu import CostClass
+from repro.vm.heap import GuestThrow
+from repro.vm.isa import EXC_INDEX_OUT_OF_BOUNDS, EXC_NULL_REFERENCE
+from repro.vm.platform import Platform
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.vm.interpreter import Interpreter
+
+_WORD = 8
+_PAGE_SHIFT = 12
+
+
+class TimedCorePlatform(Platform):
+    """Timed-core execution environment for one machine run."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        config = machine.config
+        self.config = config
+        # Hot-path aliases.
+        self.clock = machine.clock
+        self.cpu = machine.cpu
+        self.tlb = machine.tlb
+        self.space = machine.address_space
+        self.hierarchy = machine.hierarchy
+        self.predictor = machine.predictor
+        self.bus = machine.bus
+        self.session = machine.session
+        self.st_buffer = machine.st_buffer
+        self.ts_buffer = machine.ts_buffer
+        self.console: list = []
+        self.tx_trace: list[tuple[int, bytes]] = []
+        # A JIT register-allocates locals: LOAD/STORE of stack slots do
+        # not touch the memory hierarchy (Table 2's Oracle-JIT model).
+        from repro.machine.config import RuntimeKind
+        from repro.vm.heap import HEAP_BASE
+        from repro.vm.interpreter import STACK_BASE
+
+        self._registerized_base = ((STACK_BASE, HEAP_BASE)
+                                   if config.runtime == RuntimeKind.ORACLE_JIT
+                                   else None)
+        registry = machine.registry
+        self._specs = [registry.spec(i) for i in range(len(registry))]
+        self._handlers = [getattr(self, f"_native_{spec.name}")
+                          for spec in self._specs]
+
+    # -- Platform interface ---------------------------------------------------
+
+    def charge(self, cost_class: CostClass) -> None:
+        self.clock.advance(self.cpu.instruction_cost(cost_class))
+
+    def mem_access(self, vaddr: int) -> None:
+        if self._registerized_base is not None and \
+                self._registerized_base[0] <= vaddr < \
+                self._registerized_base[1]:
+            return
+        cost = self.tlb.access(vaddr >> _PAGE_SHIFT)
+        paddr = self.space.translate(vaddr)
+        cost += self.hierarchy.access(paddr)
+        if cost:
+            self.clock.advance(cost)
+
+    def fetch_access(self, code_vaddr: int) -> None:
+        self.mem_access(code_vaddr)
+
+    def branch(self, branch_site: int, taken: bool) -> None:
+        penalty = self.predictor.record(branch_site, taken)
+        if penalty:
+            self.clock.advance(penalty)
+
+    def charge_cycles(self, cycles: int) -> None:
+        self.clock.advance(cycles)
+
+    def on_quantum(self, interpreter: "Interpreter") -> None:
+        self.machine.service_world()
+
+    def native_call(self, index: int, interpreter: "Interpreter") -> None:
+        spec = self._specs[index]
+        args = interpreter.pop_args(spec.num_args)
+        result = self._handlers[index](interpreter, args)
+        if spec.returns_value:
+            interpreter.push_result(result)
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _guest_array(self, vm: "Interpreter", handle: int):
+        if handle == 0:
+            raise GuestThrow(EXC_NULL_REFERENCE)
+        return vm.heap.get(handle)
+
+    def _charge_st_check(self) -> None:
+        """The read-compare-write next-entry check of §3.5 (both modes)."""
+        for vaddr in self.st_buffer.check_addresses():
+            self.mem_access(vaddr)
+
+    def _try_recv(self, vm: "Interpreter", buf_handle: int) -> int:
+        """One non-blocking receive attempt; returns byte count or -1."""
+        self._charge_st_check()
+        staged = self.st_buffer.head() if self.machine.is_play else None
+        payload = self.session.packet_due(vm.instruction_count, staged)
+        if payload is None:
+            return -1
+        if self.machine.is_play:
+            self.st_buffer.consume()
+        else:
+            # Keep the ring indices (and hence the charged addresses)
+            # aligned with play: replay stages the logged packet into the
+            # same slot before consuming it (the SC's job during replay).
+            self.st_buffer.stage(payload)
+            self.st_buffer.consume()
+        if self.session.injection_overhead_cycles:
+            self.clock.advance(self.session.injection_overhead_cycles)
+        obj = self._guest_array(vm, buf_handle)
+        count = min(len(payload), len(obj.data))
+        for vaddr in self.st_buffer.copy_addresses(count):
+            self.mem_access(vaddr)
+        data = obj.data
+        base = obj.vaddr + 16
+        for i in range(count):
+            data[i] = payload[i]
+            self.mem_access(base + i * _WORD)
+        return count
+
+    def _input_exhausted(self) -> bool:
+        if self.machine.is_play:
+            return self.machine.no_more_arrivals()
+        return self.session.exhausted()
+
+    # -- natives ----------------------------------------------------------------------
+
+    def _native_print_int(self, vm: "Interpreter", args: list) -> None:
+        self.console.append(int(args[0]))
+
+    def _native_print_float(self, vm: "Interpreter", args: list) -> None:
+        self.console.append(float(args[0]))
+
+    def _native_nano_time(self, vm: "Interpreter", args: list) -> int:
+        live = int(self.clock.now_ns())
+        # Figure 4: identical memory accesses in play and replay.
+        cell_vaddr = self.session.time_cell.vaddr
+        self.mem_access(cell_vaddr)
+        self.mem_access(cell_vaddr)
+        value = self.session.observe_time(vm.instruction_count, live)
+        if self.session.injection_overhead_cycles:
+            self.clock.advance(self.session.injection_overhead_cycles)
+        return value
+
+    def _native_send_packet(self, vm: "Interpreter", args: list) -> None:
+        buf_handle, length = args
+        obj = self._guest_array(vm, buf_handle)
+        if length < 0 or length > len(obj.data):
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        data = obj.data
+        base = obj.vaddr + 16
+        payload = bytearray(length)
+        for i in range(length):
+            payload[i] = int(data[i]) & 0xFF
+            self.mem_access(base + i * _WORD)
+        for vaddr in self.ts_buffer.write_addresses(length):
+            self.mem_access(vaddr)
+        self.ts_buffer.advance()
+        packet = bytes(payload)
+        cycle = self.clock.cycles
+        self.tx_trace.append((cycle, packet))
+        # The SC reads the entry off the T-S buffer in both modes (it
+        # forwards during play, discards during replay) — bus traffic is
+        # the same either way.
+        self.bus.add_traffic(0.15)
+        if self.machine.is_play:
+            self.machine.nic.transmit(cycle, packet)
+            if self.machine.workload is not None:
+                self.machine.workload.on_transmit(self.machine, cycle,
+                                                  packet)
+
+    def _native_recv_packet(self, vm: "Interpreter", args: list) -> int:
+        return self._try_recv(vm, args[0])
+
+    def _native_wait_packet(self, vm: "Interpreter", args: list) -> int:
+        stride = self.config.poll_stride_cycles
+        session = self.session
+        while True:
+            count = self._try_recv(vm, args[0])
+            if count >= 0:
+                return count
+            if self._input_exhausted():
+                return -1
+            if session.skips_waits:
+                target = session.wait_target(vm.instruction_count)
+                if target is None:
+                    return -1
+                # A conventional replayer fast-forwards through the idle
+                # phase: the instruction counter jumps, wall time barely
+                # moves (Fig 3's "replay faster than play" segments).
+                vm.instruction_count = max(vm.instruction_count, target)
+                self.clock.advance(2_000)
+                continue
+            # One poll iteration = one counted point in the execution.
+            vm.instruction_count += 1
+            self.clock.advance(self.cpu.scale_block(stride))
+            self.machine.service_world()
+
+    def _native_storage_read(self, vm: "Interpreter", args: list) -> int:
+        from repro.determinism import mix64
+        from repro.machine.natives import STORAGE_BLOCK_WORDS
+
+        block, buf_handle = args
+        if block < 0:
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        obj = self._guest_array(vm, buf_handle)
+        # The SC performs the I/O (§3.7); the TC waits for the (possibly
+        # padded) device latency and the DMA raises bus traffic.
+        latency = self.machine.storage.read(block)
+        self.clock.advance(latency)
+        self.bus.add_traffic(0.25)
+        count = min(STORAGE_BLOCK_WORDS, len(obj.data))
+        data = obj.data
+        base = obj.vaddr + 16
+        for i in range(count):
+            # Deterministic block contents: a pure function of the block
+            # number, so storage needs no log entries.
+            data[i] = mix64(block * STORAGE_BLOCK_WORDS + i) & 0x7FFFFFFF
+            self.mem_access(base + i * _WORD)
+        return count
+
+    def _native_covert_delay(self, vm: "Interpreter", args: list) -> None:
+        (cycles,) = args
+        if cycles < 0:
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        if self.machine.covert_enabled:
+            self.clock.advance(cycles)
+
+    def _native_covert_next_delay(self, vm: "Interpreter",
+                                  args: list) -> int:
+        """Next entry of the channel encoder's delay schedule (§6.6).
+
+        On the compromised machine (play with a schedule installed) this
+        hands the guest its next covert delay; on a clean machine — and in
+        particular during an audit replay — it returns 0, so the replayed
+        timing is what the timing "ought to have been".  The returned
+        value flows only into ``covert_delay``, never into control flow or
+        outputs, so it needs no log entry.
+        """
+        return self.machine.next_covert_delay()
+
+    def _native_busy_cycles(self, vm: "Interpreter", args: list) -> None:
+        """A deterministic compute block abstracted to its cycle cost.
+
+        Models a tight data-independent kernel (checksum/compression/...)
+        whose duration is a pure function of its argument: the same noise
+        sources apply as to interpreted code (via ``scale_block``), and
+        replay reproduces it exactly because the argument is part of the
+        deterministic data flow.
+        """
+        (cycles,) = args
+        if cycles < 0:
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        if cycles:
+            self.clock.advance(self.cpu.scale_block(cycles))
+
+    def _native_spawn(self, vm: "Interpreter", args: list) -> None:
+        func_idx, arg = args
+        if not 0 <= func_idx < len(vm.program.functions):
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        vm.spawn_thread(vm.program.functions[func_idx], [arg])
+
+    def _native_exit(self, vm: "Interpreter", args: list) -> None:
+        vm.halted = True

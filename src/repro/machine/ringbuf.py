@@ -1,0 +1,108 @@
+"""The S-T and T-S ring buffers between the two cores (§3.4-§3.5).
+
+"The TC and SC communicate by means of two in-memory ring buffers: the S-T
+buffer and the T-S buffer. ... The purpose of this arrangement is to make
+play and replay look identical from the perspective of the TC — in both
+cases, the TC reads inputs from the S-T buffer and writes outputs to the
+T-S buffer."
+
+The timestamp protocol of §3.5 is modelled explicitly: the SC appends
+entries with a timestamp of zero ("new") and keeps a fake tail entry with
+timestamp infinity, so the TC's next-entry check is the *same* read-compare-
+write sequence whether or not an entry is present.  The buffer reports the
+virtual addresses each check and copy touches, so the timed-core platform
+charges an identical access stream in play and replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import HardwareConfigError
+
+ST_BUFFER_BASE = 0x0040_0000
+TS_BUFFER_BASE = 0x0050_0000
+ENTRY_STRIDE = 2048          # bytes reserved per ring entry
+NUM_ENTRIES = 64
+TIMESTAMP_INFINITY = (1 << 63) - 1
+_WORD = 8
+
+
+class STBuffer:
+    """Supporting-core → timed-core buffer (inputs).
+
+    The SC stages incoming packets here; the TC polls.  ``check_addresses``
+    is the fixed 3-access sequence of the §3.5 protocol (read timestamp,
+    compare, write back the instruction count / re-write infinity), charged
+    by the platform on every poll in both modes.
+    """
+
+    def __init__(self) -> None:
+        self._staged: deque[bytes] = deque()
+        self._head_index = 0     # ring slot of the next entry to consume
+        self.staged_total = 0
+        self.consumed_total = 0
+
+    def stage(self, payload: bytes) -> None:
+        """SC side: overwrite the fake tail entry with a real packet."""
+        if len(payload) > ENTRY_STRIDE - 16:
+            raise HardwareConfigError(
+                f"packet of {len(payload)} bytes exceeds the "
+                f"{ENTRY_STRIDE - 16}-byte ring entry")
+        self._staged.append(payload)
+        self.staged_total += 1
+
+    def head(self) -> bytes | None:
+        """TC side: the staged packet at the head, if any."""
+        if self._staged:
+            return self._staged[0]
+        return None
+
+    def consume(self) -> bytes:
+        """TC side: take the head packet."""
+        payload = self._staged.popleft()
+        self._head_index = (self._head_index + 1) % NUM_ENTRIES
+        self.consumed_total += 1
+        return payload
+
+    def head_vaddr(self) -> int:
+        """Virtual address of the head entry's timestamp word."""
+        return ST_BUFFER_BASE + self._head_index * ENTRY_STRIDE
+
+    def check_addresses(self) -> tuple[int, int, int]:
+        """The read-compare-write access triple of one next-entry check."""
+        head = self.head_vaddr()
+        return (head, head, head)
+
+    def copy_addresses(self, length: int) -> list[int]:
+        """Addresses read when copying a ``length``-byte payload out."""
+        base = self.head_vaddr() + 16
+        return [base + i * _WORD for i in range((length + _WORD - 1) // _WORD)]
+
+    @property
+    def pending(self) -> int:
+        return len(self._staged)
+
+
+class TSBuffer:
+    """Timed-core → supporting-core buffer (outputs).
+
+    The TC writes outgoing packets (and logged values) here; during play
+    the SC forwards them, during replay it discards them — but the TC-side
+    access stream is identical either way.
+    """
+
+    def __init__(self) -> None:
+        self._tail_index = 0
+        self.written_total = 0
+
+    def write_addresses(self, length: int) -> list[int]:
+        """Addresses written when placing a ``length``-byte payload."""
+        base = TS_BUFFER_BASE + self._tail_index * ENTRY_STRIDE
+        count = 2 + (length + _WORD - 1) // _WORD   # header + payload words
+        return [base + i * _WORD for i in range(count)]
+
+    def advance(self) -> None:
+        """Commit one entry (moves the tail)."""
+        self._tail_index = (self._tail_index + 1) % NUM_ENTRIES
+        self.written_total += 1

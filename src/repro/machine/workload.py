@@ -1,0 +1,149 @@
+"""Client workloads that drive a machine during play.
+
+During play, the outside world sends packets to the machine; during replay
+those arrivals come from the log instead, so workloads are play-only.
+
+Two workload shapes:
+
+* :class:`ScriptedArrivals` — a fixed schedule of (cycle, payload) pairs;
+* :class:`InteractiveClient` — a request/response client behind a WAN
+  link: it sends the next request only after receiving the previous
+  response, plus think time and network jitter.  This mirrors the paper's
+  NFS client reading 30 files "one after the other" from across the U.S.
+  East coast (§6.6).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.determinism import SplitMix64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request; ``responses_expected`` counts the reply packets
+    the server will send for it (usually 1)."""
+
+    payload: bytes
+    responses_expected: int = 1
+
+
+class Workload(abc.ABC):
+    """Play-side input driver."""
+
+    @abc.abstractmethod
+    def start(self, machine: "Machine") -> None:
+        """Schedule initial arrivals."""
+
+    @abc.abstractmethod
+    def on_transmit(self, machine: "Machine", cycle: int,
+                    payload: bytes) -> None:
+        """React to a packet the machine transmitted."""
+
+    @abc.abstractmethod
+    def finished(self) -> bool:
+        """True when no further arrivals will ever be scheduled."""
+
+
+class ScriptedArrivals(Workload):
+    """A fixed arrival schedule, fully determined up front."""
+
+    def __init__(self, arrivals: list[tuple[int, bytes]]) -> None:
+        self.arrivals = sorted(arrivals)
+        self._started = False
+
+    def start(self, machine: "Machine") -> None:
+        self._started = True
+        for cycle, payload in self.arrivals:
+            machine.schedule_arrival(cycle, payload)
+
+    def on_transmit(self, machine: "Machine", cycle: int,
+                    payload: bytes) -> None:
+        return None
+
+    def finished(self) -> bool:
+        return self._started
+
+
+class InteractiveClient(Workload):
+    """Request/response client behind a jittery WAN link.
+
+    Timing model per request: the request for item k+1 arrives at the
+    server ``one_way_delay + think_time + jitter`` after the k-th response
+    was transmitted.  Jitter draws from the provided jitter model (see
+    :mod:`repro.net.jitter`); think time is exponential.
+
+    After the last response, a ``shutdown_payload`` arrives (if set), which
+    lets a server guest exit its accept loop deterministically.
+    """
+
+    def __init__(self, requests: list[Request], rng: SplitMix64,
+                 jitter_model=None,
+                 one_way_delay_cycles: int = 17_000_000,   # ~5 ms at 3.4 GHz
+                 mean_think_cycles: float = 1_000_000.0,
+                 first_arrival_cycle: int = 500_000,
+                 shutdown_payload: bytes | None = None) -> None:
+        if not requests:
+            raise ValueError("client needs at least one request")
+        self.requests = requests
+        self._rng = rng
+        self._jitter_model = jitter_model
+        self.one_way_delay_cycles = one_way_delay_cycles
+        self.mean_think_cycles = mean_think_cycles
+        self.first_arrival_cycle = first_arrival_cycle
+        self.shutdown_payload = shutdown_payload
+        self._next_request = 0
+        self._responses_outstanding = 0
+        self._shutdown_sent = False
+        #: (tx_cycle at server, payload) for packets the client received —
+        #: useful for receiver-side covert-channel decoding experiments.
+        self.received: list[tuple[int, bytes]] = []
+
+    def _jitter_cycles(self) -> int:
+        if self._jitter_model is None:
+            return 0
+        return self._jitter_model.sample_cycles(self._rng)
+
+    def _schedule_next_request(self, machine: "Machine", cycle: int) -> None:
+        if self._next_request >= len(self.requests):
+            if self.shutdown_payload is not None and not self._shutdown_sent:
+                self._shutdown_sent = True
+                arrival = (cycle + self.one_way_delay_cycles
+                           + self._jitter_cycles())
+                machine.schedule_arrival(arrival, self.shutdown_payload)
+            return
+        request = self.requests[self._next_request]
+        self._next_request += 1
+        self._responses_outstanding = request.responses_expected
+        think = int(self._rng.exponential(self.mean_think_cycles))
+        arrival = (cycle + self.one_way_delay_cycles + think
+                   + self._jitter_cycles())
+        machine.schedule_arrival(arrival, request.payload)
+
+    def start(self, machine: "Machine") -> None:
+        base = self.first_arrival_cycle + self._jitter_cycles()
+        request = self.requests[0]
+        self._next_request = 1
+        self._responses_outstanding = request.responses_expected
+        machine.schedule_arrival(base, request.payload)
+
+    def on_transmit(self, machine: "Machine", cycle: int,
+                    payload: bytes) -> None:
+        self.received.append((cycle, payload))
+        if self._responses_outstanding > 0:
+            self._responses_outstanding -= 1
+            if self._responses_outstanding == 0:
+                self._schedule_next_request(machine, cycle)
+
+    def finished(self) -> bool:
+        done_requests = self._next_request >= len(self.requests) and \
+            self._responses_outstanding == 0
+        if self.shutdown_payload is None:
+            return done_requests
+        return done_requests and self._shutdown_sent

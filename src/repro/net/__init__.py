@@ -1,0 +1,23 @@
+"""Network substrate: packets, traces, jitter models, WAN links.
+
+The paper's covert-channel experiments place the NFS client and server at
+two different U.S. East-coast universities (§6.6): RTT ≈ 10 ms, measured
+jitter percentiles p50 = 0.18 ms, p90 = 0.80 ms, p99 = 3.91 ms.  Those
+numbers calibrate :data:`~repro.net.jitter.EAST_COAST_JITTER`; the §6.9
+argument (replay noise ≪ network jitter) is quantitative over them.
+"""
+
+from repro.net.jitter import (BROADBAND_JITTER, EAST_COAST_JITTER,
+                              JitterModel, QuantileJitter)
+from repro.net.link import WanLink
+from repro.net.trace import PacketRecord, PacketTrace
+
+__all__ = [
+    "BROADBAND_JITTER",
+    "EAST_COAST_JITTER",
+    "JitterModel",
+    "PacketRecord",
+    "PacketTrace",
+    "QuantileJitter",
+    "WanLink",
+]

@@ -1,0 +1,87 @@
+"""Network jitter models calibrated to measured percentiles.
+
+:class:`QuantileJitter` samples by piecewise-linear inversion of a CDF
+given as (quantile, value) anchor points, so the model reproduces the
+paper's measured percentiles *exactly* at the anchors:
+
+* :data:`EAST_COAST_JITTER` — the inter-university path of §6.6
+  (p50 = 0.18 ms, p90 = 0.80 ms, p99 = 3.91 ms, from 1000 ICMP pings);
+* :data:`BROADBAND_JITTER` — residential broadband with median ≈ 2.5 ms
+  (§6.9, citing Dischinger et al. [18]).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.determinism import SplitMix64
+
+
+class JitterModel(abc.ABC):
+    """One-way network delay variation, sampled in milliseconds."""
+
+    @abc.abstractmethod
+    def sample_ms(self, rng: SplitMix64) -> float:
+        """Draw one jitter value in milliseconds."""
+
+    def sample_cycles(self, rng: SplitMix64,
+                      frequency_hz: float = 3.4e9) -> int:
+        """Draw one jitter value in timed-core cycles."""
+        return max(0, round(self.sample_ms(rng) * 1e-3 * frequency_hz))
+
+    @abc.abstractmethod
+    def median_ms(self) -> float:
+        """The model's median jitter."""
+
+
+class QuantileJitter(JitterModel):
+    """Piecewise-linear inverse-CDF sampler over quantile anchors."""
+
+    def __init__(self, anchors: list[tuple[float, float]]) -> None:
+        if len(anchors) < 2:
+            raise ValueError("need at least two quantile anchors")
+        anchors = sorted(anchors)
+        if anchors[0][0] != 0.0 or anchors[-1][0] != 1.0:
+            raise ValueError("anchors must span quantiles 0.0 .. 1.0")
+        for (q0, v0), (q1, v1) in zip(anchors, anchors[1:]):
+            if q1 <= q0:
+                raise ValueError(f"non-increasing quantiles: {q0}, {q1}")
+            if v1 < v0:
+                raise ValueError(f"decreasing values: {v0}, {v1}")
+        self.anchors = anchors
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        anchors = self.anchors
+        for (q0, v0), (q1, v1) in zip(anchors, anchors[1:]):
+            if q <= q1:
+                fraction = (q - q0) / (q1 - q0)
+                return v0 + fraction * (v1 - v0)
+        return anchors[-1][1]  # pragma: no cover - q == 1.0 handled above
+
+    def sample_ms(self, rng: SplitMix64) -> float:
+        return self.quantile(rng.random())
+
+    def median_ms(self) -> float:
+        return self.quantile(0.5)
+
+
+#: §6.6: two well-provisioned universities on the U.S. East coast.
+EAST_COAST_JITTER = QuantileJitter([
+    (0.0, 0.01),
+    (0.5, 0.18),
+    (0.9, 0.80),
+    (0.99, 3.91),
+    (1.0, 8.0),
+])
+
+#: §6.9 / [18]: residential broadband, median ≈ 2.5 ms.
+BROADBAND_JITTER = QuantileJitter([
+    (0.0, 0.2),
+    (0.5, 2.5),
+    (0.9, 8.0),
+    (0.99, 25.0),
+    (1.0, 60.0),
+])

@@ -1,0 +1,112 @@
+"""Packet traces: the detector-facing view of an execution.
+
+A :class:`PacketTrace` is what a passive observer (the paper's
+server-side tap, §6.6) records: timestamps and payloads of transmitted
+packets.  Detectors consume the inter-packet delays
+(:meth:`PacketTrace.ipds_ms`); the TDR detector additionally compares
+against a replayed trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One observed packet."""
+
+    time_ms: float
+    payload: bytes
+
+    def to_json_obj(self) -> dict:
+        return {"t": self.time_ms, "data": self.payload.hex()}
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "PacketRecord":
+        return cls(time_ms=float(obj["t"]),
+                   payload=bytes.fromhex(obj["data"]))
+
+
+class PacketTrace:
+    """An ordered sequence of observed packets."""
+
+    def __init__(self, records: list[PacketRecord] | None = None) -> None:
+        self.records = list(records or [])
+        for earlier, later in zip(self.records, self.records[1:]):
+            if later.time_ms < earlier.time_ms:
+                raise ReproError("packet trace timestamps must be "
+                                 "non-decreasing")
+
+    @classmethod
+    def from_result(cls, result) -> "PacketTrace":
+        """Build a trace from an :class:`ExecutionResult`."""
+        times = result.tx_times_ms()
+        return cls([PacketRecord(t, payload)
+                    for t, (_, payload) in zip(times, result.tx)])
+
+    @classmethod
+    def from_times_ms(cls, times_ms: list[float],
+                      payload: bytes = b"") -> "PacketTrace":
+        """Build a payload-less trace from timestamps (synthetic data)."""
+        return cls([PacketRecord(t, payload) for t in sorted(times_ms)])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def times_ms(self) -> list[float]:
+        return [record.time_ms for record in self.records]
+
+    def ipds_ms(self) -> list[float]:
+        """Inter-packet delays — the covert channel's carrier signal."""
+        times = self.times_ms()
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def duration_ms(self) -> float:
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].time_ms - self.records[0].time_ms
+
+    def slice_packets(self, start: int, stop: int) -> "PacketTrace":
+        """A sub-trace by packet index."""
+        return PacketTrace(self.records[start:stop])
+
+    def shifted(self, delays_ms: list[float]) -> "PacketTrace":
+        """A copy with per-packet extra delays applied cumulatively.
+
+        Delaying packet k by d also delays every later packet by d (the
+        server's send loop is sequential), which is exactly how the
+        ``covert_delay`` primitive perturbs a real execution.
+        """
+        if len(delays_ms) != len(self.records):
+            raise ReproError(
+                f"need one delay per packet: {len(delays_ms)} != "
+                f"{len(self.records)}")
+        accumulated = 0.0
+        out: list[PacketRecord] = []
+        for record, delay in zip(self.records, delays_ms):
+            if delay < 0:
+                raise ReproError("covert delays cannot be negative")
+            accumulated += delay
+            out.append(PacketRecord(record.time_ms + accumulated,
+                                    record.payload))
+        return PacketTrace(out)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([r.to_json_obj() for r in self.records])
+
+    @classmethod
+    def from_json(cls, text: str) -> "PacketTrace":
+        try:
+            items = json.loads(text)
+            return cls([PacketRecord.from_json_obj(obj) for obj in items])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ReproError(f"malformed trace JSON: {exc}") from exc

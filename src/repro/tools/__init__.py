@@ -1,0 +1,6 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.reproduce`` — regenerate the paper's tables and
+  figures interactively (quick, parameterizable versions of the
+  ``benchmarks/`` suite).
+"""

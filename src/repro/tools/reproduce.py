@@ -1,0 +1,181 @@
+"""Interactive reproduction of the paper's experiments.
+
+Usage::
+
+    python -m repro.tools.reproduce --list
+    python -m repro.tools.reproduce fig2 fig7
+    python -m repro.tools.reproduce all --runs 6 --requests 20
+
+Each experiment is a quick, parameterizable version of the corresponding
+bench in ``benchmarks/`` (the benches add shape assertions and fixed
+parameters; this tool is for exploration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiment import (NfsTrafficModel, run_detector_matrix,
+                                       matrix_as_table)
+from repro.analysis.stats import spread_percent
+from repro.apps import (build_kernel_program, build_nfs_program,
+                        build_nfs_workload, compile_app, zero_array_source)
+from repro.channels import all_channels
+from repro.core.tdr import play, replay_naive, round_trip
+from repro.determinism import SplitMix64
+from repro.detectors import all_statistical_detectors
+from repro.machine import MachineConfig
+from repro.machine.config import RuntimeKind
+from repro.machine.noise import scenario_config
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def run_fig2(args) -> None:
+    _banner("Figure 2 — time noise of zeroing an array")
+    program = compile_app(zero_array_source(elements=8192))
+    for scenario in ("user-noisy", "user-quiet", "kernel", "kernel-quiet"):
+        config = scenario_config(scenario)
+        times = [float(play(program, config, seed=s).total_cycles)
+                 for s in range(args.runs)]
+        print(f"  {scenario:14s} variance = {spread_percent(times):8.2f}%")
+
+
+def run_fig3(args) -> None:
+    _banner("Figure 3 — naive replay vs play")
+    program = build_nfs_program()
+    workload = build_nfs_workload(SplitMix64(33),
+                                  num_requests=args.requests)
+    outcome = round_trip(program, MachineConfig(), workload=workload)
+    naive = replay_naive(program, outcome.play.log, MachineConfig(),
+                         seed=7)
+    print(f"  play:         {outcome.play.total_ns / 1e6:9.2f} ms")
+    print(f"  TDR replay:   {outcome.replay.total_ns / 1e6:9.2f} ms "
+          f"(error {outcome.audit.total_time_error * 100:.3f}%)")
+    print(f"  naive replay: {naive.total_ns / 1e6:9.2f} ms "
+          f"(wait-skipping + injection overhead)")
+
+
+def run_table2(args) -> None:
+    _banner("Table 2 — SciMark: Sanity / Oracle-INT / Oracle-JIT")
+    clean = scenario_config("clean")
+    print(f"  {'kernel':8s} {'Sanity':>9s} {'INT':>6s} {'JIT':>9s}")
+    for name in ("sor", "smm", "mc", "fft", "lu"):
+        program = build_kernel_program(name)
+        sanity = play(program, scenario_config("sanity"),
+                      seed=0).total_cycles
+        oint = play(program, clean.with_overrides(name="i"),
+                    seed=0).total_cycles
+        ojit = play(program, clean.with_overrides(
+            name="j", runtime=RuntimeKind.ORACLE_JIT), seed=0).total_cycles
+        print(f"  {name.upper():8s} {sanity / oint:>9.4f} {'1.0':>6s} "
+              f"{ojit / oint:>9.4f}")
+
+
+def run_fig6(args) -> None:
+    _banner("Figure 6 — SciMark timing stability")
+    print(f"  {'kernel':8s} {'dirty':>10s} {'clean':>10s} {'sanity':>10s}")
+    for name in ("sor", "smm", "mc", "lu", "fft"):
+        program = build_kernel_program(name)
+        row = f"  {name.upper():8s}"
+        for scenario in ("dirty", "clean", "sanity"):
+            config = scenario_config(scenario)
+            times = [float(play(program, config, seed=s).total_cycles)
+                     for s in range(args.runs)]
+            row += f" {spread_percent(times):>9.3f}%"
+        print(row)
+
+
+def run_fig7(args) -> None:
+    _banner("Figure 7 / §6.4 — TDR replay accuracy")
+    program = build_nfs_program()
+    worst = 0.0
+    for trace in range(args.runs):
+        workload = build_nfs_workload(SplitMix64(500 + trace),
+                                      num_requests=args.requests)
+        outcome = round_trip(program, MachineConfig(), workload=workload,
+                             play_seed=trace, replay_seed=9000 + trace)
+        worst = max(worst, outcome.audit.max_rel_ipd_diff)
+        print(f"  trace {trace}: total err "
+              f"{outcome.audit.total_time_error * 100:6.3f}%  "
+              f"max IPD err {outcome.audit.max_rel_ipd_diff * 100:6.3f}%")
+    print(f"  worst IPD difference: {worst * 100:.3f}% (paper: 1.85%)")
+
+
+def run_sec65(args) -> None:
+    _banner("§6.5 — log size")
+    program = build_nfs_program()
+    workload = build_nfs_workload(SplitMix64(800),
+                                  num_requests=args.requests)
+    result = play(program, MachineConfig(), workload=workload, seed=0)
+    log = result.log
+    breakdown = log.size_breakdown()
+    print(f"  {len(log)} events, {log.size_bytes()} bytes "
+          f"({log.size_bytes() / len(result.tx):.1f} B/request)")
+    print(f"  packets {breakdown['packet']} B, times {breakdown['time']} B")
+
+
+def run_fig8(args) -> None:
+    _banner("Figure 8 — detector AUC matrix (statistical detectors, "
+            "synthetic traffic)")
+    cells = run_detector_matrix(all_channels(), all_statistical_detectors,
+                                model=NfsTrafficModel(),
+                                num_training=30, num_test=args.runs * 4,
+                                packets_per_trace=120, seed=2014)
+    print(matrix_as_table(cells))
+    print("  (run `pytest benchmarks/test_fig8_roc.py` for the VM-based "
+          "Sanity-detector column)")
+
+
+EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table2": run_table2,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "sec65": run_sec65,
+    "fig8": run_fig8,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--runs", type=int, default=6,
+                        help="repetitions per configuration (default 6)")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="NFS requests per trace (default 25)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:", ", ".join(EXPERIMENTS), "| all")
+        return 0
+    selected = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("available:", ", ".join(EXPERIMENTS), file=sys.stderr)
+        return 2
+    for name in selected:
+        started = time.time()
+        EXPERIMENTS[name](args)
+        print(f"  [{name}: {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

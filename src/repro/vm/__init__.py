@@ -1,0 +1,38 @@
+"""The Sanity virtual machine: a JVM-like stack bytecode VM.
+
+Mirrors the paper's clean-slate JVM (§4.1): a small instruction set, no
+interrupts of its own, a global instruction counter that identifies any
+point in the execution, deterministic round-robin multithreading with a
+fixed instruction budget (§3.2), dynamic memory management with a
+deterministic mark-and-sweep garbage collector, and exception handling.
+
+The VM is parameterized by a :class:`~repro.vm.platform.Platform`, which
+supplies timing (cycle charging, memory hierarchy, branch prediction) and
+the native interface (I/O, ``nanoTime``).  The full hardware-backed
+platform lives in :mod:`repro.machine`; unit tests use the flat
+:class:`~repro.vm.platform.NullPlatform`.
+"""
+
+from repro.vm.heap import Heap, HeapConfig
+from repro.vm.interpreter import Interpreter, VmConfig
+from repro.vm.isa import Op, OPCODE_COST_CLASS, opcode_name
+from repro.vm.natives import NativeRegistry, NativeSpec
+from repro.vm.platform import NullPlatform, Platform
+from repro.vm.program import ClassDef, Function, Program
+
+__all__ = [
+    "ClassDef",
+    "Function",
+    "Heap",
+    "HeapConfig",
+    "Interpreter",
+    "NativeRegistry",
+    "NativeSpec",
+    "NullPlatform",
+    "Op",
+    "OPCODE_COST_CLASS",
+    "Platform",
+    "Program",
+    "VmConfig",
+    "opcode_name",
+]

@@ -1,0 +1,487 @@
+"""The Sanity VM interpreter.
+
+Design notes
+------------
+
+* **Global instruction counter.**  "A simple global instruction counter is
+  sufficient to identify any point in the execution" (§3.2).  Every
+  executed bytecode increments :attr:`Interpreter.instruction_count`; the
+  record/replay layer keys all nondeterministic events on it.
+
+* **Deterministic multithreading.**  Threads are scheduled round-robin and
+  each runnable thread is given a fixed budget of instructions before it is
+  forced to yield (§3.2), so context switches need no log entries.
+
+* **Timing.**  Every instruction charges its cost class to the platform;
+  memory-touching instructions additionally charge a data access at a
+  stable virtual address, and control transfers charge an instruction
+  fetch.  Operand-stack slots are modelled as registers (a real interpreter
+  keeps the hot end of the stack in registers), so only locals, globals,
+  arrays, and fields generate data traffic.
+
+* **The dispatch loop is one long function.**  This is deliberate: a
+  per-opcode method table costs an extra call per executed instruction,
+  which at interpreter-in-an-interpreter depth dominates the simulation's
+  host runtime.  The ladder is ordered by measured opcode frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GuestError, VMRuntimeError
+from repro.hw.cpu import CostClass
+from repro.vm.heap import (GuestThrow, Heap, HeapConfig, KIND_FLOAT_ARRAY,
+                           KIND_INT_ARRAY)
+from repro.vm.isa import (EXC_DIV_BY_ZERO, EXC_INDEX_OUT_OF_BOUNDS,
+                          EXC_STACK_OVERFLOW, EXCEPTION_NAMES,
+                          OPCODE_COST_CLASS, Op, wrap_i64)
+from repro.vm.platform import Platform
+from repro.vm.program import Function, Program
+
+#: Virtual memory map (stable across executions — §3.6 needs the same
+#: virtual layout during play and replay; the *physical* backing is the
+#: FrameAllocator's concern).
+CODE_BASE = 0x0010_0000
+CODE_STRIDE = 0x4000          # per-function code window
+GLOBALS_BASE = 0x0020_0000
+STACK_BASE = 0x0100_0000
+THREAD_STACK_STRIDE = 0x10_0000
+FRAME_STRIDE_SLOTS = 64       # max locals per frame, for address layout
+_WORD = 8
+
+MAX_CALL_DEPTH = 256
+
+
+@dataclass
+class VmConfig:
+    """Interpreter scheduling parameters."""
+
+    thread_quantum: int = 4096      # instructions per scheduling slice
+    poll_interval: int = 256        # instructions between platform polls
+    context_switch_cost: CostClass = CostClass.SYNC
+    heap: HeapConfig | None = None
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "pc", "locals", "stack", "base_vaddr")
+
+    def __init__(self, function: Function, base_vaddr: int) -> None:
+        self.function = function
+        self.pc = 0
+        self.locals = [0] * function.num_locals
+        self.stack: list = []
+        self.base_vaddr = base_vaddr
+
+
+class ThreadState:
+    """One guest thread: a stack of frames."""
+
+    __slots__ = ("thread_id", "frames", "alive", "executed")
+
+    def __init__(self, thread_id: int) -> None:
+        self.thread_id = thread_id
+        self.frames: list[Frame] = []
+        self.alive = True
+        self.executed = 0
+
+    def frame_base(self, depth: int) -> int:
+        return (STACK_BASE + self.thread_id * THREAD_STACK_STRIDE
+                + depth * FRAME_STRIDE_SLOTS * _WORD)
+
+
+class Interpreter:
+    """Executes a :class:`Program` against a :class:`Platform`."""
+
+    def __init__(self, program: Program, platform: Platform,
+                 config: VmConfig | None = None) -> None:
+        self.program = program
+        self.platform = platform
+        self.config = config or VmConfig()
+        self.heap = Heap(self.config.heap)
+        self.globals: list = [0] * program.num_globals
+        self.instruction_count = 0
+        self.halted = False
+        self.threads: list[ThreadState] = []
+        self._next_thread_id = 0
+        self._current_index = 0
+        self.spawn_thread(program.entry_function, [])
+
+    # -- thread management ---------------------------------------------------
+
+    def spawn_thread(self, function: Function, args: list) -> int:
+        """Start a new guest thread running ``function(*args)``."""
+        if len(args) != function.num_params:
+            raise VMRuntimeError(
+                f"thread entry '{function.name}' expects "
+                f"{function.num_params} args, got {len(args)}")
+        thread = ThreadState(self._next_thread_id)
+        self._next_thread_id += 1
+        frame = Frame(function, thread.frame_base(0))
+        frame.locals[:len(args)] = args
+        thread.frames.append(frame)
+        self.threads.append(thread)
+        return thread.thread_id
+
+    @property
+    def current_thread(self) -> ThreadState:
+        return self.threads[self._current_index]
+
+    @property
+    def live_threads(self) -> int:
+        return sum(1 for t in self.threads if t.alive)
+
+    def _rotate(self) -> bool:
+        """Advance to the next runnable thread; False if none remain."""
+        for _ in range(len(self.threads)):
+            self._current_index = (self._current_index + 1) % len(self.threads)
+            if self.threads[self._current_index].alive:
+                return True
+        return False
+
+    # -- GC -------------------------------------------------------------------
+
+    def _gc_roots(self) -> list[int]:
+        roots = [v for v in self.globals if isinstance(v, int)]
+        for thread in self.threads:
+            if not thread.alive:
+                continue
+            for frame in thread.frames:
+                roots.extend(v for v in frame.locals if isinstance(v, int))
+                roots.extend(v for v in frame.stack if isinstance(v, int))
+        return roots
+
+    def _maybe_gc(self, gc_wanted: bool) -> None:
+        if gc_wanted:
+            cost = self.heap.collect(self._gc_roots())
+            self.platform.charge_cycles(cost)
+
+    # -- exception dispatch ----------------------------------------------------
+
+    def _dispatch_exception(self, thread: ThreadState, code: int) -> None:
+        """Unwind ``thread`` until a handler accepts ``code``."""
+        while thread.frames:
+            frame = thread.frames[-1]
+            # frame.pc was already advanced past the faulting instruction
+            # (or past the CALL, for outer frames), so the handler lookup
+            # uses pc - 1: the pc of the instruction that raised.
+            handler = frame.function.find_handler(max(0, frame.pc - 1))
+            if handler is not None:
+                frame.stack.clear()
+                frame.stack.append(code)
+                frame.pc = handler.handler_pc
+                self.platform.fetch_access(
+                    CODE_BASE + frame.function.index * CODE_STRIDE
+                    + handler.handler_pc * 4)
+                return
+            thread.frames.pop()
+        thread.alive = False
+        name = EXCEPTION_NAMES.get(code, str(code))
+        raise GuestError(name, f"in thread {thread.thread_id}")
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, max_instructions: int | None = None) -> int:
+        """Run until the program halts; returns instructions executed.
+
+        Raises :class:`GuestError` on an uncaught guest exception and
+        :class:`VMRuntimeError` on host-level faults (call-depth overflow
+        is converted into a guest StackOverflow first).
+        """
+        # Local aliases shave attribute lookups off the hot path.
+        platform = self.platform
+        charge = platform.charge
+        mem = platform.mem_access
+        fetch = platform.fetch_access
+        cost_of = OPCODE_COST_CLASS
+        poll_interval = self.config.poll_interval
+        quantum = self.config.thread_quantum
+        heap = self.heap
+        limit = max_instructions
+        executed_at_entry = self.instruction_count
+
+        if not any(t.alive for t in self.threads):
+            return 0
+        if not self.threads[self._current_index].alive:
+            if not self._rotate():
+                return 0
+
+        thread = self.threads[self._current_index]
+        slice_left = quantum
+
+        while not self.halted:
+            if not thread.frames:
+                thread.alive = False
+            if not thread.alive:
+                if not self._rotate():
+                    break
+                thread = self.threads[self._current_index]
+                slice_left = quantum
+                continue
+            if slice_left <= 0:
+                charge(self.config.context_switch_cost)
+                if not self._rotate():
+                    break
+                thread = self.threads[self._current_index]
+                slice_left = quantum
+                continue
+
+            frame = thread.frames[-1]
+            function = frame.function
+            ops = function.ops
+            args = function.args
+            pc = frame.pc
+            if pc >= len(ops):
+                # Fell off the end of a void function: implicit return.
+                thread.frames.pop()
+                if thread.frames:
+                    continue
+                thread.alive = False
+                continue
+            op = ops[pc]
+            arg = args[pc]
+
+            self.instruction_count += 1
+            thread.executed += 1
+            slice_left -= 1
+            if self.instruction_count % poll_interval == 0:
+                platform.on_quantum(self)
+                if self.halted:
+                    break
+            charge(cost_of[op])
+            frame.pc = pc + 1
+
+            try:
+                stack = frame.stack
+                if op == Op.LOAD:
+                    mem(frame.base_vaddr + arg * _WORD)
+                    stack.append(frame.locals[arg])
+                elif op == Op.STORE:
+                    mem(frame.base_vaddr + arg * _WORD)
+                    frame.locals[arg] = stack.pop()
+                elif op == Op.ICONST or op == Op.FCONST:
+                    stack.append(arg)
+                elif op == Op.IADD:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] + b)
+                elif op == Op.ISUB:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] - b)
+                elif op == Op.IMUL:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] * b)
+                elif op == Op.CMP:
+                    b = stack.pop()
+                    a = stack.pop()
+                    stack.append((a > b) - (a < b))
+                elif Op.IFEQ <= op <= Op.IFGE:
+                    v = stack.pop()
+                    if op == Op.IFEQ:
+                        taken = v == 0
+                    elif op == Op.IFNE:
+                        taken = v != 0
+                    elif op == Op.IFLT:
+                        taken = v < 0
+                    elif op == Op.IFLE:
+                        taken = v <= 0
+                    elif op == Op.IFGT:
+                        taken = v > 0
+                    else:
+                        taken = v >= 0
+                    site = function.index * CODE_STRIDE + pc
+                    platform.branch(site, taken)
+                    if taken:
+                        frame.pc = arg
+                        fetch(CODE_BASE + function.index * CODE_STRIDE
+                              + arg * 4)
+                elif op == Op.GOTO:
+                    frame.pc = arg
+                    fetch(CODE_BASE + function.index * CODE_STRIDE + arg * 4)
+                elif op == Op.ALOAD:
+                    idx = stack.pop()
+                    obj = heap.get(stack.pop())
+                    data = obj.data
+                    if idx < 0 or idx >= len(data):
+                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                    mem(obj.vaddr + 16 + idx * _WORD)
+                    stack.append(data[idx])
+                elif op == Op.ASTORE:
+                    value = stack.pop()
+                    idx = stack.pop()
+                    obj = heap.get(stack.pop())
+                    data = obj.data
+                    if idx < 0 or idx >= len(data):
+                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                    mem(obj.vaddr + 16 + idx * _WORD)
+                    data[idx] = value
+                elif op == Op.ARRAYLEN:
+                    stack.append(len(heap.get(stack.pop()).data))
+                elif op == Op.FADD:
+                    b = stack.pop()
+                    stack[-1] = stack[-1] + b
+                elif op == Op.FSUB:
+                    b = stack.pop()
+                    stack[-1] = stack[-1] - b
+                elif op == Op.FMUL:
+                    b = stack.pop()
+                    stack[-1] = stack[-1] * b
+                elif op == Op.FDIV:
+                    b = stack.pop()
+                    if b == 0.0:
+                        raise GuestThrow(EXC_DIV_BY_ZERO)
+                    stack[-1] = stack[-1] / b
+                elif op == Op.IDIV:
+                    b = stack.pop()
+                    a = stack.pop()
+                    if b == 0:
+                        raise GuestThrow(EXC_DIV_BY_ZERO)
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    stack.append(wrap_i64(q))
+                elif op == Op.IREM:
+                    b = stack.pop()
+                    a = stack.pop()
+                    if b == 0:
+                        raise GuestThrow(EXC_DIV_BY_ZERO)
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    stack.append(wrap_i64(a - q * b))
+                elif op == Op.INEG:
+                    stack[-1] = wrap_i64(-stack[-1])
+                elif op == Op.ISHL:
+                    b = stack.pop() & 63
+                    stack[-1] = wrap_i64(stack[-1] << b)
+                elif op == Op.ISHR:
+                    b = stack.pop() & 63
+                    stack[-1] = stack[-1] >> b
+                elif op == Op.IAND:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] & b)
+                elif op == Op.IOR:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] | b)
+                elif op == Op.IXOR:
+                    b = stack.pop()
+                    stack[-1] = wrap_i64(stack[-1] ^ b)
+                elif op == Op.FNEG:
+                    stack[-1] = -stack[-1]
+                elif op == Op.I2F:
+                    stack[-1] = float(stack[-1])
+                elif op == Op.F2I:
+                    stack[-1] = wrap_i64(int(stack[-1]))
+                elif op == Op.FSQRT:
+                    v = stack[-1]
+                    if v < 0.0:
+                        raise GuestThrow(EXC_DIV_BY_ZERO)
+                    stack[-1] = math.sqrt(v)
+                elif op == Op.FSIN:
+                    stack[-1] = math.sin(stack[-1])
+                elif op == Op.FCOS:
+                    stack[-1] = math.cos(stack[-1])
+                elif op == Op.GLOAD:
+                    mem(GLOBALS_BASE + arg * _WORD)
+                    stack.append(self.globals[arg])
+                elif op == Op.GSTORE:
+                    mem(GLOBALS_BASE + arg * _WORD)
+                    self.globals[arg] = stack.pop()
+                elif op == Op.POP:
+                    stack.pop()
+                elif op == Op.DUP:
+                    stack.append(stack[-1])
+                elif op == Op.SWAP:
+                    stack[-1], stack[-2] = stack[-2], stack[-1]
+                elif op == Op.NEWARRAY:
+                    length = stack.pop()
+                    kind = KIND_INT_ARRAY if arg == 0 else KIND_FLOAT_ARRAY
+                    if length < 0:
+                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                    handle, gc_wanted = heap.new_array(kind, length)
+                    stack.append(handle)
+                    self._maybe_gc(gc_wanted)
+                elif op == Op.NEWOBJ:
+                    class_def = self.program.classes[arg]
+                    handle, gc_wanted = heap.new_object(
+                        arg, class_def.size_slots)
+                    stack.append(handle)
+                    self._maybe_gc(gc_wanted)
+                elif op == Op.GETFIELD:
+                    obj = heap.get(stack.pop())
+                    mem(obj.vaddr + 16 + arg * _WORD)
+                    stack.append(obj.data[arg])
+                elif op == Op.PUTFIELD:
+                    value = stack.pop()
+                    obj = heap.get(stack.pop())
+                    mem(obj.vaddr + 16 + arg * _WORD)
+                    obj.data[arg] = value
+                elif op == Op.CALL:
+                    callee = self.program.functions[arg]
+                    if len(thread.frames) >= MAX_CALL_DEPTH:
+                        raise GuestThrow(EXC_STACK_OVERFLOW)
+                    new_frame = Frame(callee,
+                                      thread.frame_base(len(thread.frames)))
+                    for i in range(callee.num_params - 1, -1, -1):
+                        new_frame.locals[i] = stack.pop()
+                    thread.frames.append(new_frame)
+                    fetch(CODE_BASE + callee.index * CODE_STRIDE)
+                elif op == Op.RET:
+                    thread.frames.pop()
+                    if thread.frames:
+                        caller = thread.frames[-1]
+                        fetch(CODE_BASE + caller.function.index * CODE_STRIDE
+                              + caller.pc * 4)
+                    else:
+                        thread.alive = False
+                elif op == Op.RETV:
+                    result = stack.pop()
+                    thread.frames.pop()
+                    if thread.frames:
+                        caller = thread.frames[-1]
+                        caller.stack.append(result)
+                        fetch(CODE_BASE + caller.function.index * CODE_STRIDE
+                              + caller.pc * 4)
+                    else:
+                        thread.alive = False
+                elif op == Op.THROW:
+                    raise GuestThrow(stack.pop())
+                elif op == Op.NATIVE:
+                    platform.native_call(arg, self)
+                elif op == Op.HALT:
+                    self.halted = True
+                elif op == Op.NOP:
+                    pass
+                else:  # pragma: no cover - exhaustive above
+                    raise VMRuntimeError(f"unknown opcode {op}",
+                                         pc=pc, function=function.name)
+            except GuestThrow as exc:
+                self._dispatch_exception(thread, exc.code)
+            except IndexError:
+                raise VMRuntimeError("operand stack underflow",
+                                     pc=pc, function=function.name) from None
+
+            if limit is not None and \
+                    self.instruction_count - executed_at_entry >= limit:
+                break
+
+        return self.instruction_count - executed_at_entry
+
+    # -- helpers for natives ----------------------------------------------------
+
+    def pop_args(self, count: int) -> list:
+        """Pop ``count`` operands for a native call (in declaration order)."""
+        stack = self.current_thread.frames[-1].stack
+        if len(stack) < count:
+            raise VMRuntimeError("native call: operand stack underflow")
+        if count == 0:
+            return []
+        taken = stack[-count:]
+        del stack[-count:]
+        return taken
+
+    def push_result(self, value) -> None:
+        """Push a native call's result."""
+        self.current_thread.frames[-1].stack.append(value)

@@ -1,0 +1,213 @@
+"""Instruction set of the Sanity VM.
+
+A compact stack ISA in the spirit of JVM bytecode ("it has only 202
+instructions, no interrupts, and does not include legacy features", §3.1).
+Ours has 52.  Every opcode maps to a :class:`~repro.hw.cpu.CostClass` so
+the CPU model can charge cycles per instruction, and declares its operand
+kind so the assembler can validate listings.
+
+Integer values are 64-bit two's-complement (wrapped on every arithmetic
+instruction); floats are IEEE doubles.  References are opaque handles into
+the heap, with 0 as null.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hw.cpu import CostClass
+
+
+class Op(enum.IntEnum):
+    """Opcodes, grouped by function."""
+
+    # Stack / constants
+    NOP = 0
+    ICONST = 1      # operand: int value
+    FCONST = 2      # operand: float value
+    POP = 3
+    DUP = 4
+    SWAP = 5
+
+    # Locals and globals
+    LOAD = 6        # operand: local slot
+    STORE = 7       # operand: local slot
+    GLOAD = 8       # operand: global index
+    GSTORE = 9      # operand: global index
+
+    # Integer arithmetic (64-bit wrapping)
+    IADD = 10
+    ISUB = 11
+    IMUL = 12
+    IDIV = 13
+    IREM = 14
+    INEG = 15
+    ISHL = 16
+    ISHR = 17
+    IAND = 18
+    IOR = 19
+    IXOR = 20
+
+    # Float arithmetic
+    FADD = 21
+    FSUB = 22
+    FMUL = 23
+    FDIV = 24
+    FNEG = 25
+
+    # Conversions and math intrinsics
+    I2F = 26
+    F2I = 27
+    FSQRT = 28
+    FSIN = 29
+    FCOS = 30
+
+    # Comparison and control flow
+    CMP = 31        # pops b, a; pushes sign(a - b) as int
+    IFEQ = 32       # operand: target pc; pops v, branches if v == 0
+    IFNE = 33
+    IFLT = 34
+    IFLE = 35
+    IFGT = 36
+    IFGE = 37
+    GOTO = 38       # operand: target pc
+
+    # Arrays
+    NEWARRAY = 39   # operand: element kind ('i' or 'f'); pops length
+    ALOAD = 40      # pops idx, ref; pushes element
+    ASTORE = 41     # pops value, idx, ref
+    ARRAYLEN = 42   # pops ref; pushes length
+
+    # Objects (records with typed fields)
+    NEWOBJ = 43     # operand: class index
+    GETFIELD = 44   # operand: field offset; pops ref
+    PUTFIELD = 45   # operand: field offset; pops value, ref
+
+    # Calls
+    CALL = 46       # operand: function index
+    RET = 47
+    RETV = 48       # pops return value
+
+    # Exceptions
+    THROW = 49      # pops an int exception code
+
+    # Native interface
+    NATIVE = 50     # operand: native index
+
+    HALT = 51
+
+
+#: Operand kind per opcode: None, "int", "float", "target", "slot",
+#: "global", "kind", "class", "field", "func", "native".
+OPERAND_KIND: dict[Op, str | None] = {
+    Op.NOP: None, Op.ICONST: "int", Op.FCONST: "float", Op.POP: None,
+    Op.DUP: None, Op.SWAP: None,
+    Op.LOAD: "slot", Op.STORE: "slot", Op.GLOAD: "global", Op.GSTORE: "global",
+    Op.IADD: None, Op.ISUB: None, Op.IMUL: None, Op.IDIV: None,
+    Op.IREM: None, Op.INEG: None, Op.ISHL: None, Op.ISHR: None,
+    Op.IAND: None, Op.IOR: None, Op.IXOR: None,
+    Op.FADD: None, Op.FSUB: None, Op.FMUL: None, Op.FDIV: None,
+    Op.FNEG: None,
+    Op.I2F: None, Op.F2I: None, Op.FSQRT: None, Op.FSIN: None, Op.FCOS: None,
+    Op.CMP: None,
+    Op.IFEQ: "target", Op.IFNE: "target", Op.IFLT: "target",
+    Op.IFLE: "target", Op.IFGT: "target", Op.IFGE: "target",
+    Op.GOTO: "target",
+    Op.NEWARRAY: "kind", Op.ALOAD: None, Op.ASTORE: None, Op.ARRAYLEN: None,
+    Op.NEWOBJ: "class", Op.GETFIELD: "field", Op.PUTFIELD: "field",
+    Op.CALL: "func", Op.RET: None, Op.RETV: None,
+    Op.THROW: None,
+    Op.NATIVE: "native",
+    Op.HALT: None,
+}
+
+#: Cycle-cost class per opcode (fed to :class:`repro.hw.cpu.CpuModel`).
+OPCODE_COST_CLASS: dict[int, CostClass] = {
+    Op.NOP: CostClass.CONST,
+    Op.ICONST: CostClass.CONST,
+    Op.FCONST: CostClass.CONST,
+    Op.POP: CostClass.MOVE,
+    Op.DUP: CostClass.MOVE,
+    Op.SWAP: CostClass.MOVE,
+    Op.LOAD: CostClass.MEM,
+    Op.STORE: CostClass.MEM,
+    Op.GLOAD: CostClass.MEM,
+    Op.GSTORE: CostClass.MEM,
+    Op.IADD: CostClass.ALU,
+    Op.ISUB: CostClass.ALU,
+    Op.IMUL: CostClass.MUL,
+    Op.IDIV: CostClass.DIV,
+    Op.IREM: CostClass.DIV,
+    Op.INEG: CostClass.ALU,
+    Op.ISHL: CostClass.ALU,
+    Op.ISHR: CostClass.ALU,
+    Op.IAND: CostClass.ALU,
+    Op.IOR: CostClass.ALU,
+    Op.IXOR: CostClass.ALU,
+    Op.FADD: CostClass.FPU,
+    Op.FSUB: CostClass.FPU,
+    Op.FMUL: CostClass.FPU,
+    Op.FDIV: CostClass.FPU_DIV,
+    Op.FNEG: CostClass.FPU,
+    Op.I2F: CostClass.FPU,
+    Op.F2I: CostClass.FPU,
+    Op.FSQRT: CostClass.FPU_MATH,
+    Op.FSIN: CostClass.FPU_MATH,
+    Op.FCOS: CostClass.FPU_MATH,
+    Op.CMP: CostClass.ALU,
+    Op.IFEQ: CostClass.BRANCH,
+    Op.IFNE: CostClass.BRANCH,
+    Op.IFLT: CostClass.BRANCH,
+    Op.IFLE: CostClass.BRANCH,
+    Op.IFGT: CostClass.BRANCH,
+    Op.IFGE: CostClass.BRANCH,
+    Op.GOTO: CostClass.BRANCH,
+    Op.NEWARRAY: CostClass.ALLOC,
+    Op.ALOAD: CostClass.MEM,
+    Op.ASTORE: CostClass.MEM,
+    Op.ARRAYLEN: CostClass.MOVE,
+    Op.NEWOBJ: CostClass.ALLOC,
+    Op.GETFIELD: CostClass.MEM,
+    Op.PUTFIELD: CostClass.MEM,
+    Op.CALL: CostClass.CALL,
+    Op.RET: CostClass.RET,
+    Op.RETV: CostClass.RET,
+    Op.THROW: CostClass.CALL,
+    Op.NATIVE: CostClass.NATIVE,
+    Op.HALT: CostClass.CONST,
+}
+
+#: Guest exception codes raised by the VM itself (host traps).  Guest code
+#: may throw any non-negative code it likes.
+EXC_DIV_BY_ZERO = -1
+EXC_INDEX_OUT_OF_BOUNDS = -2
+EXC_NULL_REFERENCE = -3
+EXC_STACK_OVERFLOW = -4
+EXC_OUT_OF_MEMORY = -5
+
+EXCEPTION_NAMES = {
+    EXC_DIV_BY_ZERO: "DivisionByZero",
+    EXC_INDEX_OUT_OF_BOUNDS: "IndexOutOfBounds",
+    EXC_NULL_REFERENCE: "NullReference",
+    EXC_STACK_OVERFLOW: "StackOverflow",
+    EXC_OUT_OF_MEMORY: "OutOfMemory",
+}
+
+_NAME_BY_CODE = {op.value: op.name for op in Op}
+
+
+def opcode_name(code: int) -> str:
+    """Human-readable mnemonic for an opcode value."""
+    return _NAME_BY_CODE.get(code, f"OP_{code}")
+
+
+_MASK64 = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def wrap_i64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= _MASK64
+    if value & _SIGN_BIT:
+        value -= 1 << 64
+    return value

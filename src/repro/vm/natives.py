@@ -1,0 +1,75 @@
+"""Native-function registry (the VM's equivalent of JNI).
+
+The class library of the paper's JVM "interacts with the JVM by calling
+native functions at certain points, e.g., to perform I/O" (§4.1).  Our
+guest programs do the same through the ``NATIVE`` opcode.  The registry
+maps names to indices at assembly time and dispatches calls at run time.
+
+Handlers receive ``(interpreter, args)`` and return the result value or
+``None``.  Timing is the handler's responsibility (charge via the
+platform); the dispatch cost itself is the NATIVE opcode's cost class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import VMLoadError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class NativeSpec:
+    """Declaration of one native function."""
+
+    name: str
+    num_args: int
+    returns_value: bool
+    handler: Callable[["Interpreter", list], object]
+
+
+class NativeRegistry:
+    """Ordered collection of natives; order defines the index space."""
+
+    def __init__(self, specs: list[NativeSpec] | None = None) -> None:
+        self._specs: list[NativeSpec] = []
+        self._by_name: dict[str, int] = {}
+        for spec in specs or []:
+            self.register(spec)
+
+    def register(self, spec: NativeSpec) -> int:
+        """Add a native; returns its index."""
+        if spec.name in self._by_name:
+            raise VMLoadError(f"duplicate native '{spec.name}'")
+        if spec.num_args < 0:
+            raise VMLoadError(f"native '{spec.name}': negative arity")
+        self._specs.append(spec)
+        index = len(self._specs) - 1
+        self._by_name[spec.name] = index
+        return index
+
+    def native_index(self, name: str) -> int:
+        """Resolve a native name to its index (assembler hook)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise VMLoadError(f"undefined native '{name}'") from None
+
+    def spec(self, index: int) -> NativeSpec:
+        try:
+            return self._specs[index]
+        except IndexError:
+            raise VMLoadError(f"native index {index} out of range") from None
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self._specs]

@@ -1,0 +1,105 @@
+"""The platform interface between the VM and the (simulated) hardware.
+
+The interpreter itself is hardware-agnostic: all timing flows through a
+:class:`Platform`.  The production implementation is the timed core of
+:mod:`repro.machine`; :class:`NullPlatform` is a flat-cost stand-in used by
+the VM unit tests and by quick functional runs where timing is irrelevant.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.hw.cpu import CostClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.interpreter import Interpreter
+
+
+class Platform(abc.ABC):
+    """Everything the interpreter needs from the world.
+
+    Methods are called on the interpreter's hot path; implementations
+    should be cheap and must be deterministic given their configuration
+    and noise seed.
+    """
+
+    @abc.abstractmethod
+    def charge(self, cost_class: CostClass) -> None:
+        """Charge the cycle cost of one instruction of ``cost_class``."""
+
+    @abc.abstractmethod
+    def mem_access(self, vaddr: int) -> None:
+        """Charge a data memory access at virtual address ``vaddr``."""
+
+    @abc.abstractmethod
+    def fetch_access(self, code_vaddr: int) -> None:
+        """Charge an instruction fetch (on control transfers)."""
+
+    @abc.abstractmethod
+    def branch(self, branch_site: int, taken: bool) -> None:
+        """Record a conditional branch outcome (charges mispredicts)."""
+
+    @abc.abstractmethod
+    def charge_cycles(self, cycles: int) -> None:
+        """Charge a raw cycle amount (GC, natives, padding)."""
+
+    @abc.abstractmethod
+    def on_quantum(self, interpreter: "Interpreter") -> None:
+        """Periodic hook: interrupts, preemption, bus decay, input polling."""
+
+    @abc.abstractmethod
+    def native_call(self, index: int, interpreter: "Interpreter") -> None:
+        """Execute native #``index``; operands on the interpreter stack."""
+
+
+class NullPlatform(Platform):
+    """Flat-cost platform for functional testing.
+
+    Counts cycles as one per instruction and ignores the memory system.
+    Provides a tiny native set: ``print_int``, ``print_float``,
+    ``nano_time`` (returns the cycle counter), and ``halt_check`` hooks are
+    not needed here.
+    """
+
+    NATIVE_NAMES = ["print_int", "print_float", "nano_time", "abort"]
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.quantum_calls = 0
+        self.printed: list = []
+
+    def charge(self, cost_class: CostClass) -> None:
+        self.cycles += 1
+
+    def mem_access(self, vaddr: int) -> None:
+        self.cycles += 1
+
+    def fetch_access(self, code_vaddr: int) -> None:
+        self.cycles += 1
+
+    def branch(self, branch_site: int, taken: bool) -> None:
+        pass
+
+    def charge_cycles(self, cycles: int) -> None:
+        self.cycles += cycles
+
+    def on_quantum(self, interpreter: "Interpreter") -> None:
+        self.quantum_calls += 1
+
+    def native_call(self, index: int, interpreter: "Interpreter") -> None:
+        name = self.NATIVE_NAMES[index]
+        stack = interpreter.current_thread.frames[-1].stack
+        if name == "print_int":
+            self.printed.append(int(stack.pop()))
+        elif name == "print_float":
+            self.printed.append(float(stack.pop()))
+        elif name == "nano_time":
+            stack.append(self.cycles)
+        elif name == "abort":
+            raise RuntimeError("guest abort")
+
+    def native_index(self, name: str) -> int:
+        """Resolve a native name (assembler hook)."""
+        return self.NATIVE_NAMES.index(name)

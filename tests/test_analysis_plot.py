@@ -1,0 +1,72 @@
+"""Tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.analysis.plot import ascii_bars, ascii_cdf, ascii_scatter
+from repro.errors import ReproError
+
+
+class TestScatter:
+    def test_diagonal_points_land_on_reference(self):
+        points = [(float(i), float(i)) for i in range(10)]
+        plot = ascii_scatter({"data": points}, diagonal=True,
+                             width=20, height=10)
+        assert "o = data" in plot
+        # With points exactly on the diagonal, the reference dots are
+        # fully covered on the plotted columns.
+        assert "o" in plot
+
+    def test_multiple_series_distinct_markers(self):
+        plot = ascii_scatter({"a": [(0.0, 0.0)], "b": [(1.0, 1.0)]},
+                             width=20, height=8)
+        assert "o = a" in plot and "x = b" in plot
+
+    def test_axis_ranges_in_output(self):
+        plot = ascii_scatter({"s": [(2.0, 5.0), (4.0, 9.0)]},
+                             width=20, height=8, xlabel="play",
+                             ylabel="replay")
+        assert "play (2 .. 4)" in plot
+        assert "replay (5 .. 9)" in plot
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_scatter({})
+        with pytest.raises(ReproError):
+            ascii_scatter({"s": [(0.0, 0.0)]}, width=3)
+
+
+class TestCdf:
+    def test_monotone_curve(self):
+        plot = ascii_cdf({"s": [1.0, 2.0, 3.0, 4.0]}, width=20, height=8)
+        lines = [line for line in plot.splitlines()
+                 if line.startswith("|")]
+        # Leftmost column's marker must be at or below rightmost's row.
+        first_rows = [i for i, line in enumerate(lines) if "o" in line]
+        assert first_rows  # curve rendered
+
+    def test_constant_sample(self):
+        plot = ascii_cdf({"s": [5.0, 5.0, 5.0]})
+        assert "value (5 .. 5)" in plot
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_cdf({"s": []})
+
+
+class TestBars:
+    def test_proportional_lengths(self):
+        plot = ascii_bars({"big": 100.0, "small": 10.0}, width=50)
+        big_line, small_line = plot.splitlines()
+        assert big_line.count("#") > 4 * small_line.count("#")
+
+    def test_zero_value_has_no_bar(self):
+        plot = ascii_bars({"none": 0.0, "some": 5.0})
+        none_line = plot.splitlines()[0]
+        assert "#" not in none_line
+
+    def test_unit_rendered(self):
+        assert "%" in ascii_bars({"x": 1.0}, unit="%")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_bars({})

@@ -1,0 +1,156 @@
+"""Tests for the guest applications (SciMark kernels, NFS server,
+microbench) and their integration with TDR."""
+
+import pytest
+
+from repro.apps import (build_kernel_program, build_nfs_program,
+                        build_nfs_workload, compile_app, kernel_source,
+                        zero_array_source)
+from repro.apps.nfs import (NFS_SHUTDOWN, OP_READ, RESPONSE_PAYLOAD_BYTES,
+                            chunks_for_file)
+from repro.core.audit import compare_traces
+from repro.core.tdr import play, replay, round_trip
+from repro.determinism import SplitMix64
+from repro.errors import ReproError
+from repro.machine import MachineConfig
+from repro.machine.config import RuntimeKind
+from repro.machine.noise import scenario_config
+
+KERNELS = ("fft", "sor", "mc", "smm", "lu")
+
+
+class TestSciMarkKernels:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernel_runs_and_prints_checksum(self, name):
+        result = play(build_kernel_program(name), MachineConfig(), seed=0)
+        assert len(result.console) == 1
+        assert result.total_cycles > 0
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_checksum_independent_of_noise_seed(self, name):
+        program = build_kernel_program(name)
+        a = play(program, MachineConfig(), seed=0)
+        b = play(program, scenario_config("dirty"), seed=99)
+        assert a.console == b.console
+
+    def test_mc_estimates_pi(self):
+        result = play(build_kernel_program("mc"), MachineConfig(), seed=0)
+        # 4 * inside/samples, scaled by 1000: expect ~3141 +- sampling.
+        assert 2900 < result.console[0] < 3400
+
+    def test_fft_parameter_validation(self):
+        with pytest.raises(ReproError):
+            kernel_source("fft", n=48, iterations=1)
+        with pytest.raises(ReproError):
+            kernel_source("warp")
+
+    def test_kernel_sizes_parameterizable(self):
+        small = build_kernel_program("sor", n=8, iterations=2)
+        large = build_kernel_program("sor", n=16, iterations=2)
+        time_small = play(small, MachineConfig(), seed=0).total_cycles
+        time_large = play(large, MachineConfig(), seed=0).total_cycles
+        assert time_large > 2 * time_small
+
+    def test_jit_runtime_is_faster(self):
+        program = build_kernel_program("lu")
+        interpreter = play(program, MachineConfig(), seed=0)
+        jit = play(program,
+                   MachineConfig(runtime=RuntimeKind.ORACLE_JIT), seed=0)
+        assert jit.total_cycles < 0.4 * interpreter.total_cycles
+        assert jit.console == interpreter.console
+
+
+class TestMicrobench:
+    def test_zero_array(self):
+        program = compile_app(zero_array_source(elements=2048))
+        result = play(program, MachineConfig(), seed=0)
+        assert result.console == [2048]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zero_array_source(elements=0)
+        with pytest.raises(ValueError):
+            zero_array_source(passes=0)
+
+    def test_larger_array_costs_more(self):
+        small = play(compile_app(zero_array_source(1024)),
+                     MachineConfig(), seed=0).total_cycles
+        large = play(compile_app(zero_array_source(8192)),
+                     MachineConfig(), seed=0).total_cycles
+        assert large > 3 * small
+
+
+class TestNfsServer:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_nfs_program()
+
+    def test_serves_all_requests(self, program):
+        workload = build_nfs_workload(SplitMix64(1), num_requests=15)
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        assert len(result.tx) == 15
+        assert result.console == [15]  # requests_served
+
+    def test_response_format(self, program):
+        workload = build_nfs_workload(SplitMix64(2), num_requests=5)
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        for _, payload in result.tx:
+            assert len(payload) == 3 + RESPONSE_PAYLOAD_BYTES
+            file_id, chunk_index = payload[0], payload[1]
+            assert 1 <= file_id <= 30
+            assert 0 <= chunk_index < chunks_for_file(file_id)
+
+    def test_responses_deterministic_content(self, program):
+        workload_a = build_nfs_workload(SplitMix64(3), num_requests=10)
+        workload_b = build_nfs_workload(SplitMix64(3), num_requests=10)
+        a = play(program, MachineConfig(), workload=workload_a, seed=0)
+        b = play(program, MachineConfig(), workload=workload_b, seed=42)
+        assert [p for _, p in a.tx] == [p for _, p in b.tx]
+
+    def test_service_time_grows_with_file_size(self, program):
+        def ipd_for_file(file_id):
+            from repro.machine.workload import InteractiveClient, Request
+
+            requests = [Request(bytes([OP_READ, file_id, 0]))
+                        for _ in range(6)]
+            workload = InteractiveClient(
+                requests, SplitMix64(9), shutdown_payload=NFS_SHUTDOWN)
+            result = play(program, MachineConfig(), workload=workload,
+                          seed=0)
+            ipds = result.ipds_ms()
+            return sum(ipds) / len(ipds)
+
+        assert ipd_for_file(30) > ipd_for_file(1) + 5.0
+
+    def test_tdr_round_trip(self, program):
+        workload = build_nfs_workload(SplitMix64(4), num_requests=20)
+        outcome = round_trip(program, MachineConfig(), workload=workload,
+                             play_seed=0, replay_seed=77)
+        assert outcome.audit.payloads_match
+        assert outcome.audit.max_rel_ipd_diff < 0.0185
+        assert outcome.audit.is_consistent()
+
+    def test_covert_schedule_detected_by_audit(self, program):
+        workload = build_nfs_workload(SplitMix64(5), num_requests=20)
+        # 2 ms extra delay on packets 5 and 12 (cycles at 3.4 GHz).
+        schedule = [0] * 20
+        schedule[5] = schedule[12] = 6_800_000
+        covert = play(program, MachineConfig(), workload=workload, seed=0,
+                      covert_schedule=schedule)
+        reference = replay(program, covert.log, MachineConfig(), seed=77)
+        report = compare_traces(covert, reference)
+        assert report.payloads_match
+        assert not report.is_consistent()
+        assert report.deviation_score() > 1.0  # ~2 ms needles stand out
+
+    def test_chunks_for_file(self):
+        assert chunks_for_file(1) == 1
+        assert chunks_for_file(4) == 1
+        assert chunks_for_file(5) == 2
+        assert chunks_for_file(30) == 8
+        with pytest.raises(ValueError):
+            chunks_for_file(0)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            build_nfs_workload(SplitMix64(1), num_requests=0)

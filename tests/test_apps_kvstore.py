@@ -1,0 +1,105 @@
+"""Tests for the key-value store guest."""
+
+import pytest
+
+from repro.apps.kvstore import (OP_GET, OP_PUT, build_kvstore_program,
+                                build_kvstore_workload, KV_SHUTDOWN)
+from repro.core.tdr import play, round_trip
+from repro.determinism import SplitMix64
+from repro.machine import InteractiveClient, MachineConfig, Request
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_kvstore_program()
+
+
+def scripted_client(operations):
+    requests = [Request(bytes(op)) for op in operations]
+    return InteractiveClient(requests, SplitMix64(3),
+                             mean_think_cycles=0.0,
+                             shutdown_payload=KV_SHUTDOWN)
+
+
+class TestKvStoreSemantics:
+    def test_put_then_get(self, program):
+        workload = scripted_client([
+            [OP_PUT, 17, 99],
+            [OP_GET, 17],
+            [OP_GET, 18],
+        ])
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        responses = [tuple(p) for _, p in result.tx]
+        assert responses[0] == (1, 17, 99)   # put ok
+        assert responses[1] == (1, 17, 99)   # found
+        assert responses[2] == (0, 18, 0)    # missing
+
+    def test_overwrite(self, program):
+        workload = scripted_client([
+            [OP_PUT, 5, 10],
+            [OP_PUT, 5, 20],
+            [OP_GET, 5],
+        ])
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        assert tuple(result.tx[-1][1]) == (1, 5, 20)
+        assert result.console == [1]   # one distinct key stored
+
+    def test_collision_chains_resolve(self, program):
+        # Keys spaced by TABLE_SIZE hash to nearby slots; linear probing
+        # must keep them distinct.
+        from repro.apps.kvstore import TABLE_SIZE
+
+        operations = []
+        for i in range(5):
+            operations.append([OP_PUT, (7 + i * TABLE_SIZE) % 256, 100 + i])
+        for i in range(5):
+            operations.append([OP_GET, (7 + i * TABLE_SIZE) % 256])
+        workload = scripted_client(operations)
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        for i in range(5):
+            found, _, value = result.tx[5 + i][1]
+            assert (found, value) == (1, 100 + i)
+
+    def test_random_workload_matches_reference_dict(self, program):
+        rng = SplitMix64(42)
+        workload = build_kvstore_workload(rng, num_requests=50)
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        reference: dict[int, int] = {}
+        for request, (_, response) in zip(workload.requests, result.tx):
+            op = request.payload[0]
+            if op == OP_PUT:
+                key, value = request.payload[1], request.payload[2]
+                reference[key] = value
+                assert tuple(response) == (1, key, value)
+            else:
+                key = request.payload[1]
+                expected = reference.get(key)
+                if expected is None:
+                    assert tuple(response) == (0, key, 0)
+                else:
+                    assert tuple(response) == (1, key, expected)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            build_kvstore_workload(SplitMix64(1), num_requests=0)
+        with pytest.raises(ValueError):
+            build_kvstore_workload(SplitMix64(1), put_fraction=1.5)
+
+
+class TestKvStoreTdr:
+    def test_round_trip_accuracy(self, program):
+        workload = build_kvstore_workload(SplitMix64(9), num_requests=30)
+        outcome = round_trip(program, MachineConfig(), workload=workload,
+                             play_seed=0, replay_seed=55)
+        assert outcome.audit.payloads_match
+        assert outcome.audit.is_consistent()
+
+    def test_state_dependent_timing_still_replays(self, program):
+        """Later requests probe longer chains (higher load factor), so
+        service time depends on the entire history — and replay still
+        reproduces it."""
+        workload = build_kvstore_workload(SplitMix64(10), num_requests=60,
+                                          key_space=40, put_fraction=0.9)
+        outcome = round_trip(program, MachineConfig(), workload=workload,
+                             play_seed=1, replay_seed=77)
+        assert outcome.audit.max_rel_ipd_diff < 0.0185

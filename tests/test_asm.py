@@ -1,0 +1,181 @@
+"""Tests for the assembler and disassembler, focused on error handling
+and the details the round-trip test in test_vm_interpreter.py skips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.errors import AssemblerError, VMLoadError
+from repro.vm import NullPlatform
+from repro.vm.isa import Op
+
+
+class TestAssemblerErrors:
+    @pytest.mark.parametrize("text, fragment", [
+        ("", "no functions"),
+        ("iconst 1", "outside a function"),
+        ("label:", "outside a function"),
+        (".func main 0 0\n    frobnicate", "unknown mnemonic"),
+        (".func main 0 0\n    iconst", "exactly one operand"),
+        (".func main 0 0\n    iconst 1 2", "exactly one operand"),
+        (".func main 0 0\n    pop 3", "takes no operand"),
+        (".func main 0 0\n    iconst abc", "expected integer"),
+        (".func main 0 0\n    fconst xyz", "expected float"),
+        (".func main 0 0\n    goto nowhere", "undefined label"),
+        (".func main 0 0\n    call ghost", "undefined function"),
+        (".func main 0 0\nx:\nx:\n    ret", "duplicate label"),
+        (".func main 0 0\n    newarray q", "must be 'i' or 'f'"),
+        (".func main 0 0\n    newobj Ghost", "undefined class"),
+        (".class C a\n.func main 0 0\n    getfield C.b", "no field"),
+        (".class C a\n.func main 0 0\n    getfield D.a", "undefined class"),
+        (".func main 0 0\n    .catch a b", "needs: start_label"),
+        (".func main", "needs: name num_params num_locals"),
+        (".global", "exactly one name"),
+        (".global g\n.global g\n.func main 0 0\n    ret",
+         "duplicate global"),
+        (".class C\n.class C\n.func main 0 0\n    ret", "duplicate class"),
+        (".func main 0 0\n    native warp", "no registry"),
+    ])
+    def test_rejected_listings(self, text, fragment):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(text)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(".func main 0 0\n    nop\n    frobnicate")
+        assert excinfo.value.line == 3
+
+    def test_undefined_native_with_registry(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(".func main 0 0\n    native warp",
+                     natives=NullPlatform())
+        assert "undefined native" in str(excinfo.value)
+
+    def test_duplicate_function_rejected_at_link(self):
+        with pytest.raises(VMLoadError):
+            assemble(".func main 0 0\n    ret\n.func main 0 0\n    ret")
+
+    def test_bad_slot_rejected_at_link(self):
+        with pytest.raises(VMLoadError):
+            assemble(".func main 0 1\n    load 5\n    ret")
+
+
+class TestAssemblerFeatures:
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; full-line comment
+
+        .func main 0 0   ; trailing comment
+            nop          ; another
+            ret
+        """)
+        assert program.function("main").ops == [Op.NOP, Op.RET]
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("""
+        .func main 0 0
+        start: nop
+            goto start
+        """)
+        function = program.function("main")
+        assert function.args[1] == 0
+
+    def test_hex_and_negative_literals(self):
+        program = assemble("""
+        .func main 0 0
+            iconst 0xFF
+            iconst -12
+            pop
+            pop
+            ret
+        """)
+        assert program.function("main").args[:2] == [255, -12]
+
+    def test_global_by_name_and_index(self):
+        program = assemble("""
+        .global alpha
+        .global beta
+        .func main 0 0
+            iconst 1
+            gstore beta
+            iconst 2
+            gstore 0
+            ret
+        """)
+        args = program.function("main").args
+        assert args[1] == 1   # beta
+        assert args[3] == 0   # raw index
+
+    def test_field_by_raw_offset(self):
+        program = assemble("""
+        .class P x y
+        .func main 0 1
+            newobj P
+            store 0
+            load 0
+            iconst 5
+            putfield 1
+            ret
+        """)
+        assert Op.PUTFIELD in program.function("main").ops
+
+    def test_custom_entry_point(self):
+        program = assemble("""
+        .func helper 0 0
+            ret
+        .func server 0 0
+            ret
+        """, entry="server")
+        assert program.entry == "server"
+
+
+class TestDisassembler:
+    def test_exception_table_round_trips(self):
+        source = """
+        .func main 0 1
+        t0:
+            iconst 3
+            throw
+        t1:
+            ret
+        h:
+            pop
+            ret
+        .catch t0 t1 h
+        """
+        program = assemble(source)
+        listing = disassemble(program)
+        assert ".catch" in listing
+        again = assemble(listing)
+        assert again.function("main").handlers == \
+            program.function("main").handlers
+
+    def test_natives_round_trip_by_index(self):
+        platform = NullPlatform()
+        program = assemble("""
+        .func main 0 0
+            iconst 1
+            native print_int
+            ret
+        """, natives=platform)
+        listing = disassemble(program)
+        # The listing renders native indices numerically; reassembling
+        # against a numeric-tolerant reader is not supported — the index
+        # must appear.
+        assert "native 0" in listing
+
+    @given(st.lists(st.sampled_from(["nop", "iconst 1", "pop",
+                                     "iconst 2\n    iconst 3\n    iadd\n"
+                                     "    pop"]),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_straightline_programs_roundtrip(self, body_parts):
+        body = "\n    ".join(part for part in body_parts)
+        source = f".func main 0 0\n    {body}\n    ret"
+        program = assemble(source)
+        # Net stack effect of each part is zero, so this always loads.
+        listing = disassemble(program)
+        again = assemble(listing)
+        assert again.function("main").ops == program.function("main").ops
+        assert again.function("main").args == program.function("main").args

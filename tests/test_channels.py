@@ -1,0 +1,222 @@
+"""Tests for the covert channel encoders/decoders."""
+
+import pytest
+
+from repro.analysis.experiment import NfsTrafficModel
+from repro.analysis.stats import mean, stdev
+from repro.channels import (Ipctc, Mbctc, NeedleChannel, Trctc,
+                            all_channels, bit_accuracy, bits_to_bytes,
+                            bytes_to_bits, random_bits)
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+def legit_sample(n=240, seed=7):
+    return NfsTrafficModel().ipds(n, SplitMix64(seed))
+
+
+class TestCodec:
+    def test_bits_bytes_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_partial_byte_padding(self):
+        assert bits_to_bytes([1, 0, 1]) == bytes([0b10100000])
+
+    def test_bit_expansion_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ChannelError):
+            bits_to_bytes([0, 2])
+
+    def test_random_bits(self):
+        bits = random_bits(100, SplitMix64(1))
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+        with pytest.raises(ChannelError):
+            random_bits(-1, SplitMix64(1))
+
+    def test_bit_accuracy(self):
+        assert bit_accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+        assert bit_accuracy([1, 0, 1, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        assert bit_accuracy([], [1]) == 0.0
+
+
+class TestChannelContract:
+    @pytest.mark.parametrize("channel", all_channels(),
+                             ids=lambda c: c.name)
+    def test_requires_fit(self, channel):
+        with pytest.raises(ChannelError):
+            channel.encode([1.0, 2.0], [1, 0], SplitMix64(1))
+
+    @pytest.mark.parametrize("channel", all_channels(),
+                             ids=lambda c: c.name)
+    def test_delays_are_nonnegative(self, channel):
+        rng = SplitMix64(3)
+        channel.fit(legit_sample(), rng)
+        natural = NfsTrafficModel().ipds(80, SplitMix64(11))
+        bits = random_bits(channel.bits_needed(80) or 1, rng)
+        delays = channel.delays_for(natural, bits, rng)
+        assert len(delays) == len(natural)
+        assert all(d >= 0.0 for d in delays)
+
+    @pytest.mark.parametrize("channel", all_channels(),
+                             ids=lambda c: c.name)
+    def test_encoding_is_seed_deterministic(self, channel):
+        natural = NfsTrafficModel().ipds(50, SplitMix64(11))
+        bits = [1, 0, 1, 1, 0]
+
+        def run():
+            rng = SplitMix64(5)
+            channel.fit(legit_sample(), rng)
+            return channel.encode(natural, bits, rng)
+
+        assert run() == run()
+
+    def test_rejects_non_binary_bits(self):
+        channel = Ipctc()
+        channel.fit(legit_sample(), SplitMix64(1))
+        with pytest.raises(ChannelError):
+            channel.encode([1.0], [2], SplitMix64(1))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ChannelError):
+            Ipctc().fit([], SplitMix64(1))
+
+
+class TestIpctc:
+    def test_roundtrip_without_jitter(self):
+        channel = Ipctc(slot_ms=10.0)
+        rng = SplitMix64(2)
+        channel.fit(legit_sample(), rng)
+        bits = random_bits(64, rng)
+        natural = [8.0] * 64
+        covert = channel.encode(natural, bits, rng)
+        assert channel.decode(covert) == bits
+
+    def test_two_level_encoding(self):
+        channel = Ipctc(slot_ms=10.0)
+        channel.fit([1.0], SplitMix64(1))
+        covert = channel.encode([0.0] * 4, [0, 1, 0, 1], SplitMix64(1))
+        assert covert == [10.0, 20.0, 10.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            Ipctc(slot_ms=0)
+
+
+class TestTrctc:
+    def test_values_come_from_recorded_pool(self):
+        channel = Trctc(sample_size=20, recalibrate=False)
+        rng = SplitMix64(3)
+        sample = legit_sample(20)
+        channel.fit(sample, rng)
+        covert = channel.encode([0.0] * 100, random_bits(100, rng), rng)
+        assert set(covert) <= set(sample)
+        # Replay must reuse values (the channel's statistical tell).
+        assert len(set(covert)) < len(covert)
+
+    def test_bit_separation(self):
+        channel = Trctc(sample_size=40, recalibrate=False)
+        rng = SplitMix64(5)
+        channel.fit(legit_sample(), rng)
+        zeros = channel.encode([0.0] * 50, [0], rng)
+        ones = channel.encode([0.0] * 50, [1], rng)
+        assert mean(ones) > mean(zeros)
+
+    def test_decode_roundtrip(self):
+        channel = Trctc(sample_size=100)
+        rng = SplitMix64(7)
+        channel.fit(legit_sample(), rng)
+        bits = random_bits(60, rng)
+        covert = channel.encode([0.0] * 60, bits, rng)
+        assert bit_accuracy(bits, channel.decode(covert)) == 1.0
+
+    def test_recalibration_matches_long_run_stats(self):
+        long_sample = legit_sample(500)
+        rng = SplitMix64(9)
+        cal = Trctc(sample_size=30, recalibrate=True)
+        cal.fit(long_sample, rng)
+        pool = cal._bin0 + cal._bin1
+        assert mean(pool) == pytest.approx(mean(long_sample), abs=1e-9)
+        assert stdev(pool) == pytest.approx(stdev(long_sample), rel=1e-6)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ChannelError):
+            Trctc(sample_size=2)
+        channel = Trctc(sample_size=10)
+        with pytest.raises(ChannelError):
+            channel.fit([1.0, 2.0], SplitMix64(1))
+
+
+class TestMbctc:
+    def test_marginal_mimics_legit(self):
+        channel = Mbctc()
+        rng = SplitMix64(11)
+        sample = legit_sample(400)
+        channel.fit(sample, rng)
+        # The natural stream (which the channel suppresses and refits on)
+        # is itself legit-shaped, as on a real compromised host.
+        natural = NfsTrafficModel().ipds(400, SplitMix64(21))
+        covert = channel.encode(natural, random_bits(400, rng), rng)
+        assert mean(covert) == pytest.approx(mean(sample), rel=0.1)
+        assert stdev(covert) == pytest.approx(stdev(sample), rel=0.35)
+
+    def test_decode_roundtrip(self):
+        channel = Mbctc(refit_window=10_000)  # no refits mid-trace
+        rng = SplitMix64(13)
+        channel.fit(legit_sample(400), rng)
+        bits = random_bits(80, rng)
+        covert = channel.encode([8.0] * 80, bits, rng)
+        assert bit_accuracy(bits, channel.decode(covert)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            Mbctc(refit_window=2)
+
+    def test_handles_nonpositive_training_values(self):
+        channel = Mbctc()
+        channel.fit([0.0, 1.0, 2.0, 3.0, 4.0], SplitMix64(1))
+        covert = channel.encode([1.0] * 10, [1, 0], SplitMix64(1))
+        assert all(v > 0 for v in covert)
+
+
+class TestNeedle:
+    def test_only_carrier_packets_touched(self):
+        channel = NeedleChannel(period=10, delta_ms=2.0)
+        rng = SplitMix64(17)
+        channel.fit(legit_sample(), rng)
+        natural = [float(i) + 5.0 for i in range(35)]
+        covert = channel.encode(natural, [1, 1, 1, 1], rng)
+        touched = [i for i, (a, b) in enumerate(zip(natural, covert))
+                   if a != b]
+        assert touched == [0, 10, 20, 30]
+        assert all(covert[i] == natural[i] + 2.0 for i in touched)
+
+    def test_zero_bits_leave_trace_untouched(self):
+        channel = NeedleChannel(period=5, delta_ms=2.0)
+        rng = SplitMix64(19)
+        channel.fit(legit_sample(), rng)
+        natural = [7.0] * 20
+        assert channel.encode(natural, [0, 0, 0, 0], rng) == natural
+
+    def test_decode_roundtrip_clean_path(self):
+        channel = NeedleChannel(period=10, delta_ms=3.0)
+        rng = SplitMix64(23)
+        channel.fit([7.0] * 50, rng)
+        natural = [7.0] * 40
+        bits = [1, 0, 1, 1]
+        covert = channel.encode(natural, bits, rng)
+        assert channel.decode(covert) == bits
+
+    def test_bits_needed_respects_period(self):
+        channel = NeedleChannel(period=100)
+        assert channel.bits_needed(120) == 1
+        assert channel.bits_needed(50) == 0
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            NeedleChannel(period=0)
+        with pytest.raises(ChannelError):
+            NeedleChannel(delta_ms=-1.0)

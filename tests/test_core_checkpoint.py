@@ -1,0 +1,120 @@
+"""Tests for VM checkpointing (segment replay support, §3.2)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.checkpoint import (Checkpoint, restore_interpreter,
+                                   segment_boundary_cost,
+                                   snapshot_interpreter)
+from repro.errors import ReplayError
+from repro.vm import Interpreter, NullPlatform
+
+COUNTDOWN = """
+.global remaining
+.func main 0 1
+    iconst 1000
+    gstore remaining
+loop:
+    gload remaining
+    ifle done
+    gload remaining
+    iconst 1
+    isub
+    gstore remaining
+    goto loop
+done:
+    gload remaining
+    native print_int
+    ret
+"""
+
+HEAP_PROGRAM = """
+.global keeper
+.func main 0 2
+    iconst 16
+    newarray i
+    dup
+    iconst 3
+    iconst 111
+    astore
+    gstore keeper
+    iconst 500
+    store 0
+loop:
+    load 0
+    ifle done
+    load 0
+    iconst 1
+    isub
+    store 0
+    goto loop
+done:
+    gload keeper
+    iconst 3
+    aload
+    native print_int
+    ret
+"""
+
+
+def make_vm(text):
+    platform = NullPlatform()
+    program = assemble(text, natives=platform)
+    return Interpreter(program, platform), platform
+
+
+class TestCheckpoint:
+    def test_snapshot_captures_instruction_count(self):
+        vm, _ = make_vm(COUNTDOWN)
+        vm.run(max_instructions=100)
+        checkpoint = snapshot_interpreter(vm)
+        assert checkpoint.instr_count == vm.instruction_count
+        assert not checkpoint.halted
+
+    def test_restore_resumes_identically(self):
+        """Running from a checkpoint reproduces the original suffix."""
+        vm, platform = make_vm(COUNTDOWN)
+        vm.run(max_instructions=1500)
+        checkpoint = snapshot_interpreter(vm)
+        # Finish the original.
+        vm.run()
+        original_total = vm.instruction_count
+        original_output = list(platform.printed)
+
+        # Fresh interpreter, restore, resume.
+        vm2, platform2 = make_vm(COUNTDOWN)
+        restore_interpreter(vm2, checkpoint)
+        assert vm2.instruction_count == checkpoint.instr_count
+        vm2.run()
+        assert vm2.instruction_count == original_total
+        assert platform2.printed == original_output
+
+    def test_snapshot_is_isolated_from_later_execution(self):
+        """The snapshot must deep-copy state, not alias it."""
+        vm, _ = make_vm(COUNTDOWN)
+        vm.run(max_instructions=200)
+        checkpoint = snapshot_interpreter(vm)
+        globals_at_snapshot = list(checkpoint.globals_state)
+        vm.run(max_instructions=2000)
+        assert checkpoint.globals_state == globals_at_snapshot
+        assert vm.globals != checkpoint.globals_state
+
+    def test_heap_state_restored(self):
+        vm, _ = make_vm(HEAP_PROGRAM)
+        vm.run(max_instructions=50)   # past the allocation
+        checkpoint = snapshot_interpreter(vm)
+        vm2, platform2 = make_vm(HEAP_PROGRAM)
+        restore_interpreter(vm2, checkpoint)
+        vm2.run()
+        assert platform2.printed == [111]
+
+    def test_restore_rejects_empty_checkpoint(self):
+        vm, _ = make_vm(COUNTDOWN)
+        bad = Checkpoint(instr_count=0, heap_state=None, globals_state=[],
+                         threads_state=[], halted=False, next_thread_id=0,
+                         current_index=0)
+        with pytest.raises(ReplayError):
+            restore_interpreter(vm, bad)
+
+    def test_segment_boundary_cost_positive(self):
+        assert segment_boundary_cost() > 0

@@ -1,0 +1,86 @@
+"""Tests for machine-level segment replay (§3.2)."""
+
+import pytest
+
+from repro.apps import build_nfs_program, build_nfs_workload
+from repro.core.segments import (MachineCheckpoint, play_with_checkpoint,
+                                 replay_segment, segment_of)
+from repro.determinism import SplitMix64
+from repro.errors import ReplayError
+from repro.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def nfs_program():
+    return build_nfs_program()
+
+
+def run_checkpointed(nfs_program, at_instr=120_000, seed=0,
+                     requests=16, covert_schedule=None):
+    workload = build_nfs_workload(SplitMix64(77), num_requests=requests)
+    return play_with_checkpoint(nfs_program, MachineConfig(), workload,
+                                at_instr=at_instr, seed=seed,
+                                covert_schedule=covert_schedule)
+
+
+class TestSegmentReplay:
+    def test_checkpoint_is_mid_execution(self, nfs_program):
+        observed, checkpoint = run_checkpointed(nfs_program)
+        assert 0 < checkpoint.tx_count < len(observed.tx)
+        assert 0 < checkpoint.log_position < len(observed.log.entries)
+        assert 0 < checkpoint.clock_cycles < observed.total_cycles
+
+    def test_segment_reproduces_suffix_functionally(self, nfs_program):
+        observed, checkpoint = run_checkpointed(nfs_program)
+        segment = replay_segment(nfs_program, observed.log, checkpoint,
+                                 MachineConfig(), seed=9)
+        original_suffix = segment_of(observed, checkpoint)
+        assert [p for _, p in segment.tx] == \
+            [p for _, p in original_suffix]
+
+    def test_segment_reproduces_suffix_timing(self, nfs_program):
+        """The segment's transmission times line up with the original
+        timeline to within the residual noise (plus the quiesce
+        transient on the first packets)."""
+        observed, checkpoint = run_checkpointed(nfs_program)
+        segment = replay_segment(nfs_program, observed.log, checkpoint,
+                                 MachineConfig(), seed=9)
+        original_suffix = segment_of(observed, checkpoint)
+        scale_ms = 1e3 / (MachineConfig().frequency_hz / 1e3) / 1e3
+        for (orig_cycle, _), (seg_cycle, _) in zip(original_suffix,
+                                                   segment.tx):
+            diff_ms = abs(orig_cycle - seg_cycle) * 1e3 \
+                / MachineConfig().frequency_hz
+            assert diff_ms < 0.5, (orig_cycle, seg_cycle)
+
+    def test_segment_detects_covert_suffix(self, nfs_program):
+        """Auditing only a segment still catches a channel that was
+        active inside it."""
+        schedule = [0] * 16
+        schedule[10] = 6_800_000   # ~2 ms on a packet after the checkpoint
+        observed, checkpoint = run_checkpointed(nfs_program,
+                                                covert_schedule=schedule)
+        segment = replay_segment(nfs_program, observed.log, checkpoint,
+                                 MachineConfig(), seed=9)
+        original_suffix = segment_of(observed, checkpoint)
+        diffs_ms = [abs(a - b) * 1e3 / MachineConfig().frequency_hz
+                    for (a, _), (b, _) in zip(original_suffix, segment.tx)]
+        assert max(diffs_ms) > 1.5   # the covert delay stands out
+
+    def test_invalid_checkpoint_requests(self, nfs_program):
+        with pytest.raises(ReplayError):
+            run_checkpointed(nfs_program, at_instr=0)
+        with pytest.raises(ReplayError):
+            # Far beyond the end of the execution.
+            run_checkpointed(nfs_program, at_instr=10**9, requests=2)
+
+    def test_bad_log_position_rejected(self, nfs_program):
+        observed, checkpoint = run_checkpointed(nfs_program)
+        bad = MachineCheckpoint(
+            vm_state=checkpoint.vm_state,
+            clock_cycles=checkpoint.clock_cycles,
+            log_position=len(observed.log.entries) + 5,
+            tx_count=checkpoint.tx_count,
+            covert_cursor=0)
+        with pytest.raises(ReplayError):
+            replay_segment(nfs_program, observed.log, bad, MachineConfig())

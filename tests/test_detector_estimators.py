@@ -1,0 +1,107 @@
+"""Correctness tests of the detector estimators on processes with known
+statistics (i.i.d., periodic, Markov) — independent of the covert-channel
+setting."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (entropy_bits, equiprobable_bin_edges,
+                                  quantize)
+from repro.detectors.cce import corrected_conditional_entropy
+from repro.detectors.regularity import regularity_statistic
+from repro.determinism import SplitMix64
+
+
+class TestCceEstimator:
+    def test_constant_sequence_has_zero_entropy(self):
+        assert corrected_conditional_entropy([3] * 200) == 0.0
+
+    def test_periodic_sequence_is_nearly_deterministic(self):
+        symbols = [0, 1, 2, 3] * 100
+        cce = corrected_conditional_entropy(symbols)
+        # Once one symbol of context is known the next is determined;
+        # only the finite-sample correction keeps it above zero.
+        assert cce < 0.2
+
+    def test_iid_uniform_approaches_log2_q(self):
+        rng = SplitMix64(7)
+        symbols = [rng.randint(0, 4) for _ in range(4000)]
+        cce = corrected_conditional_entropy(symbols)
+        assert cce == pytest.approx(math.log2(5), abs=0.35)
+
+    def test_markov_chain_below_iid(self):
+        """A sticky Markov chain has conditional entropy well below its
+        marginal entropy; CCE must see the difference."""
+        rng = SplitMix64(11)
+        state = 0
+        sticky = []
+        for _ in range(3000):
+            if rng.random() < 0.9:
+                pass                      # stay
+            else:
+                state = rng.randint(0, 4)
+            sticky.append(state)
+        iid = [rng.randint(0, 4) for _ in range(3000)]
+        assert corrected_conditional_entropy(sticky) < \
+            0.6 * corrected_conditional_entropy(iid)
+
+    def test_correction_prevents_underestimation_on_tiny_samples(self):
+        """With only a handful of samples, raw conditional entropy
+        collapses (every pattern unique); the correction keeps the
+        estimate near the first-order entropy instead."""
+        rng = SplitMix64(13)
+        tiny = [rng.randint(0, 4) for _ in range(12)]
+        cce = corrected_conditional_entropy(tiny)
+        first_order = entropy_bits(tiny)
+        assert cce >= 0.5 * first_order
+
+    def test_empty_sequence(self):
+        assert corrected_conditional_entropy([]) == 0.0
+
+
+class TestRegularityStatistic:
+    def test_constant_variance_process_is_regular(self):
+        # Alternating two values: every window has the same sigma.
+        ipds = [5.0, 9.0] * 60
+        assert regularity_statistic(ipds, 10) == pytest.approx(0.0)
+
+    def test_growing_variance_process_is_irregular(self):
+        # Variance doubles window over window.
+        ipds = []
+        scale = 0.1
+        for _ in range(12):
+            ipds.extend([10.0 - scale, 10.0 + scale] * 5)
+            scale *= 2.0
+        assert regularity_statistic(ipds, 10) > 1.0
+
+    def test_degenerate_trace(self):
+        assert regularity_statistic([5.0] * 40, 10) == 0.0
+        assert regularity_statistic([5.0, 6.0], 10) == 0.0
+
+    def test_window_size_effect(self):
+        rng = SplitMix64(3)
+        ipds = [rng.uniform(1.0, 10.0) for _ in range(200)]
+        # Both window sizes produce finite, nonnegative statistics.
+        for window in (5, 10, 25):
+            value = regularity_statistic(ipds, window)
+            assert value >= 0.0
+
+
+class TestQuantization:
+    def test_equiprobable_bins_balance_any_distribution(self):
+        rng = SplitMix64(5)
+        # A skewed (exponential) sample still quantizes evenly.
+        sample = [rng.exponential(3.0) for _ in range(3000)]
+        edges = equiprobable_bin_edges(sample, 5)
+        counts = [0] * 5
+        for symbol in quantize(sample, edges):
+            counts[symbol] += 1
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_entropy_of_balanced_quantization_is_high(self):
+        rng = SplitMix64(9)
+        sample = [rng.lognormal(1.0, 0.8) for _ in range(2000)]
+        edges = equiprobable_bin_edges(sample, 8)
+        symbols = quantize(sample, edges)
+        assert entropy_bits(symbols) > 0.95 * math.log2(8)

@@ -1,0 +1,78 @@
+"""Tests for the mirror-VM baseline detector (Liu et al. [34], §8).
+
+The comparison the paper's related-work section makes: without
+determinism, a live mirror VM's noise floor is an order of magnitude
+above TDR's replay residual, so subtle channels slip underneath it.
+"""
+
+import pytest
+
+from repro.apps import build_nfs_program, build_nfs_workload
+from repro.core.tdr import play
+from repro.determinism import SplitMix64
+from repro.detectors.mirror import MirrorDetector
+from repro.detectors.tdr_detector import TdrDetector
+from repro.errors import DetectorError
+from repro.machine import MachineConfig
+
+REQUESTS = 15
+#: A subtle channel: one 0.6 ms delay (2.04 M cycles at 3.4 GHz).
+SUBTLE_DELAY_CYCLES = 2_040_000
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_nfs_program()
+
+
+def workload_factory():
+    return build_nfs_workload(SplitMix64(71), num_requests=REQUESTS)
+
+
+@pytest.fixture(scope="module")
+def floors(program):
+    mirror = MirrorDetector()
+    tdr = TdrDetector()
+    mirror_floor = mirror.noise_floor(program, workload_factory, probes=2)
+    clean = play(program, MachineConfig(), workload=workload_factory(),
+                 seed=3)
+    tdr_floor = tdr.score_execution(program, clean, MachineConfig())
+    return mirror, tdr, mirror_floor, tdr_floor
+
+
+class TestMirrorDetector:
+    def test_mirror_noise_floor_dwarfs_tdr(self, floors):
+        _, _, mirror_floor, tdr_floor = floors
+        assert mirror_floor > 5 * tdr_floor
+
+    def test_subtle_channel_beats_mirror_but_not_tdr(self, program, floors):
+        mirror, tdr, mirror_floor, tdr_floor = floors
+        schedule = [0] * REQUESTS
+        schedule[7] = SUBTLE_DELAY_CYCLES
+        covert = play(program, MachineConfig(),
+                      workload=workload_factory(), seed=4,
+                      covert_schedule=schedule)
+        tdr_score = tdr.score_execution(program, covert, MachineConfig())
+        mirror_score = mirror.score_execution(program, covert,
+                                              workload_factory)
+        # TDR: the 0.6 ms delay stands far above the replay residual.
+        assert tdr_score > 4 * tdr_floor
+        # Mirror: the same delay is inside the live-VM noise floor —
+        # flagging it would flag clean machines too.
+        assert mirror_score < 1.5 * mirror_floor
+
+    def test_mirror_functional_divergence_is_infinite_score(self, program):
+        """If the replicas transmit different packet counts, [34] has
+        nothing meaningful to compare."""
+        mirror = MirrorDetector()
+        short = play(program, MachineConfig(),
+                     workload=build_nfs_workload(SplitMix64(71),
+                                                 num_requests=5),
+                     seed=1)
+        assert mirror.score_execution(program, short,
+                                      workload_factory) == float("inf")
+
+    def test_noise_floor_validation(self, program):
+        with pytest.raises(DetectorError):
+            MirrorDetector().noise_floor(program, workload_factory,
+                                         probes=0)

@@ -1,0 +1,160 @@
+"""Tests for the detectors and the Fig 8 detector/channel orderings."""
+
+import pytest
+
+from repro.analysis.experiment import (NfsTrafficModel,
+                                       generate_covert_traces,
+                                       generate_legit_traces,
+                                       run_detector_matrix)
+from repro.channels import Ipctc, Mbctc, NeedleChannel, Trctc
+from repro.detectors import (CceDetector, KsDetector, RegularityDetector,
+                             ShapeDetector, all_statistical_detectors,
+                             evaluate_detector, roc_from_scores)
+from repro.detectors.regularity import regularity_statistic
+from repro.determinism import SplitMix64
+from repro.errors import DetectorError
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    model = NfsTrafficModel()
+    root = SplitMix64(99)
+    training = generate_legit_traces(model, 25, 120, root.fork("train"))
+    held_out = generate_legit_traces(model, 15, 120, root.fork("held"))
+    return model, root, training, held_out
+
+
+class TestDetectorContract:
+    @pytest.mark.parametrize("detector", all_statistical_detectors(),
+                             ids=lambda d: d.name)
+    def test_score_before_fit_rejected(self, detector):
+        with pytest.raises(DetectorError):
+            detector.score([1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("detector", all_statistical_detectors(),
+                             ids=lambda d: d.name)
+    def test_empty_training_rejected(self, detector):
+        with pytest.raises(DetectorError):
+            detector.fit([])
+
+    @pytest.mark.parametrize("detector", all_statistical_detectors(),
+                             ids=lambda d: d.name)
+    def test_short_trace_rejected(self, detector, traffic):
+        _, _, training, _ = traffic
+        detector.fit(training)
+        with pytest.raises(DetectorError):
+            detector.score([1.0])
+
+    @pytest.mark.parametrize("detector", all_statistical_detectors(),
+                             ids=lambda d: d.name)
+    def test_scoring_is_deterministic(self, detector, traffic):
+        _, _, training, held_out = traffic
+        detector.fit(training)
+        trace = held_out[0]
+        assert detector.score(trace) == detector.score(trace)
+
+
+class TestIndividualDetectors:
+    def test_shape_flags_mean_shift(self, traffic):
+        _, _, training, held_out = traffic
+        detector = ShapeDetector()
+        detector.fit(training)
+        legit_score = detector.score(held_out[0])
+        shifted = [ipd + 5.0 for ipd in held_out[0]]
+        assert detector.score(shifted) > legit_score + 1.0
+
+    def test_ks_flags_distribution_change(self, traffic):
+        _, _, training, held_out = traffic
+        detector = KsDetector()
+        detector.fit(training)
+        legit_score = detector.score(held_out[0])
+        bimodal = [5.0 if i % 2 == 0 else 15.0
+                   for i in range(len(held_out[0]))]
+        assert detector.score(bimodal) > legit_score + 0.2
+
+    def test_regularity_statistic_properties(self):
+        constant_windows = [5.0, 6.0] * 50     # constant window variance
+        assert regularity_statistic(constant_windows, 10) < \
+            regularity_statistic([float(i % 17) * (i % 5 + 1)
+                                  for i in range(100)], 10)
+
+    def test_regularity_flags_constant_variance(self, traffic):
+        _, _, training, held_out = traffic
+        detector = RegularityDetector()
+        detector.fit(training)
+        covert_like = [5.0 if i % 2 == 0 else 9.0 for i in range(120)]
+        assert detector.score(covert_like) > detector.score(held_out[0])
+
+    def test_cce_flags_repeated_patterns(self, traffic):
+        _, _, training, held_out = traffic
+        detector = CceDetector()
+        detector.fit(training)
+        periodic = [4.0, 8.0, 12.0, 16.0] * 30  # strongly periodic
+        assert detector.score(periodic) > detector.score(held_out[0])
+
+    def test_ks_training_decimation(self):
+        detector = KsDetector(max_training_samples=100)
+        detector.fit([[float(i % 50)] * 10 for i in range(100)])
+        assert len(detector._training) == 100
+
+
+class TestRocMachinery:
+    def test_evaluate_detector_end_to_end(self, traffic):
+        model, root, training, held_out = traffic
+        covert = generate_covert_traces(Ipctc(), model, 10, 120,
+                                        root.fork("ipctc"))
+        roc = evaluate_detector(ShapeDetector(), training, covert, held_out)
+        assert roc.auc > 0.95
+        assert roc.points[0] == (0.0, 0.0)
+        assert roc.points[-1] == (1.0, 1.0)
+
+    def test_roc_from_scores_fields(self):
+        roc = roc_from_scores("x", [3.0, 4.0], [1.0, 2.0])
+        assert roc.auc == 1.0
+        assert roc.tpr_at_fpr(0.0) == 1.0
+        assert "AUC=1.000" in roc.format_row()
+
+
+class TestFig8Orderings:
+    """The qualitative results of Fig 8, asserted with safety margins."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        channels = [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]
+        cells = run_detector_matrix(channels, all_statistical_detectors,
+                                    num_training=30, num_test=25,
+                                    packets_per_trace=120, seed=2014)
+        return {(c.channel, c.detector): c.auc for c in cells}
+
+    def test_ipctc_detected_by_everything(self, matrix):
+        """Fig 8a: 'the simplistic IPCTC technique is detected by all
+        tests'."""
+        for detector in ("shape", "ks", "regularity", "cce"):
+            assert matrix[("ipctc", detector)] > 0.95, detector
+
+    def test_trctc_beats_shape_but_not_cce(self, matrix):
+        """Fig 8b: 'TRCTC does well against shape tests but is detectable
+        by more advanced detection techniques'."""
+        assert matrix[("trctc", "shape")] < 0.65
+        assert matrix[("trctc", "cce")] > 0.85
+        assert matrix[("trctc", "cce")] > matrix[("trctc", "shape")] + 0.25
+
+    def test_mbctc_evades_first_order_tests(self, matrix):
+        """Fig 8c: MBCTC mimics the traffic shape; only CCE retains
+        substantial power."""
+        assert matrix[("mbctc", "shape")] < 0.65
+        assert matrix[("mbctc", "ks")] < 0.70
+        assert matrix[("mbctc", "cce")] > 0.80
+        assert matrix[("mbctc", "cce")] > matrix[("mbctc", "shape")] + 0.2
+
+    def test_needle_evades_all_statistical_tests(self, matrix):
+        """Fig 8d: 'all the existing detectors failed to reliably detect
+        the channel'."""
+        for detector in ("shape", "ks", "regularity", "cce"):
+            assert matrix[("needle", detector)] < 0.75, detector
+
+    def test_mimicry_harder_than_slot_channel(self, matrix):
+        """Across the board, IPCTC is easier than TRCTC/MBCTC."""
+        for detector in ("shape", "ks", "regularity", "cce"):
+            assert matrix[("ipctc", detector)] >= \
+                matrix[("mbctc", detector)], detector

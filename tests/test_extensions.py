@@ -1,0 +1,208 @@
+"""Tests for the §7 extensions: accountability (tamper-evident logs),
+channel capacity analysis, and multi-tenancy with cache partitioning."""
+
+import pytest
+
+from repro.analysis.experiment import NfsTrafficModel
+from repro.apps import build_nfs_program, build_nfs_workload
+from repro.channels import Ipctc, NeedleChannel
+from repro.channels.capacity import (bsc_capacity, binary_entropy,
+                                     capacity_report, measure_error_rate)
+from repro.core.attestation import (Authenticator, LogAttestor, LogVerifier,
+                                    attest_execution)
+from repro.core.audit import compare_traces
+from repro.core.log import EventLog, LogEntry, EventKind
+from repro.core.tdr import play, replay
+from repro.determinism import SplitMix64
+from repro.machine import MachineConfig
+from repro.net import EAST_COAST_JITTER, WanLink
+
+KEY = b"machine-signing-key"
+
+
+def sample_log():
+    log = EventLog()
+    log.record_packet(10, b"request-1")
+    log.record_time(20, 123456)
+    log.record_packet(30, b"request-2")
+    return log
+
+
+class TestAttestation:
+    def test_honest_log_verifies(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        assert auth.length == 3
+        assert LogVerifier(KEY).verify(log, auth)
+
+    def test_extension_of_attested_prefix_verifies(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        log.record_packet(40, b"later")   # appended after attestation
+        assert LogVerifier(KEY).verify(log, auth)
+
+    def test_tampered_payload_detected(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        log.entries[1] = LogEntry(EventKind.TIME, 20, value=999999)
+        verifier = LogVerifier(KEY)
+        assert not verifier.verify(log, auth)
+        assert verifier.find_divergence(log, auth) is not None
+
+    def test_dropped_entry_detected(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        del log.entries[0]
+        assert not LogVerifier(KEY).verify(log, auth)
+
+    def test_truncated_log_detected(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        del log.entries[2]
+        assert not LogVerifier(KEY).verify(log, auth)
+
+    def test_forged_authenticator_rejected(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        forged = Authenticator(auth.length, auth.chain_head,
+                               b"\x00" * len(auth.signature))
+        assert not LogVerifier(KEY).verify(log, forged)
+
+    def test_wrong_key_rejected(self):
+        log = sample_log()
+        auth = attest_execution(log, KEY)
+        assert not LogVerifier(b"other-key").verify(log, auth)
+
+    def test_incremental_attestor_matches_batch(self):
+        log = sample_log()
+        attestor = LogAttestor(KEY)
+        attestor.extend(log.entries[0])
+        attestor.extend_all(log)          # folds the remaining two
+        assert attestor.authenticator() == attest_execution(log, KEY)
+
+    def test_intermediate_authenticators(self):
+        """PeerReview-style periodic commitments: each one independently
+        verifiable against the final log."""
+        log = EventLog()
+        attestor = LogAttestor(KEY)
+        authenticators = []
+        for i in range(10):
+            log.record_packet(i * 10, bytes([i]))
+            attestor.extend(log.entries[-1])
+            authenticators.append(attestor.authenticator())
+        verifier = LogVerifier(KEY)
+        for auth in authenticators:
+            assert verifier.verify(log, auth)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            LogAttestor(b"")
+
+    def test_attested_machine_log_round_trip(self):
+        """End to end: attest a real execution's log, verify, replay."""
+        program = build_nfs_program()
+        workload = build_nfs_workload(SplitMix64(11), num_requests=8)
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        auth = attest_execution(result.log, KEY)
+        assert LogVerifier(KEY).verify(result.log, auth)
+        # The verified log replays cleanly.
+        reference = replay(program, result.log, MachineConfig(), seed=5)
+        assert compare_traces(result, reference).payloads_match
+
+
+class TestCapacity:
+    def test_binary_entropy_endpoints(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    def test_bsc_capacity(self):
+        assert bsc_capacity(0.0) == pytest.approx(1.0)
+        assert bsc_capacity(0.5) == pytest.approx(0.0)
+        assert 0.0 < bsc_capacity(0.1) < 1.0
+
+    def test_clean_channel_has_full_capacity(self):
+        channel = Ipctc(slot_ms=10.0)
+        rng = SplitMix64(1)
+        natural = NfsTrafficModel().ipds(100, SplitMix64(2))
+        channel.fit(natural, rng)
+        error = measure_error_rate(channel, natural, link=None, rng=rng)
+        assert error == 0.0
+        report = capacity_report(channel, natural, link=None, rng=rng)
+        assert report.capacity_bits_per_use == pytest.approx(1.0)
+        assert report.bits_per_second > 0
+
+    def test_jitter_degrades_subtle_channels(self):
+        """§6.9 quantified: a needle at the noise floor loses most of its
+        capacity to WAN jitter; a loud slot channel does not."""
+        rng = SplitMix64(3)
+        natural = [8.0] * 300
+        link = WanLink(rtt_ms=10.0, jitter=EAST_COAST_JITTER)
+
+        quiet = NeedleChannel(period=1, delta_ms=0.15)
+        quiet.fit(natural, rng)
+        quiet_report = capacity_report(quiet, natural, link, rng.fork("q"))
+
+        loud = Ipctc(slot_ms=12.0)
+        loud.fit(natural, rng)
+        loud_report = capacity_report(loud, natural, link, rng.fork("l"))
+
+        assert quiet_report.error_rate > 0.2
+        assert loud_report.error_rate < 0.05
+        assert quiet_report.capacity_bits_per_use < \
+            0.5 * loud_report.capacity_bits_per_use
+
+    def test_validation(self):
+        channel = Ipctc()
+        channel.fit([1.0], SplitMix64(1))
+        with pytest.raises(ValueError):
+            measure_error_rate(channel, [1.0] * 10, None, SplitMix64(1),
+                               rounds=0)
+        with pytest.raises(ValueError):
+            bsc_capacity(1.5)
+
+
+class TestMultiTenancy:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_nfs_program()
+
+    def run_round_trip(self, program, **overrides):
+        config = MachineConfig(**overrides)
+        workload = build_nfs_workload(SplitMix64(21), num_requests=15)
+        observed = play(program, config, workload=workload, seed=0)
+        reference = replay(program, observed.log, config, seed=77)
+        return compare_traces(observed, reference)
+
+    def test_co_tenant_degrades_replay_accuracy(self, program):
+        solo = self.run_round_trip(program)
+        shared = self.run_round_trip(program, co_tenant_intensity=0.8)
+        assert shared.max_abs_ipd_diff_ms > 2 * solo.max_abs_ipd_diff_ms
+
+    def test_partitioning_restores_accuracy(self, program):
+        """§7: 'techniques such as [33] could be used to partition the
+        memory and the cache.'"""
+        shared = self.run_round_trip(program, co_tenant_intensity=0.8)
+        partitioned = self.run_round_trip(program, co_tenant_intensity=0.8,
+                                          cache_partitioning=True)
+        assert partitioned.max_abs_ipd_diff_ms < \
+            0.5 * shared.max_abs_ipd_diff_ms
+        assert partitioned.max_rel_ipd_diff < 0.0185
+
+    def test_partitioning_costs_capacity(self, program):
+        """The private partition is half-size: more misses, slower runs."""
+        from repro.apps import build_kernel_program
+
+        kernel = build_kernel_program("sor")
+        full = play(kernel, MachineConfig(), seed=0)
+        partitioned = play(kernel,
+                           MachineConfig(cache_partitioning=True), seed=0)
+        assert partitioned.total_cycles >= full.total_cycles
+
+    def test_intensity_validation(self):
+        from repro.errors import HardwareConfigError
+
+        with pytest.raises(HardwareConfigError):
+            MachineConfig(co_tenant_intensity=1.5)

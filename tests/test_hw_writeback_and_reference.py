@@ -1,0 +1,115 @@
+"""Tests for dirty-line writebacks and a reference-model property test
+for the LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.determinism import SplitMix64, ZeroNoise
+from repro.hw.bus import BusConfig, MemoryBus
+from repro.hw.cache import Cache, CacheConfig, CacheHierarchy
+
+
+def small_cache(ways=2, sets=4, writeback=60):
+    return Cache(CacheConfig(size_bytes=64 * ways * sets, line_bytes=64,
+                             ways=ways, writeback_cycles=writeback))
+
+
+class TestWritebacks:
+    def test_clean_evictions_cost_nothing(self):
+        cache = small_cache()
+        for i in range(64):
+            cache.access(i * 64)
+        assert cache.writebacks == 0
+        assert cache.take_writeback_cost() == 0
+
+    def test_evicting_polluted_line_costs_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.pollute(SplitMix64(1), 1)
+        assert cache.occupancy == 1
+        cache.access(0x0)  # evicts the dirty polluted line
+        assert cache.writebacks == 1
+        assert cache.take_writeback_cost() == 60
+        # The cost is collected exactly once.
+        assert cache.take_writeback_cost() == 0
+
+    def test_flush_clears_dirty_state(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.pollute(SplitMix64(1), 1)
+        cache.flush()
+        cache.access(0x0)
+        assert cache.writebacks == 0
+
+    def test_pollute_eviction_keeps_dirty_set_consistent(self):
+        cache = small_cache(ways=1, sets=1)
+        # Repeated pollution of a 1-way set evicts earlier dirty lines;
+        # the dirty set must not grow without bound.
+        for _ in range(50):
+            cache.pollute(SplitMix64(7), 1)
+        assert len(cache._dirty) <= 1
+
+    def test_hierarchy_charges_writebacks(self):
+        bus = MemoryBus(BusConfig(), ZeroNoise())
+        l1 = small_cache(ways=1, sets=1)
+        l2 = small_cache(ways=1, sets=1)
+        clean = CacheHierarchy(small_cache(ways=1, sets=1),
+                               small_cache(ways=1, sets=1), bus,
+                               dram_cycles=100)
+        dirty = CacheHierarchy(l1, l2, bus, dram_cycles=100)
+        l1.pollute(SplitMix64(1), 1)
+        l2.pollute(SplitMix64(2), 1)
+        assert dirty.access(0x0) > clean.access(0x0)
+
+
+class _ReferenceLru:
+    """An obviously-correct LRU cache model to check the fast one."""
+
+    def __init__(self, num_sets, ways, line_bytes):
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, paddr):
+        line = paddr // self.line_bytes
+        set_idx = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self.sets[set_idx]
+        if tag in entries:
+            entries.remove(tag)
+            entries.insert(0, tag)   # most recent first
+            return True
+        if len(entries) >= self.ways:
+            entries.pop()            # least recent last
+        entries.insert(0, tag)
+        return False
+
+
+class TestAgainstReferenceModel:
+    @given(st.integers(min_value=0, max_value=2 ** 32),
+           st.integers(min_value=1, max_value=3).map(lambda w: 2 ** w),
+           st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_lru_hit_miss_sequence_matches_reference(self, _seed, ways,
+                                                     addrs):
+        sets = 8
+        fast = Cache(CacheConfig(size_bytes=64 * ways * sets,
+                                 line_bytes=64, ways=ways))
+        reference = _ReferenceLru(sets, ways, 64)
+        for addr in addrs:
+            assert fast.access(addr) == reference.access(addr), addr
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                    min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_monotone_in_associativity(self, addrs):
+        """More ways never hurt an LRU cache of the same size in sets
+        (stack property holds per set for LRU)."""
+        small = Cache(CacheConfig(size_bytes=64 * 2 * 8, line_bytes=64,
+                                  ways=2))
+        large = Cache(CacheConfig(size_bytes=64 * 4 * 8, line_bytes=64,
+                                  ways=4))
+        for addr in addrs:
+            small.access(addr)
+            large.access(addr)
+        assert large.hits >= small.hits

@@ -1,0 +1,490 @@
+"""Tests for the MiniJ compiler (lexer, parser, codegen) end to end."""
+
+import pytest
+
+from repro.errors import CompileError, GuestError
+from repro.lang import compile_minij, compile_to_assembly
+from repro.lang.lexer import Lexer, TokenKind
+from repro.vm import Interpreter, NullPlatform
+
+NULL_SIGS = {
+    "print_int": (("int",), "void"),
+    "print_float": (("float",), "void"),
+    "nano_time": ((), "int"),
+}
+
+
+def run_minij(source, max_instructions=5_000_000):
+    platform = NullPlatform()
+    program = compile_minij(source, natives=platform,
+                            native_signatures=NULL_SIGS)
+    vm = Interpreter(program, platform)
+    vm.run(max_instructions)
+    return platform.printed
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = Lexer("int x = 42;").tokens()
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.PUNCT,
+                         TokenKind.INT_LIT, TokenKind.PUNCT, TokenKind.EOF]
+        assert tokens[3].value == 42
+
+    def test_float_and_hex_literals(self):
+        tokens = Lexer("3.5 1e3 2.5e-2 0xFF").tokens()
+        assert tokens[0].value == 3.5
+        assert tokens[1].value == 1000.0
+        assert tokens[2].value == 0.025
+        assert tokens[3].value == 255
+
+    def test_comments_skipped(self):
+        tokens = Lexer("a // line\n /* block\nmore */ b").tokens()
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_multichar_operators(self):
+        tokens = Lexer("<= >= == != && || << >>").tokens()
+        assert [t.text for t in tokens[:-1]] == \
+            ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            Lexer("/* no end").tokens()
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            Lexer("int $x;").tokens()
+
+    def test_line_and_col_tracking(self):
+        tokens = Lexer("a\n  b").tokens()
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestBasicPrograms:
+    def test_hello_arithmetic(self):
+        assert run_minij("""
+        void main() {
+            print_int(2 + 3 * 4);
+            print_int((2 + 3) * 4);
+            print_int(10 / 3);
+            print_int(10 % 3);
+        }
+        """) == [14, 20, 3, 1]
+
+    def test_precedence_and_unary(self):
+        assert run_minij("""
+        void main() {
+            print_int(-3 + 4);
+            print_int(~0);
+            print_int(1 << 4 | 1);
+            print_int(6 & 3 ^ 1);
+        }
+        """) == [1, -1, 17, 3]
+
+    def test_float_arithmetic(self):
+        printed = run_minij("""
+        void main() {
+            float x = 1.5;
+            float y = x * 2.0 + 0.25;
+            print_float(y);
+            print_float(sqrt(16.0));
+            print_int(ftoi(3.99));
+            print_float(itof(7));
+        }
+        """)
+        assert printed == [3.25, 4.0, 3, 7.0]
+
+    def test_variables_and_scoping(self):
+        assert run_minij("""
+        void main() {
+            int x = 1;
+            if (x == 1) {
+                int y = 10;
+                x = x + y;
+            }
+            int y = 100;
+            print_int(x + y);
+        }
+        """) == [111]
+
+    def test_globals_with_initializers(self):
+        assert run_minij("""
+        global int base = 40;
+        global float rate = 0.5;
+        global int uninitialized;
+        void main() {
+            print_int(base + 2);
+            print_float(rate);
+            print_int(uninitialized);
+        }
+        """) == [42, 0.5, 0]
+
+    def test_booleans_and_logic(self):
+        assert run_minij("""
+        void main() {
+            print_int(true);
+            print_int(false);
+            print_int(1 < 2 && 3 < 4);
+            print_int(1 > 2 || 3 > 4);
+            print_int(!(1 == 1));
+        }
+        """) == [1, 0, 1, 0, 0]
+
+    def test_short_circuit_evaluation(self):
+        # The right operand would divide by zero if evaluated.
+        assert run_minij("""
+        int boom() {
+            return 1 / 0;
+        }
+        void main() {
+            int x = 0;
+            if (x != 0 && boom() > 0) {
+                print_int(-1);
+            } else {
+                print_int(1);
+            }
+            if (x == 0 || boom() > 0) {
+                print_int(2);
+            }
+        }
+        """) == [1, 2]
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run_minij("""
+        void main() {
+            int total = 0;
+            int i = 1;
+            while (i <= 100) {
+                total = total + i;
+                i = i + 1;
+            }
+            print_int(total);
+        }
+        """) == [5050]
+
+    def test_for_loop_with_break_continue(self):
+        assert run_minij("""
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                total = total + i;
+            }
+            print_int(total);
+        }
+        """) == [1 + 3 + 5 + 7 + 9]
+
+    def test_nested_loops(self):
+        assert run_minij("""
+        void main() {
+            int count = 0;
+            for (int i = 0; i < 5; i = i + 1) {
+                for (int j = 0; j < 5; j = j + 1) {
+                    if (j > i) { break; }
+                    count = count + 1;
+                }
+            }
+            print_int(count);
+        }
+        """) == [15]
+
+    def test_else_if_chain(self):
+        source_template = """
+        void classify(int x) {{
+            if (x < 0) {{ print_int(-1); }}
+            else if (x == 0) {{ print_int(0); }}
+            else if (x < 10) {{ print_int(1); }}
+            else {{ print_int(2); }}
+        }}
+        void main() {{ classify({value}); }}
+        """
+        assert run_minij(source_template.format(value=-5)) == [-1]
+        assert run_minij(source_template.format(value=0)) == [0]
+        assert run_minij(source_template.format(value=5)) == [1]
+        assert run_minij(source_template.format(value=50)) == [2]
+
+    def test_compound_assignment(self):
+        assert run_minij("""
+        void main() {
+            int x = 10;
+            x += 5;
+            print_int(x);
+            x -= 3;
+            print_int(x);
+            x *= 2;
+            print_int(x);
+            x /= 4;
+            print_int(x);
+            x %= 4;
+            print_int(x);
+            float f = 1.5;
+            f *= 2.0;
+            print_float(f);
+        }
+        """) == [15, 12, 24, 6, 2, 3.0]
+
+    def test_compound_assignment_in_for_update(self):
+        assert run_minij("""
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 10; i += 2) {
+                total += i;
+            }
+            print_int(total);
+        }
+        """) == [20]
+
+    def test_compound_assignment_rejects_array_target(self):
+        with pytest.raises(CompileError) as excinfo:
+            compile_to_assembly(
+                "void main() { int[] a = new int[2]; a[0] += 1; }",
+                NULL_SIGS)
+        assert "must be a variable" in str(excinfo.value)
+
+    def test_empty_for_clauses(self):
+        assert run_minij("""
+        void main() {
+            int i = 0;
+            for (;;) {
+                i = i + 1;
+                if (i >= 5) { break; }
+            }
+            print_int(i);
+        }
+        """) == [5]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run_minij("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        void main() { print_int(fib(15)); }
+        """) == [610]
+
+    def test_mutual_recursion(self):
+        assert run_minij("""
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        void main() {
+            print_int(is_even(10));
+            print_int(is_odd(10));
+        }
+        """) == [1, 0]
+
+    def test_float_parameters_and_return(self):
+        assert run_minij("""
+        float hypot(float a, float b) {
+            return sqrt(a * a + b * b);
+        }
+        void main() { print_float(hypot(3.0, 4.0)); }
+        """) == [5.0]
+
+    def test_fall_off_end_returns_zero(self):
+        assert run_minij("""
+        int maybe(int x) {
+            if (x > 0) { return 7; }
+        }
+        void main() {
+            print_int(maybe(1));
+            print_int(maybe(-1));
+        }
+        """) == [7, 0]
+
+
+class TestArraysAndClasses:
+    def test_array_sum(self):
+        assert run_minij("""
+        void main() {
+            int[] values = new int[10];
+            for (int i = 0; i < len(values); i = i + 1) {
+                values[i] = i * i;
+            }
+            int total = 0;
+            for (int i = 0; i < len(values); i = i + 1) {
+                total = total + values[i];
+            }
+            print_int(total);
+        }
+        """) == [285]
+
+    def test_float_arrays(self):
+        assert run_minij("""
+        void main() {
+            float[] xs = new float[4];
+            xs[0] = 0.5;
+            xs[1] = xs[0] * 4.0;
+            print_float(xs[0] + xs[1]);
+        }
+        """) == [2.5]
+
+    def test_arrays_as_arguments(self):
+        assert run_minij("""
+        int sum(int[] values, int count) {
+            int total = 0;
+            for (int i = 0; i < count; i = i + 1) {
+                total = total + values[i];
+            }
+            return total;
+        }
+        void main() {
+            int[] data = new int[5];
+            data[0] = 10; data[1] = 20; data[2] = 30;
+            print_int(sum(data, 3));
+        }
+        """) == [60]
+
+    def test_classes(self):
+        assert run_minij("""
+        class Point { int x; int y; }
+        class Circle { Point center; float radius; }
+        void main() {
+            Circle c = new Circle();
+            c.center = new Point();
+            c.center.x = 3;
+            c.center.y = 4;
+            c.radius = 5.0;
+            Point p = c.center;
+            print_int(p.x + p.y);
+            print_float(c.radius);
+        }
+        """) == [7, 5.0]
+
+    def test_object_identity(self):
+        assert run_minij("""
+        class Box { int value; }
+        void main() {
+            Box a = new Box();
+            Box b = a;
+            b.value = 42;
+            print_int(a.value);
+        }
+        """) == [42]
+
+
+class TestExceptions:
+    def test_try_catch(self):
+        assert run_minij("""
+        void main() {
+            try {
+                throw 5;
+            } catch (e) {
+                print_int(e);
+            }
+            print_int(99);
+        }
+        """) == [5, 99]
+
+    def test_catch_runtime_error(self):
+        assert run_minij("""
+        void main() {
+            int[] a = new int[2];
+            try {
+                a[10] = 1;
+            } catch (e) {
+                print_int(e);
+            }
+        }
+        """) == [-2]  # EXC_INDEX_OUT_OF_BOUNDS
+
+    def test_exception_crosses_functions(self):
+        assert run_minij("""
+        void inner() { throw 77; }
+        void main() {
+            try {
+                inner();
+            } catch (e) {
+                print_int(e);
+            }
+        }
+        """) == [77]
+
+    def test_uncaught_raises(self):
+        with pytest.raises(GuestError):
+            run_minij("void main() { throw 1; }")
+
+
+class TestTypeErrors:
+    @pytest.mark.parametrize("source, fragment", [
+        ("void main() { int x = 1.5; }", "cannot assign"),
+        ("void main() { float f = 1; }", "cannot assign"),
+        ("void main() { int x = 1 + 1.5; }", "matching numeric"),
+        ("void main() { print_int(1.5); }", "argument 1"),
+        ("void main() { undefined_fn(); }", "undefined function"),
+        ("void main() { print_int(x); }", "undefined variable"),
+        ("void main() { if (1.5) { } }", "condition must be int"),
+        ("void main() { int x = 1; x[0] = 2; }", "cannot index"),
+        ("void main() { int[] a = new int[1.5]; }", "length must be int"),
+        ("void main() { break; }", "break outside"),
+        ("void main() { continue; }", "continue outside"),
+        ("void main() { throw 1.5; }", "int code"),
+        ("int f() { return; } void main() { }", "must return"),
+        ("void f() { return 1; } void main() { }", "returns void"),
+        ("void main() { int x = 1; int x = 2; }", "duplicate variable"),
+        ("void main() { return; print_int(1); }", "unreachable"),
+        ("int main() { return 1; }", "must be 'void main()'"),
+        ("void other() { }", "missing entry function"),
+        ("void f() {} void f() {} void main() {}", "duplicate function"),
+        ("global int g; global int g; void main() {}", "duplicate global"),
+        ("class C { int a; int a; } void main() {}", "duplicate field"),
+        ("void main() { float f = 0.0; f = f % 2.0; }", "needs int"),
+        ("void main() { int v = print_int(1); }", "used as a value"),
+        ("class C { int a; } void main() { C c = new C(); print_int(c.b); }",
+         "no field"),
+        ("void sqrt(float f) { } void main() { }", "shadows a builtin"),
+    ])
+    def test_rejected(self, source, fragment):
+        with pytest.raises(CompileError) as excinfo:
+            compile_to_assembly(source, NULL_SIGS)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        source = "void main() {\n  int x = 1;\n  x = 1.5;\n}"
+        with pytest.raises(CompileError) as excinfo:
+            compile_to_assembly(source, NULL_SIGS)
+        assert excinfo.value.source_line == 3
+
+
+class TestCodegenDetails:
+    def test_assembly_is_deterministic(self):
+        source = """
+        int f(int a) { return a * 2; }
+        void main() { print_int(f(21)); }
+        """
+        assert compile_to_assembly(source, NULL_SIGS) == \
+            compile_to_assembly(source, NULL_SIGS)
+
+    def test_slot_reuse_across_sibling_blocks(self):
+        # Two sibling blocks may reuse the same slots; this must stay
+        # within the 64-slot frame even with many sequential declarations.
+        blocks = "\n".join(
+            f"if (1 == 1) {{ int v{i} = {i}; print_int(v{i}); }}"
+            for i in range(100))
+        printed = run_minij("void main() {\n" + blocks + "\n}")
+        assert printed == list(range(100))
+
+    def test_too_many_locals_rejected(self):
+        decls = "\n".join(f"int v{i} = {i};" for i in range(70))
+        with pytest.raises(CompileError) as excinfo:
+            compile_to_assembly("void main() {\n" + decls + "\n}", NULL_SIGS)
+        assert "local slots" in str(excinfo.value)
+
+    def test_wrapping_semantics_match_vm(self):
+        assert run_minij("""
+        void main() {
+            int big = 0x7FFFFFFFFFFFFFFF;
+            print_int(big + 1);
+        }
+        """) == [-(1 << 63)]

@@ -1,0 +1,344 @@
+"""Integration tests: guest programs on the full simulated machine,
+play/replay round trips, and the determinism invariants of TDR."""
+
+import pytest
+
+from repro.core.audit import compare_traces
+from repro.core.log import EventKind, EventLog
+from repro.core.tdr import play, replay, replay_naive, round_trip
+from repro.determinism import SplitMix64
+from repro.errors import HardwareConfigError, ReplayError
+from repro.lang import compile_minij
+from repro.machine import (InteractiveClient, Machine, MachineConfig,
+                           Request, ScriptedArrivals, machine_type)
+from repro.machine.natives import (MACHINE_NATIVE_SIGNATURES,
+                                   MACHINE_REGISTRY)
+
+ECHO_SERVER = """
+void main() {
+    int[] buf = new int[256];
+    while (true) {
+        int n = wait_packet(buf);
+        if (n < 0) { break; }
+        if (n == 1 && buf[0] == 255) { break; }
+        int total = 0;
+        for (int i = 0; i < n; i = i + 1) { total = total + buf[i]; }
+        buf[0] = total % 256;
+        buf[1] = n;
+        send_packet(buf, 8);
+    }
+    exit();
+}
+"""
+
+COMPUTE_ONLY = """
+void main() {
+    int total = 0;
+    for (int i = 0; i < 3000; i = i + 1) {
+        total = total + i * i;
+    }
+    print_int(total);
+    exit();
+}
+"""
+
+
+def compile_guest(source):
+    return compile_minij(source, natives=MACHINE_REGISTRY,
+                         native_signatures=MACHINE_NATIVE_SIGNATURES)
+
+
+def echo_workload(seed=99, n=8):
+    requests = [Request(bytes([(i * 13) % 200 + 1] * 24)) for i in range(n)]
+    return InteractiveClient(requests, SplitMix64(seed),
+                             shutdown_payload=bytes([255]))
+
+
+@pytest.fixture(scope="module")
+def echo_program():
+    return compile_guest(ECHO_SERVER)
+
+
+@pytest.fixture(scope="module")
+def compute_program():
+    return compile_guest(COMPUTE_ONLY)
+
+
+class TestPlayBasics:
+    def test_server_answers_every_request(self, echo_program):
+        result = play(echo_program, MachineConfig(),
+                      workload=echo_workload(n=6), seed=0)
+        assert len(result.tx) == 6
+        assert result.mode == "play"
+        assert result.log is not None
+        # One packet entry per request plus the shutdown packet.
+        packet_entries = [e for e in result.log
+                          if e.kind == EventKind.PACKET]
+        assert len(packet_entries) == 7
+
+    def test_response_payloads_are_input_dependent(self, echo_program):
+        result = play(echo_program, MachineConfig(),
+                      workload=echo_workload(n=4), seed=0)
+        firsts = [payload[0] for _, payload in result.tx]
+        assert len(set(firsts)) > 1
+
+    def test_simulator_determinism_same_seed(self, echo_program):
+        """Same program + same seed => bit-identical everything."""
+        a = play(echo_program, MachineConfig(), workload=echo_workload(),
+                 seed=5)
+        b = play(echo_program, MachineConfig(), workload=echo_workload(),
+                 seed=5)
+        assert a.tx == b.tx
+        assert a.total_cycles == b.total_cycles
+        assert a.instructions == b.instructions
+        assert a.log.to_bytes() == b.log.to_bytes()
+
+    def test_different_noise_seed_same_function(self, echo_program):
+        """Noise changes timing, never outputs."""
+        a = play(echo_program, MachineConfig(), workload=echo_workload(),
+                 seed=1)
+        b = play(echo_program, MachineConfig(), workload=echo_workload(),
+                 seed=2)
+        assert [p for _, p in a.tx] == [p for _, p in b.tx]
+
+    def test_play_determinism_over_arbitrary_seeds(self, echo_program):
+        """Property: for any noise seed, two plays of the same workload
+        are bit-identical (hypothesis-driven)."""
+        from hypothesis import given, settings, strategies as st
+
+        @given(seed=st.integers(min_value=0, max_value=2 ** 32))
+        @settings(max_examples=8, deadline=None)
+        def check(seed):
+            a = play(echo_program, MachineConfig(),
+                     workload=echo_workload(n=2), seed=seed)
+            b = play(echo_program, MachineConfig(),
+                     workload=echo_workload(n=2), seed=seed)
+            assert a.total_cycles == b.total_cycles
+            assert a.tx == b.tx
+            assert a.log.to_bytes() == b.log.to_bytes()
+
+        check()
+
+    def test_compute_only_program(self, compute_program):
+        result = play(compute_program, MachineConfig(), seed=0)
+        assert result.console == [sum(i * i for i in range(3000))]
+        assert result.total_cycles > 0
+        assert result.stats["l1_hits"] > 0
+
+
+class TestTdrReplay:
+    def test_round_trip_functional_identity(self, echo_program):
+        outcome = round_trip(echo_program, MachineConfig(),
+                             workload=echo_workload(), play_seed=0,
+                             replay_seed=11)
+        assert outcome.audit.payloads_match
+        assert outcome.audit.num_packets == len(outcome.play.tx)
+        assert outcome.play.instructions == outcome.replay.instructions
+
+    def test_replay_timing_accuracy(self, echo_program):
+        """The headline TDR property: replay timing ~= play timing."""
+        outcome = round_trip(echo_program, MachineConfig(),
+                             workload=echo_workload(), play_seed=0,
+                             replay_seed=11)
+        assert outcome.audit.total_time_error < 0.0185
+        assert outcome.audit.max_rel_ipd_diff < 0.0185
+
+    def test_replay_identical_with_same_seed(self, echo_program):
+        """Replay with the play seed is cycle-exact: all remaining
+        variation comes from the (reseeded) noise sources."""
+        result = play(echo_program, MachineConfig(),
+                      workload=echo_workload(), seed=3)
+        rep = replay(echo_program, result.log, MachineConfig(), seed=3)
+        assert rep.total_cycles == result.total_cycles
+        assert rep.tx == result.tx
+
+    def test_replay_requires_log(self):
+        with pytest.raises(ReplayError):
+            Machine(MachineConfig(), mode="replay")
+
+    def test_replay_rejects_workload(self, echo_program):
+        log = EventLog()
+        with pytest.raises(ReplayError):
+            Machine(MachineConfig(), mode="replay", log=log,
+                    workload=echo_workload())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            Machine(MachineConfig(), mode="rewind")
+
+    def test_machine_is_single_shot(self, compute_program):
+        machine = Machine(MachineConfig(), seed=0)
+        machine.run(compute_program)
+        with pytest.raises(HardwareConfigError):
+            machine.run(compute_program)
+
+
+class TestNaiveReplay:
+    def test_naive_replay_is_functionally_correct(self, echo_program):
+        result = play(echo_program, MachineConfig(),
+                      workload=echo_workload(), seed=0)
+        naive = replay_naive(echo_program, result.log, MachineConfig(),
+                             seed=11)
+        assert [p for _, p in naive.tx] == [p for _, p in result.tx]
+
+    def test_naive_replay_timing_diverges(self, echo_program):
+        """Fig 3: a functional replayer does NOT reproduce timing."""
+        result = play(echo_program, MachineConfig(),
+                      workload=echo_workload(), seed=0)
+        tdr = replay(echo_program, result.log, MachineConfig(), seed=11)
+        naive = replay_naive(echo_program, result.log, MachineConfig(),
+                             seed=11)
+        tdr_error = abs(tdr.total_ns - result.total_ns) / result.total_ns
+        naive_error = abs(naive.total_ns - result.total_ns) / result.total_ns
+        assert naive_error > 10 * tdr_error
+        # Wait-skipping makes the naive replay drastically shorter.
+        assert naive.total_ns < 0.5 * result.total_ns
+
+
+class TestCovertDelayPrimitive:
+    COVERT_SERVER = ECHO_SERVER.replace(
+        "send_packet(buf, 8);",
+        "covert_delay(3000000);\n        send_packet(buf, 8);")
+
+    def test_covert_delay_disabled_is_noop(self):
+        program = compile_guest(self.COVERT_SERVER)
+        clean = play(program, MachineConfig(), workload=echo_workload(),
+                     seed=0, covert_enabled=False)
+        base = play(compile_guest(ECHO_SERVER), MachineConfig(),
+                    workload=echo_workload(), seed=0)
+        # Same instruction counts: the primitive is outside the counted
+        # instruction stream except for its own NATIVE dispatch.
+        assert len(clean.tx) == len(base.tx)
+
+    def test_covert_delay_shifts_timing_but_not_content(self):
+        program = compile_guest(self.COVERT_SERVER)
+        covert = play(program, MachineConfig(), workload=echo_workload(),
+                      seed=0, covert_enabled=True)
+        clean = play(program, MachineConfig(), workload=echo_workload(),
+                     seed=0, covert_enabled=False)
+        assert [p for _, p in covert.tx] == [p for _, p in clean.tx]
+        assert covert.total_cycles > clean.total_cycles
+
+    def test_audit_detects_covert_delays(self):
+        """§5.3 end to end: replay with the channel disabled exposes it."""
+        program = compile_guest(self.COVERT_SERVER)
+        covert = play(program, MachineConfig(), workload=echo_workload(),
+                      seed=0, covert_enabled=True)
+        reference = replay(program, covert.log, MachineConfig(), seed=11)
+        report = compare_traces(covert, reference)
+        assert report.payloads_match       # content is perfectly innocent
+        assert not report.is_consistent()  # timing gives the channel away
+        assert report.deviation_score() > 0.5  # ~0.88 ms per delayed packet
+
+
+class TestMachineTypes:
+    def test_wrong_machine_type_detected(self, echo_program):
+        """The Alice/Bob scenario: replay on type T' != T mismatches."""
+        result = play(echo_program, machine_type("fast"),
+                      workload=echo_workload(), seed=0)
+        same = replay(echo_program, result.log, machine_type("fast"),
+                      seed=11)
+        wrong = replay(echo_program, result.log, machine_type("slow"),
+                       seed=11)
+        report_same = compare_traces(result, same)
+        report_wrong = compare_traces(result, wrong)
+        assert report_same.is_consistent()
+        assert not report_wrong.is_consistent()
+
+    def test_machine_type_lookup(self):
+        assert machine_type("fast").frequency_hz > \
+            machine_type("slow").frequency_hz
+        with pytest.raises(HardwareConfigError):
+            machine_type("quantum")
+
+
+class TestScriptedArrivals:
+    def test_scripted_arrivals_delivered_in_order(self):
+        source = """
+        void main() {
+            int[] buf = new int[64];
+            for (int i = 0; i < 3; i = i + 1) {
+                int n = wait_packet(buf);
+                print_int(buf[0]);
+            }
+            exit();
+        }
+        """
+        program = compile_guest(source)
+        workload = ScriptedArrivals([
+            (3_000_000, bytes([7])),
+            (1_000_000, bytes([5])),
+            (9_000_000, bytes([9])),
+        ])
+        result = play(program, MachineConfig(), workload=workload, seed=0)
+        assert result.console == [5, 7, 9]
+
+    def test_nonblocking_recv_returns_minus_one(self):
+        source = """
+        void main() {
+            int[] buf = new int[64];
+            print_int(recv_packet(buf));
+            exit();
+        }
+        """
+        result = play(compile_guest(source), MachineConfig(), seed=0)
+        assert result.console == [-1]
+
+
+class TestStorageNative:
+    STORAGE_READER = """
+    void main() {
+        int[] buf = new int[64];
+        int n = storage_read(5, buf);
+        print_int(n);
+        print_int(buf[0]);
+        print_int(buf[63]);
+        exit();
+    }
+    """
+
+    def test_storage_contents_deterministic(self):
+        program = compile_guest(self.STORAGE_READER)
+        a = play(program, MachineConfig(), seed=0)
+        b = play(program, MachineConfig(), seed=77)
+        assert a.console == b.console
+        assert a.console[0] == 64
+
+    def test_padded_storage_time_deterministic(self):
+        program = compile_guest(self.STORAGE_READER)
+        # Zero the residual CPU noise so padding is the only variable.
+        config = MachineConfig(speculation_sigma=0.0)
+        a = play(program, config, seed=0)
+        b = play(program, config, seed=1)
+        # Same cycles despite different storage noise seeds: padding.
+        assert a.total_cycles == b.total_cycles
+
+    def test_unpadded_hdd_varies(self):
+        from repro.machine.config import StorageKind
+
+        program = compile_guest(self.STORAGE_READER)
+        config = MachineConfig(pad_storage=False,
+                               storage=StorageKind.HDD)
+        a = play(program, config, seed=0)
+        b = play(program, config, seed=1)
+        assert a.total_cycles != b.total_cycles
+
+
+class TestThreadsOnMachine:
+    def test_spawned_threads_run(self):
+        source = """
+        global int total;
+        void worker(int amount) {
+            total = total + amount;
+        }
+        void main() {
+            spawn(worker, 30);
+            spawn(worker, 12);
+            int spin = 0;
+            while (spin < 20000) { spin = spin + 1; }
+            print_int(total);
+            exit();
+        }
+        """
+        result = play(compile_guest(source), MachineConfig(), seed=0)
+        assert result.console == [42]

@@ -1,0 +1,142 @@
+"""Tests for the network substrate: jitter, links, traces."""
+
+import pytest
+
+from repro.determinism import SplitMix64
+from repro.errors import ReproError
+from repro.net import (BROADBAND_JITTER, EAST_COAST_JITTER, PacketRecord,
+                       PacketTrace, QuantileJitter, WanLink)
+
+
+class TestQuantileJitter:
+    def test_reproduces_paper_percentiles(self):
+        """§6.6: p50=0.18, p90=0.80, p99=3.91 (ms)."""
+        assert EAST_COAST_JITTER.quantile(0.50) == pytest.approx(0.18)
+        assert EAST_COAST_JITTER.quantile(0.90) == pytest.approx(0.80)
+        assert EAST_COAST_JITTER.quantile(0.99) == pytest.approx(3.91)
+
+    def test_broadband_median(self):
+        """§6.9: broadband median jitter ~= 2.5 ms."""
+        assert BROADBAND_JITTER.median_ms() == pytest.approx(2.5)
+
+    def test_empirical_percentiles_converge(self):
+        rng = SplitMix64(1)
+        samples = sorted(EAST_COAST_JITTER.sample_ms(rng)
+                         for _ in range(20000))
+        assert samples[len(samples) // 2] == pytest.approx(0.18, rel=0.1)
+        assert samples[int(len(samples) * 0.9)] == pytest.approx(0.8,
+                                                                 rel=0.1)
+
+    def test_interpolation_between_anchors(self):
+        j = QuantileJitter([(0.0, 0.0), (1.0, 10.0)])
+        assert j.quantile(0.25) == pytest.approx(2.5)
+
+    def test_sampling_is_deterministic(self):
+        a = [EAST_COAST_JITTER.sample_ms(SplitMix64(5)) for _ in range(3)]
+        b = [EAST_COAST_JITTER.sample_ms(SplitMix64(5)) for _ in range(3)]
+        assert a == b
+
+    def test_sample_cycles_nonnegative(self):
+        rng = SplitMix64(2)
+        for _ in range(100):
+            assert EAST_COAST_JITTER.sample_cycles(rng) >= 0
+
+    @pytest.mark.parametrize("anchors", [
+        [(0.0, 1.0)],                        # too few
+        [(0.1, 1.0), (1.0, 2.0)],            # doesn't start at 0
+        [(0.0, 1.0), (0.5, 0.5), (1.0, 2.0)],  # decreasing values
+        [(0.0, 1.0), (0.0, 2.0), (1.0, 3.0)],  # duplicate quantile
+    ])
+    def test_bad_anchor_sets_rejected(self, anchors):
+        with pytest.raises(ValueError):
+            QuantileJitter(anchors)
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            EAST_COAST_JITTER.quantile(1.5)
+
+
+class TestWanLink:
+    def test_delivery_adds_delay_and_jitter(self):
+        link = WanLink(rtt_ms=10.0)
+        rng = SplitMix64(1)
+        arrival = link.deliver_ms(100.0, rng)
+        assert arrival > 100.0 + 5.0  # one-way + positive jitter
+
+    def test_order_preservation(self):
+        link = WanLink(rtt_ms=10.0)
+        rng = SplitMix64(3)
+        sends = [0.0, 0.01, 0.02, 5.0, 5.01]  # closely spaced packets
+        arrivals = link.transit_times_ms(sends, rng)
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == len(sends)
+
+    def test_one_way_cycles(self):
+        link = WanLink(rtt_ms=10.0, frequency_hz=1e9)
+        assert link.one_way_cycles == 5_000_000
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            WanLink(rtt_ms=-1.0)
+
+
+class TestPacketTrace:
+    def make_trace(self):
+        return PacketTrace([PacketRecord(0.0, b"a"), PacketRecord(5.0, b"b"),
+                            PacketRecord(12.0, b"c")])
+
+    def test_ipds(self):
+        assert self.make_trace().ipds_ms() == [5.0, 7.0]
+
+    def test_duration(self):
+        assert self.make_trace().duration_ms() == 12.0
+        assert PacketTrace([]).duration_ms() == 0.0
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ReproError):
+            PacketTrace([PacketRecord(5.0, b"a"), PacketRecord(1.0, b"b")])
+
+    def test_json_roundtrip(self):
+        trace = self.make_trace()
+        parsed = PacketTrace.from_json(trace.to_json())
+        assert parsed.times_ms() == trace.times_ms()
+        assert [r.payload for r in parsed] == [r.payload for r in trace]
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError):
+            PacketTrace.from_json("{not json")
+        with pytest.raises(ReproError):
+            PacketTrace.from_json('[{"bad": 1}]')
+
+    def test_from_times(self):
+        trace = PacketTrace.from_times_ms([3.0, 1.0, 2.0])
+        assert trace.times_ms() == [1.0, 2.0, 3.0]
+
+    def test_slice(self):
+        sliced = self.make_trace().slice_packets(1, 3)
+        assert sliced.times_ms() == [5.0, 12.0]
+
+    def test_shifted_accumulates_delays(self):
+        trace = self.make_trace()
+        shifted = trace.shifted([0.0, 1.0, 2.0])
+        # Packet 1 delayed by 1 shifts packets 1 and 2; packet 2 by 2 more.
+        assert shifted.times_ms() == [0.0, 6.0, 15.0]
+        assert shifted.ipds_ms() == [6.0, 9.0]
+
+    def test_shifted_validates(self):
+        trace = self.make_trace()
+        with pytest.raises(ReproError):
+            trace.shifted([0.0, 1.0])          # wrong length
+        with pytest.raises(ReproError):
+            trace.shifted([0.0, -1.0, 0.0])    # negative delay
+
+    def test_from_result(self):
+        class FakeResult:
+            tx = [(100, b"x"), (200, b"y")]
+
+            def tx_times_ms(self):
+                return [0.1, 0.2]
+
+        trace = PacketTrace.from_result(FakeResult())
+        assert len(trace) == 2
+        assert trace.records[0].payload == b"x"

@@ -1,0 +1,36 @@
+"""Tests for the reproduce CLI."""
+
+import pytest
+
+from repro.tools.reproduce import EXPERIMENTS, main
+
+
+class TestReproduceCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_small_experiment(self, capsys):
+        assert main(["sec65", "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "log size" in out
+        assert "B/request" in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "user-noisy" in out and "kernel-quiet" in out
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
+                                    "fig7", "sec65", "fig8"}

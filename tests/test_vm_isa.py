@@ -1,0 +1,74 @@
+"""Tests for the ISA metadata and 64-bit wrapping semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cpu import CostClass
+from repro.vm.isa import (EXCEPTION_NAMES, OPCODE_COST_CLASS, OPERAND_KIND,
+                          Op, opcode_name, wrap_i64)
+
+
+class TestIsaMetadata:
+    def test_every_opcode_has_cost_class(self):
+        for op in Op:
+            assert op in OPCODE_COST_CLASS, op
+            assert isinstance(OPCODE_COST_CLASS[op], CostClass)
+
+    def test_every_opcode_has_operand_kind(self):
+        for op in Op:
+            assert op in OPERAND_KIND, op
+
+    def test_opcode_values_are_dense_and_unique(self):
+        values = sorted(op.value for op in Op)
+        assert values == list(range(len(values)))
+
+    def test_opcode_name(self):
+        assert opcode_name(Op.IADD) == "IADD"
+        assert opcode_name(9999) == "OP_9999"
+
+    def test_branch_opcodes_are_contiguous(self):
+        """The interpreter's dispatch relies on IFEQ..IFGE adjacency."""
+        branches = [Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT, Op.IFGE]
+        values = [op.value for op in branches]
+        assert values == list(range(Op.IFEQ, Op.IFGE + 1))
+
+    def test_exception_names_cover_host_traps(self):
+        assert set(EXCEPTION_NAMES) == {-1, -2, -3, -4, -5}
+
+    def test_memory_opcodes_are_mem_class(self):
+        for op in (Op.LOAD, Op.STORE, Op.GLOAD, Op.GSTORE, Op.ALOAD,
+                   Op.ASTORE, Op.GETFIELD, Op.PUTFIELD):
+            assert OPCODE_COST_CLASS[op] == CostClass.MEM
+
+
+class TestWrapI64:
+    def test_fixed_points(self):
+        assert wrap_i64(0) == 0
+        assert wrap_i64(2 ** 63 - 1) == 2 ** 63 - 1
+        assert wrap_i64(-(2 ** 63)) == -(2 ** 63)
+
+    def test_overflow_wraps(self):
+        assert wrap_i64(2 ** 63) == -(2 ** 63)
+        assert wrap_i64(2 ** 64) == 0
+        assert wrap_i64(-(2 ** 63) - 1) == 2 ** 63 - 1
+
+    @given(st.integers())
+    @settings(max_examples=200, deadline=None)
+    def test_range_invariant(self, value):
+        wrapped = wrap_i64(value)
+        assert -(2 ** 63) <= wrapped < 2 ** 63
+        # Wrapping is congruent mod 2^64 and idempotent.
+        assert (wrapped - value) % (2 ** 64) == 0
+        assert wrap_i64(wrapped) == wrapped
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_addition_homomorphism(self, a, b):
+        """wrap(a + b) == wrap(wrap(a) + wrap(b)) — the property that
+        lets the interpreter wrap eagerly."""
+        assert wrap_i64(a + b) == wrap_i64(wrap_i64(a) + wrap_i64(b))
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_homomorphism(self, a, b):
+        assert wrap_i64(a * b) == wrap_i64(wrap_i64(a) * wrap_i64(b))
