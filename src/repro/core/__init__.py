@@ -18,6 +18,8 @@ from repro.core.session import (NaiveReplaySession, PlaySession,
 from repro.core.symmetric import SymmetricCell, symmetric_access
 
 _TDR_NAMES = ("TdrResult", "play", "replay", "replay_naive", "round_trip")
+_RESILIENCE_NAMES = ("AuditClassification", "AuditOutcome",
+                     "DegradationLevel", "audit_resilient")
 
 
 def __getattr__(name: str):
@@ -27,10 +29,18 @@ def __getattr__(name: str):
         from repro.core import tdr
 
         return getattr(tdr, name)
+    if name in _RESILIENCE_NAMES:
+        from repro.core import resilience
+
+        return getattr(resilience, name)
     raise AttributeError(f"module 'repro.core' has no attribute '{name}'")
 
 __all__ = [
+    "AuditClassification",
+    "AuditOutcome",
     "AuditReport",
+    "DegradationLevel",
+    "audit_resilient",
     "Checkpoint",
     "EventKind",
     "EventLog",

@@ -112,6 +112,29 @@ class LogVerifier:
             return False
         return hmac.compare_digest(recomputed, auth.chain_head)
 
+    def verify_available_prefix(self, log: EventLog,
+                                auth: Authenticator) -> bool | None:
+        """Verify a possibly-truncated log against ``auth``.
+
+        Damage in transit can remove the very entries an authenticator
+        commits to, and that must not be mistaken for tampering.  Returns
+
+        * ``True`` — the log covers ``auth`` and the chain matches;
+        * ``False`` — the chain (or the authenticator's own signature)
+          does not match: the surviving entries were rewritten;
+        * ``None`` — inconclusive: the log has fewer entries than the
+          authenticator covers, so the commitment cannot be recomputed.
+        """
+        expected_signature = hmac.new(
+            self._key, auth.chain_head + b"|"
+            + auth.length.to_bytes(8, "little"), hashlib.sha256).digest()
+        if not hmac.compare_digest(expected_signature, auth.signature):
+            return False
+        if auth.length > len(log.entries):
+            return None
+        recomputed = self.chain_head(log, auth.length)
+        return hmac.compare_digest(recomputed, auth.chain_head)
+
     def find_divergence(self, log: EventLog,
                         auth: Authenticator) -> int | None:
         """Index of the first entry inconsistent with ``auth``, if any.

@@ -66,21 +66,11 @@ def _times_and_payloads(result) -> tuple[list[float], list[bytes]]:
     return times, payloads
 
 
-def compare_traces(play_result, replay_result) -> AuditReport:
-    """Audit a play/replay pair of :class:`ExecutionResult` objects."""
-    play_times, play_payloads = _times_and_payloads(play_result)
-    replay_times, replay_payloads = _times_and_payloads(replay_result)
-    if len(play_times) != len(replay_times):
-        raise ReplayError(
-            f"functional divergence: play transmitted {len(play_times)} "
-            f"packets, replay {len(replay_times)}")
-    payloads_match = play_payloads == replay_payloads
-
-    play_total = play_result.total_ns * 1e-6
-    replay_total = replay_result.total_ns * 1e-6
-    total_error = (abs(replay_total - play_total) / play_total
-                   if play_total > 0 else 0.0)
-
+def _build_report(play_times: list[float], replay_times: list[float],
+                  payloads_match: bool, play_total_ms: float,
+                  replay_total_ms: float) -> AuditReport:
+    total_error = (abs(replay_total_ms - play_total_ms) / play_total_ms
+                   if play_total_ms > 0 else 0.0)
     ipd_pairs: list[tuple[float, float]] = []
     max_abs = 0.0
     max_rel = 0.0
@@ -95,14 +85,55 @@ def compare_traces(play_result, replay_result) -> AuditReport:
         max_rel = max(max_rel, rel)
         rel_sum += rel
     mean_rel = rel_sum / len(ipd_pairs) if ipd_pairs else 0.0
-
     return AuditReport(
         num_packets=len(play_times),
         payloads_match=payloads_match,
-        play_total_ms=play_total,
-        replay_total_ms=replay_total,
+        play_total_ms=play_total_ms,
+        replay_total_ms=replay_total_ms,
         total_time_error=total_error,
         ipd_pairs=ipd_pairs,
         max_abs_ipd_diff_ms=max_abs,
         max_rel_ipd_diff=max_rel,
         mean_rel_ipd_diff=mean_rel)
+
+
+def compare_traces(play_result, replay_result) -> AuditReport:
+    """Audit a play/replay pair of :class:`ExecutionResult` objects."""
+    play_times, play_payloads = _times_and_payloads(play_result)
+    replay_times, replay_payloads = _times_and_payloads(replay_result)
+    if len(play_times) != len(replay_times):
+        raise ReplayError(
+            f"functional divergence: play transmitted {len(play_times)} "
+            f"packets, replay {len(replay_times)}")
+    return _build_report(play_times, replay_times,
+                         play_payloads == replay_payloads,
+                         play_result.total_ns * 1e-6,
+                         replay_result.total_ns * 1e-6)
+
+
+def compare_trace_prefix(play_result,
+                         replay_result) -> tuple[AuditReport, int]:
+    """Audit the longest matching packet prefix of a play/replay pair.
+
+    The resilient audit path replays a salvaged log prefix, so the replay
+    legitimately transmits fewer packets than play did.  Rather than
+    raising on the count mismatch (as :func:`compare_traces` does), this
+    compares the longest prefix on which the payloads agree and reports
+    timing over that window; totals are measured at the last compared
+    transmission.  Returns ``(report, matched_packets)``.
+    """
+    play_times, play_payloads = _times_and_payloads(play_result)
+    replay_times, replay_payloads = _times_and_payloads(replay_result)
+    matched = 0
+    limit = min(len(play_times), len(replay_times))
+    while (matched < limit
+           and play_payloads[matched] == replay_payloads[matched]):
+        matched += 1
+    play_window = play_times[:matched]
+    replay_window = replay_times[:matched]
+    report = _build_report(
+        play_window, replay_window,
+        payloads_match=matched == limit,
+        play_total_ms=play_window[-1] if play_window else 0.0,
+        replay_total_ms=replay_window[-1] if replay_window else 0.0)
+    return report, matched

@@ -19,20 +19,38 @@ copy" (§6.5).
 
 The binary serialization exists so log sizes can be measured the same way
 the paper measures them (bytes on stable storage).
+
+The auditor receives the log from a machine it does not trust, over a
+network that may damage it (§5.3), so the current wire format (version 2)
+frames every entry with a CRC32 and closes the log with a whole-log
+SHA-256 digest: a flipped bit anywhere is reported as a
+:class:`~repro.errors.LogFormatError` carrying the offending entry index
+and byte offset.  Version-1 logs (no integrity framing) still parse.
+:meth:`EventLog.parse_prefix` is the tolerant variant: instead of raising
+it returns the longest intact prefix plus a description of the damage,
+which is what the resilient audit pipeline salvages from.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.errors import LogFormatError
 
 _MAGIC = b"TDRL"
-_VERSION = 1
+_VERSION = 2
+_V1 = 1
 _HEADER = struct.Struct("<4sHI")       # magic, version, entry count
-_ENTRY_HEAD = struct.Struct("<BQI")    # kind, instruction count, length
+# The entry length is parsed *signed* so a crafted header that would read
+# as a huge unsigned count is rejected as "negative" instead of driving a
+# multi-gigabyte slice.
+_ENTRY_HEAD = struct.Struct("<BQi")    # kind, instruction count, length
+_ENTRY_CRC = struct.Struct("<I")       # CRC32 of entry head + body (v2)
+_DIGEST_BYTES = 32                     # SHA-256 whole-log digest (v2)
 
 
 class EventKind(enum.IntEnum):
@@ -51,10 +69,42 @@ class LogEntry:
     payload: bytes = b""
     value: int = 0
 
-    def encoded_size(self) -> int:
+    def encoded_size(self, version: int = _VERSION) -> int:
         """Bytes this entry occupies in the serialized log."""
         body = len(self.payload) if self.kind == EventKind.PACKET else 8
-        return _ENTRY_HEAD.size + body
+        crc = _ENTRY_CRC.size if version >= 2 else 0
+        return _ENTRY_HEAD.size + body + crc
+
+
+@dataclass
+class PartialParse:
+    """Outcome of tolerantly parsing a (possibly damaged) serialized log.
+
+    ``log`` holds the longest intact prefix; ``error`` describes the first
+    damage found (None when the whole log parsed clean).
+    """
+
+    log: "EventLog"
+    version: int
+    declared_entries: int
+    intact_entries: int
+    consumed_bytes: int
+    error: LogFormatError | None
+    #: v2 only: whether the whole-log digest checked out (None for v1 or
+    #: when the parse failed before the digest could be checked).
+    digest_ok: bool | None
+
+    @property
+    def complete(self) -> bool:
+        """Did every declared entry (and the digest) parse clean?"""
+        return self.error is None
+
+    @property
+    def intact_fraction(self) -> float:
+        """Fraction of declared entries recovered intact."""
+        if self.declared_entries <= 0:
+            return 1.0 if self.complete else 0.0
+        return self.intact_entries / self.declared_entries
 
 
 class EventLog:
@@ -89,69 +139,167 @@ class EventLog:
 
     # -- size accounting (§6.5) ---------------------------------------------
 
-    def size_bytes(self) -> int:
+    def size_bytes(self, version: int = _VERSION) -> int:
         """Total serialized size."""
-        return _HEADER.size + sum(e.encoded_size() for e in self.entries)
+        trailer = _DIGEST_BYTES if version >= 2 else 0
+        return (_HEADER.size + trailer
+                + sum(e.encoded_size(version) for e in self.entries))
 
-    def size_breakdown(self) -> dict[str, int]:
-        """Bytes per event kind (plus the fixed header)."""
-        breakdown = {"header": _HEADER.size, "packet": 0, "time": 0}
+    def size_breakdown(self, version: int = _VERSION) -> dict[str, int]:
+        """Bytes per event kind (plus the fixed header and digest)."""
+        trailer = _DIGEST_BYTES if version >= 2 else 0
+        breakdown = {"header": _HEADER.size + trailer,
+                     "packet": 0, "time": 0}
         for entry in self.entries:
             key = "packet" if entry.kind == EventKind.PACKET else "time"
-            breakdown[key] += entry.encoded_size()
+            breakdown[key] += entry.encoded_size(version)
         return breakdown
 
     # -- serialization ---------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the on-disk format."""
-        chunks = [_HEADER.pack(_MAGIC, _VERSION, len(self.entries))]
+    def to_bytes(self, version: int = _VERSION) -> bytes:
+        """Serialize to the on-disk format (version 2 unless asked for 1)."""
+        if version not in (_V1, _VERSION):
+            raise LogFormatError(f"cannot serialize log version {version}")
+        chunks = [_HEADER.pack(_MAGIC, version, len(self.entries))]
         for entry in self.entries:
             if entry.kind == EventKind.PACKET:
                 body = entry.payload
             else:
                 body = struct.pack("<q", entry.value)
-            chunks.append(_ENTRY_HEAD.pack(int(entry.kind),
-                                           entry.instr_count, len(body)))
+            head = _ENTRY_HEAD.pack(int(entry.kind), entry.instr_count,
+                                    len(body))
+            chunks.append(head)
             chunks.append(body)
+            if version >= 2:
+                chunks.append(_ENTRY_CRC.pack(zlib.crc32(head + body)))
+        if version >= 2:
+            chunks.append(hashlib.sha256(b"".join(chunks)).digest())
         return b"".join(chunks)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "EventLog":
-        """Parse the on-disk format."""
+        """Parse the on-disk format; raises on any damage."""
+        parse = cls.parse_prefix(data)
+        if parse.error is not None:
+            raise parse.error
+        return parse.log
+
+    @classmethod
+    def parse_prefix(cls, data: bytes) -> "PartialParse":
+        """Tolerantly parse as many intact leading entries as possible.
+
+        Never raises: framing damage is reported through
+        :attr:`PartialParse.error` while :attr:`PartialParse.log` holds
+        the longest prefix that parsed (and, for v2, CRC-checked) clean —
+        the raw material for :func:`repro.core.resilience.audit_resilient`
+        salvage.
+        """
+        log = cls()
+
+        def failed(error: LogFormatError, offset: int,
+                   declared: int = 0, version: int = 0) -> "PartialParse":
+            return PartialParse(log=log, version=version,
+                                declared_entries=declared,
+                                intact_entries=len(log.entries),
+                                consumed_bytes=offset, error=error,
+                                digest_ok=False if version >= 2 else None)
+
         if len(data) < _HEADER.size:
-            raise LogFormatError("truncated log header")
+            return failed(LogFormatError("truncated log header"), 0)
         magic, version, count = _HEADER.unpack_from(data, 0)
         if magic != _MAGIC:
-            raise LogFormatError(f"bad log magic {magic!r}")
-        if version != _VERSION:
-            raise LogFormatError(f"unsupported log version {version}")
-        log = cls()
+            return failed(LogFormatError(f"bad log magic {magic!r}"), 0)
+        if version not in (_V1, _VERSION):
+            return failed(
+                LogFormatError(f"unsupported log version {version}"), 0)
+
         offset = _HEADER.size
-        for _ in range(count):
+        last_instr = -1
+        for index in range(count):
+            entry_offset = offset
             if offset + _ENTRY_HEAD.size > len(data):
-                raise LogFormatError("truncated log entry header")
+                return failed(LogFormatError("truncated log entry header",
+                                             index, entry_offset),
+                              entry_offset, count, version)
             kind_value, instr_count, length = _ENTRY_HEAD.unpack_from(
                 data, offset)
             offset += _ENTRY_HEAD.size
-            if offset + length > len(data):
-                raise LogFormatError("truncated log entry body")
-            body = data[offset:offset + length]
-            offset += length
+            if length < 0:
+                return failed(
+                    LogFormatError(f"negative declared entry length "
+                                   f"{length}", index, entry_offset),
+                    entry_offset, count, version)
             try:
                 kind = EventKind(kind_value)
             except ValueError:
-                raise LogFormatError(f"unknown event kind {kind_value}")
+                return failed(
+                    LogFormatError(f"unknown event kind {kind_value}",
+                                   index, entry_offset),
+                    entry_offset, count, version)
+            if instr_count < last_instr:
+                return failed(
+                    LogFormatError(
+                        f"non-monotonic instruction count {instr_count} "
+                        f"after {last_instr}", index, entry_offset),
+                    entry_offset, count, version)
+            if offset + length > len(data):
+                return failed(LogFormatError("truncated log entry body",
+                                             index, entry_offset),
+                              entry_offset, count, version)
+            body = data[offset:offset + length]
+            offset += length
+            if version >= 2:
+                if offset + _ENTRY_CRC.size > len(data):
+                    return failed(
+                        LogFormatError("truncated entry CRC", index,
+                                       entry_offset),
+                        entry_offset, count, version)
+                (stored_crc,) = _ENTRY_CRC.unpack_from(data, offset)
+                offset += _ENTRY_CRC.size
+                head = data[entry_offset:entry_offset + _ENTRY_HEAD.size]
+                if stored_crc != zlib.crc32(head + body):
+                    return failed(LogFormatError("entry CRC32 mismatch",
+                                                 index, entry_offset),
+                                  entry_offset, count, version)
             if kind == EventKind.PACKET:
-                log.entries.append(LogEntry(kind, instr_count, payload=body))
+                log.entries.append(LogEntry(kind, instr_count,
+                                            payload=body))
             else:
                 if length != 8:
-                    raise LogFormatError("TIME entry body must be 8 bytes")
+                    return failed(
+                        LogFormatError("TIME entry body must be 8 bytes",
+                                       index, entry_offset),
+                        entry_offset, count, version)
                 (value,) = struct.unpack("<q", body)
                 log.entries.append(LogEntry(kind, instr_count, value=value))
+            last_instr = instr_count
+
+        digest_ok: bool | None = None
+        if version >= 2:
+            if len(data) - offset < _DIGEST_BYTES:
+                return failed(LogFormatError("truncated whole-log digest",
+                                             byte_offset=offset),
+                              offset, count, version)
+            expected = hashlib.sha256(data[:offset]).digest()
+            stored = data[offset:offset + _DIGEST_BYTES]
+            digest_ok = stored == expected
+            offset += _DIGEST_BYTES
+            if not digest_ok:
+                return failed(
+                    LogFormatError("whole-log digest mismatch",
+                                   byte_offset=offset - _DIGEST_BYTES),
+                    offset, count, version)
         if offset != len(data):
-            raise LogFormatError(f"{len(data) - offset} trailing bytes")
-        return log
+            return failed(
+                LogFormatError(f"{len(data) - offset} trailing bytes",
+                               byte_offset=offset),
+                offset, count, version)
+        return PartialParse(log=log, version=version,
+                            declared_entries=count,
+                            intact_entries=len(log.entries),
+                            consumed_bytes=offset, error=None,
+                            digest_ok=digest_ok)
 
     def growth_rate_kb_per_minute(self, duration_ns: float) -> float:
         """Log growth rate for a trace of the given duration (§6.5)."""

@@ -1,0 +1,280 @@
+"""The resilient audit pipeline: classify, salvage, never crash.
+
+§5.3's auditor replays a log it received from a machine it does not
+trust.  The happy path (:func:`repro.core.tdr.round_trip` +
+:func:`repro.core.audit.compare_traces`) assumes the log arrived intact
+and both executions completed; :func:`audit_resilient` removes both
+assumptions.  It never raises — every input, however mangled, is turned
+into a structured :class:`AuditOutcome` that says
+
+* what happened (:class:`AuditClassification`: ``clean`` /
+  ``transfer-degraded`` / ``log-corrupt`` / ``tamper-detected`` /
+  ``replay-divergent``),
+* how much of the observed execution could still be audited
+  (:attr:`AuditOutcome.coverage`, via longest-intact-prefix replay
+  through the :mod:`repro.core.segments` checkpoint machinery), and
+* the timing verdict over the audited window
+  (:attr:`AuditOutcome.consistent`).
+
+Classification precedence, most definite first: a broken attestation
+chain is proof of tampering regardless of other damage; a transfer that
+exhausted its retry budget explains any truncation it caused; framing
+damage marks the log corrupt; a log that frames clean but cannot be
+replayed is divergent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.attestation import Authenticator, LogVerifier
+from repro.core.audit import (AuditReport, compare_trace_prefix,
+                              compare_traces)
+from repro.core.log import EventLog, PartialParse
+from repro.core.segments import (MachineCheckpoint, checkpoint_usable,
+                                 replay_salvaged_prefix)
+from repro.core.tdr import replay
+from repro.errors import ReproError
+from repro.faults.channel import TransferOutcome
+from repro.machine.config import MachineConfig
+from repro.machine.machine import ExecutionResult
+from repro.vm.program import Program
+
+
+class AuditClassification(str, enum.Enum):
+    """What the resilient audit pipeline concluded about its input."""
+
+    CLEAN = "clean"
+    TRANSFER_DEGRADED = "transfer-degraded"
+    LOG_CORRUPT = "log-corrupt"
+    TAMPER_DETECTED = "tamper-detected"
+    REPLAY_DIVERGENT = "replay-divergent"
+
+
+class DegradationLevel(enum.IntEnum):
+    """How much audit capability survived the damage."""
+
+    NONE = 0        #: full log, full replay, full audit
+    DEGRADED = 1    #: damage detected; a majority of the trace salvaged
+    PARTIAL = 2     #: damage detected; a minority of the trace salvaged
+    UNUSABLE = 3    #: nothing could be salvaged (or nothing trustworthy)
+
+
+def _degradation_for(coverage: float) -> DegradationLevel:
+    if coverage >= 0.5:
+        return DegradationLevel.DEGRADED
+    if coverage > 0.0:
+        return DegradationLevel.PARTIAL
+    return DegradationLevel.UNUSABLE
+
+
+@dataclass
+class AuditOutcome:
+    """Structured result of :func:`audit_resilient`; never an exception."""
+
+    classification: AuditClassification
+    degradation: DegradationLevel
+    #: Fraction of the observed transmissions the audit could still
+    #: check (1.0 on the clean path, 0.0 when nothing was salvageable).
+    coverage: float
+    #: Timing verdict over the audited window: True/False from
+    #: :meth:`AuditReport.is_consistent`, or None when the window was
+    #: too small to judge.
+    consistent: bool | None
+    detail: str
+    report: AuditReport | None = None
+    parse: PartialParse | None = None
+    transfer: TransferOutcome | None = None
+    #: Result of checking the attestation chain (None: not checked or
+    #: inconclusive because the damage removed the covered entries).
+    attestation_ok: bool | None = None
+    failure: ReproError | None = None
+    salvaged_packets: int = 0
+
+    @property
+    def trustworthy(self) -> bool:
+        """Can the timing verdict be acted on at all?"""
+        return (self.classification != AuditClassification.TAMPER_DETECTED
+                and self.coverage > 0.0)
+
+
+@dataclass
+class _TraceView:
+    """Duck-typed :class:`ExecutionResult` slice for prefix comparison."""
+
+    tx: list
+    _times_ms: list = field(default_factory=list)
+
+    def tx_times_ms(self) -> list[float]:
+        return self._times_ms
+
+
+def _outcome(classification: AuditClassification, coverage: float,
+             consistent: bool | None, detail: str, **extra) -> AuditOutcome:
+    if classification == AuditClassification.CLEAN:
+        degradation = DegradationLevel.NONE
+    elif classification == AuditClassification.TAMPER_DETECTED:
+        degradation = DegradationLevel.UNUSABLE
+    else:
+        degradation = _degradation_for(coverage)
+    return AuditOutcome(classification=classification,
+                        degradation=degradation, coverage=coverage,
+                        consistent=consistent, detail=detail, **extra)
+
+
+def audit_resilient(program: Program, observed: ExecutionResult,
+                    log_bytes: bytes | None = None, *,
+                    config: MachineConfig | None = None,
+                    transfer: TransferOutcome | None = None,
+                    authenticator: Authenticator | None = None,
+                    signing_key: bytes | None = None,
+                    checkpoint: MachineCheckpoint | None = None,
+                    replay_seed: int = 1,
+                    max_instructions: int | None = 200_000_000
+                    ) -> AuditOutcome:
+    """Audit ``observed`` against a possibly damaged serialized log.
+
+    ``log_bytes`` is the log as received (defaults to
+    ``transfer.data`` when a :class:`TransferOutcome` is given).  Pass
+    ``authenticator`` + ``signing_key`` to check the PeerReview-style
+    chain of :mod:`repro.core.attestation`, and a ``checkpoint`` from
+    :func:`repro.core.segments.play_with_checkpoint` to let the salvage
+    replay resume mid-log instead of re-executing from the start.
+
+    Never raises: every failure mode becomes an :class:`AuditOutcome`.
+    """
+    try:
+        return _audit_resilient(program, observed, log_bytes,
+                                config=config, transfer=transfer,
+                                authenticator=authenticator,
+                                signing_key=signing_key,
+                                checkpoint=checkpoint,
+                                replay_seed=replay_seed,
+                                max_instructions=max_instructions)
+    except Exception as exc:  # the never-raise guarantee is the contract
+        failure = exc if isinstance(exc, ReproError) else None
+        return _outcome(
+            AuditClassification.REPLAY_DIVERGENT, 0.0, None,
+            f"audit pipeline failed: {type(exc).__name__}: {exc}",
+            transfer=transfer, failure=failure)
+
+
+def _audit_resilient(program, observed, log_bytes, *, config, transfer,
+                     authenticator, signing_key, checkpoint, replay_seed,
+                     max_instructions) -> AuditOutcome:
+    config = config or MachineConfig()
+    if log_bytes is None and transfer is not None:
+        log_bytes = transfer.data
+    transfer_failed = transfer is not None and transfer.degraded
+    if log_bytes is None:
+        return _outcome(
+            AuditClassification.TRANSFER_DEGRADED if transfer_failed
+            else AuditClassification.LOG_CORRUPT,
+            0.0, None, "no log bytes received", transfer=transfer)
+
+    parse = EventLog.parse_prefix(log_bytes)
+
+    attestation_ok: bool | None = None
+    if authenticator is not None and signing_key is not None:
+        attestation_ok = LogVerifier(signing_key).verify_available_prefix(
+            parse.log, authenticator)
+        if attestation_ok is False:
+            return _outcome(
+                AuditClassification.TAMPER_DETECTED, 0.0, None,
+                "attestation chain mismatch: the surviving entries are "
+                "not the ones the machine committed to",
+                parse=parse, transfer=transfer, attestation_ok=False,
+                failure=parse.error)
+
+    # Clean path: the whole log arrived and framed correctly.
+    if parse.complete and not transfer_failed:
+        try:
+            replayed = replay(program, parse.log, config,
+                              seed=replay_seed,
+                              max_instructions=max_instructions)
+            report = compare_traces(observed, replayed)
+            if report.payloads_match:
+                return _outcome(
+                    AuditClassification.CLEAN, 1.0,
+                    report.is_consistent(),
+                    "full log replayed; timing "
+                    + ("consistent" if report.is_consistent()
+                       else "deviates beyond the replay-accuracy bound"),
+                    report=report, parse=parse, transfer=transfer,
+                    attestation_ok=attestation_ok)
+            divergence_detail = "replayed payloads differ from observed"
+        except ReproError as exc:
+            divergence_detail = str(exc)
+        # Framing was clean but the replay could not follow the log:
+        # fall through and salvage whatever prefix still reproduces.
+        return _salvage(program, observed, parse, config,
+                        AuditClassification.REPLAY_DIVERGENT,
+                        divergence_detail, transfer, attestation_ok,
+                        checkpoint, replay_seed, max_instructions)
+
+    classification = (AuditClassification.TRANSFER_DEGRADED
+                      if transfer_failed
+                      else AuditClassification.LOG_CORRUPT)
+    detail = (f"transfer degraded after "
+              f"{transfer.retransmissions} retransmissions "
+              f"({transfer.frames_delivered}/{transfer.total_frames} "
+              f"frames)" if transfer_failed
+              else f"log damaged: {parse.error}")
+    return _salvage(program, observed, parse, config, classification,
+                    detail, transfer, attestation_ok, checkpoint,
+                    replay_seed, max_instructions)
+
+
+def _salvage(program, observed, parse, config, classification, detail,
+             transfer, attestation_ok, checkpoint, replay_seed,
+             max_instructions) -> AuditOutcome:
+    """Replay the longest intact prefix and measure what it still covers."""
+    total_tx = len(observed.tx)
+    prefix = parse.log
+    resume = (checkpoint if checkpoint is not None
+              and checkpoint_usable(checkpoint, parse.intact_entries)
+              else None)
+    if not prefix.entries and resume is None:
+        return _outcome(classification, 0.0, None,
+                        detail + "; nothing salvageable",
+                        parse=parse, transfer=transfer,
+                        attestation_ok=attestation_ok,
+                        failure=parse.error)
+
+    partial, diverged = replay_salvaged_prefix(
+        program, prefix, config, seed=replay_seed, checkpoint=resume,
+        max_instructions=max_instructions)
+
+    if resume is not None:
+        # The checkpoint certifies the auditor already replayed the
+        # prefix it covers (segment auditing, §3.2); this replay only
+        # has to re-establish the window between the checkpoint and the
+        # damage.
+        observed_view = _TraceView(
+            tx=observed.tx[resume.tx_count:],
+            _times_ms=observed.tx_times_ms()[resume.tx_count:])
+        already_covered = min(resume.tx_count, total_tx)
+    else:
+        observed_view = _TraceView(tx=observed.tx,
+                                   _times_ms=observed.tx_times_ms())
+        already_covered = 0
+
+    report, matched = compare_trace_prefix(observed_view, partial)
+    covered = already_covered + matched
+    coverage = (covered / total_tx if total_tx
+                else parse.intact_fraction)
+    coverage = min(coverage, 1.0)
+    consistent = report.is_consistent() if matched >= 2 else None
+
+    window = (f"salvaged {covered}/{total_tx} observed transmissions "
+              f"from {parse.intact_entries} intact log entries")
+    if resume is not None:
+        window += f" (resumed from checkpoint at tx {resume.tx_count})"
+    if diverged is not None:
+        window += f"; prefix replay stopped at divergence: {diverged}"
+    return _outcome(classification, coverage, consistent,
+                    f"{detail}; {window}",
+                    report=report, parse=parse, transfer=transfer,
+                    attestation_ok=attestation_ok, failure=parse.error,
+                    salvaged_packets=covered)

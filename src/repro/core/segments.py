@@ -32,7 +32,7 @@ from repro.core.checkpoint import (Checkpoint, restore_interpreter,
                                    snapshot_interpreter)
 from repro.core.log import EventKind, EventLog
 from repro.core.session import ReplaySession
-from repro.errors import ReplayError
+from repro.errors import ReplayDivergenceError, ReplayError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import ExecutionResult, Machine
 from repro.machine.workload import Workload
@@ -102,6 +102,66 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
     return result, checkpoint
 
 
+def _replay_from(program: Program, log: EventLog,
+                 checkpoint: MachineCheckpoint | None,
+                 config: MachineConfig, seed: int,
+                 max_instructions: int | None,
+                 tolerate_divergence: bool
+                 ) -> tuple[ExecutionResult, ReplayDivergenceError | None]:
+    """Shared replay core: from a checkpoint, or from the very start.
+
+    With ``tolerate_divergence`` the run survives a mid-execution
+    :class:`ReplayDivergenceError` (a damaged log can end between a
+    request and the event the guest asks for next) and still assembles
+    the :class:`ExecutionResult` for whatever was reproduced before the
+    divergence point.
+    """
+    machine = Machine(config, seed=seed, mode="replay", log=log)
+    if checkpoint is not None:
+        session = machine.session
+        assert isinstance(session, ReplaySession)
+        # Fast-forward the session past the events the prefix consumed.
+        if checkpoint.log_position > len(log.entries):
+            raise ReplayError("checkpoint log position beyond the log")
+        session._cursor = checkpoint.log_position
+        for entry in log.entries[:checkpoint.log_position]:
+            if entry.kind == EventKind.PACKET:
+                session.events_handled += 1
+        # Restore machine context: clock and quiesced microarchitecture
+        # (§3.6 — the checkpoint boundary behaves like an execution
+        # start).
+        machine.clock.advance(checkpoint.clock_cycles)
+        machine.hierarchy.flush()
+        machine.tlb.flush()
+        machine.predictor.flush()
+        machine._covert_cursor = checkpoint.covert_cursor
+
+    vm = Interpreter(program, machine.platform,
+                     VmConfig(thread_quantum=config.thread_quantum,
+                              poll_interval=config.vm_poll_interval))
+    if checkpoint is not None:
+        restore_interpreter(vm, checkpoint.vm_state)
+    diverged: ReplayDivergenceError | None = None
+    try:
+        vm.run(max_instructions=max_instructions)
+    except ReplayDivergenceError as exc:
+        if not tolerate_divergence:
+            raise
+        diverged = exc
+
+    machine._ran = True
+    result = ExecutionResult(
+        mode="replay", config_name=config.name, seed=seed,
+        tx=list(machine.platform.tx_trace),
+        console=list(machine.platform.console),
+        total_cycles=machine.clock.cycles,
+        total_ns=machine.clock.now_ns(),
+        instructions=vm.instruction_count,
+        log=None,
+        stats=machine._collect_stats(vm))
+    return result, diverged
+
+
 def replay_segment(program: Program, log: EventLog,
                    checkpoint: MachineCheckpoint,
                    config: MachineConfig, seed: int = 1,
@@ -114,40 +174,39 @@ def replay_segment(program: Program, log: EventLog,
     up with the original execution's timeline (the clock is restored to
     the checkpoint's reading).
     """
-    machine = Machine(config, seed=seed, mode="replay", log=log)
-    session = machine.session
-    assert isinstance(session, ReplaySession)
-    # Fast-forward the session past the events the prefix consumed.
-    if checkpoint.log_position > len(log.entries):
-        raise ReplayError("checkpoint log position beyond the log")
-    session._cursor = checkpoint.log_position
-    for entry in log.entries[:checkpoint.log_position]:
-        if entry.kind == EventKind.PACKET:
-            session.events_handled += 1
-    # Restore machine context: clock and quiesced microarchitecture
-    # (§3.6 — the checkpoint boundary behaves like an execution start).
-    machine.clock.advance(checkpoint.clock_cycles)
-    machine.hierarchy.flush()
-    machine.tlb.flush()
-    machine.predictor.flush()
-    machine._covert_cursor = checkpoint.covert_cursor
+    result, _ = _replay_from(program, log, checkpoint, config, seed,
+                             max_instructions, tolerate_divergence=False)
+    return result
 
-    vm = Interpreter(program, machine.platform,
-                     VmConfig(thread_quantum=config.thread_quantum,
-                              poll_interval=config.vm_poll_interval))
-    restore_interpreter(vm, checkpoint.vm_state)
-    vm.run(max_instructions=max_instructions)
 
-    machine._ran = True
-    return ExecutionResult(
-        mode="replay", config_name=config.name, seed=seed,
-        tx=list(machine.platform.tx_trace),
-        console=list(machine.platform.console),
-        total_cycles=machine.clock.cycles,
-        total_ns=machine.clock.now_ns(),
-        instructions=vm.instruction_count,
-        log=None,
-        stats=machine._collect_stats(vm))
+def checkpoint_usable(checkpoint: MachineCheckpoint,
+                      intact_entries: int) -> bool:
+    """Can a salvaged prefix of ``intact_entries`` resume from here?
+
+    The checkpoint must lie inside the intact prefix: resuming past the
+    damage would inject events we no longer trust.
+    """
+    return checkpoint.log_position <= intact_entries
+
+
+def replay_salvaged_prefix(program: Program, log: EventLog,
+                           config: MachineConfig, seed: int = 1,
+                           checkpoint: MachineCheckpoint | None = None,
+                           max_instructions: int | None = 200_000_000
+                           ) -> tuple[ExecutionResult,
+                                      ReplayDivergenceError | None]:
+    """Replay the longest intact prefix of a damaged log.
+
+    ``log`` should already be the salvaged prefix (see
+    :meth:`EventLog.parse_prefix`).  The replay runs until the guest sees
+    its input end; if the damage cut the log between a request and the
+    next event the guest demands, the divergence is captured and returned
+    alongside the partial result instead of being raised.  Pass a
+    ``checkpoint`` that satisfies :func:`checkpoint_usable` to resume
+    from it rather than re-executing from the start.
+    """
+    return _replay_from(program, log, checkpoint, config, seed,
+                        max_instructions, tolerate_divergence=True)
 
 
 def segment_of(result: ExecutionResult,

@@ -82,7 +82,11 @@ def round_trip(program: Program, config: MachineConfig | None = None,
                        covert_enabled=covert_enabled,
                        max_instructions=max_instructions)
     if play_result.log is None:
-        raise ReplayError("play produced no log")
+        raise ReplayError(
+            f"play produced no log (mode={play_result.mode!r}, "
+            f"config={play_result.config_name!r}, "
+            f"seed={play_result.seed}, "
+            f"instructions={play_result.instructions})")
     replay_result = replay(program, play_result.log,
                            replay_config or config, seed=replay_seed,
                            max_instructions=max_instructions)

@@ -79,7 +79,30 @@ class ReplayDivergenceError(ReplayError):
 
 
 class LogFormatError(ReplayError):
-    """An event log could not be parsed."""
+    """An event log could not be parsed.
+
+    ``entry_index`` and ``byte_offset`` locate the damage when it can be
+    attributed to a specific entry: the index of the offending entry and
+    the byte offset (into the serialized log) of its entry header.
+    """
+
+    def __init__(self, message: str, entry_index: int | None = None,
+                 byte_offset: int | None = None) -> None:
+        self.entry_index = entry_index
+        self.byte_offset = byte_offset
+        location = ""
+        if entry_index is not None:
+            location = f" (entry {entry_index}"
+            if byte_offset is not None:
+                location += f", byte offset {byte_offset}"
+            location += ")"
+        elif byte_offset is not None:
+            location = f" (byte offset {byte_offset})"
+        super().__init__(message + location)
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan was configured or applied incorrectly."""
 
 
 class DetectorError(ReproError):

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the audit pipeline.
+
+The auditing story of §5.3 only works if the auditor survives hostile or
+damaged inputs: the log comes from a machine that may be lying, over a
+network that may be losing frames.  This package supplies the chaos half
+of that hardening:
+
+* :mod:`repro.faults.plans` — composable, seeded :class:`FaultPlan`
+  damage models (bit flips, truncation, entry drop/duplication/reorder,
+  header fuzzing);
+* :mod:`repro.faults.channel` — a lossy simulated log-transfer channel
+  with bounded retransmission and exponential backoff.
+
+Everything is driven by :class:`~repro.determinism.SplitMix64` streams:
+a chaos run is reproducible from its seed.
+"""
+
+from repro.faults.channel import LogTransferChannel, TransferOutcome
+from repro.faults.plans import (BitFlip, ComposedPlan, DropEntries,
+                                DuplicateEntries, FaultPlan, HeaderFuzz,
+                                ReorderEntries, Truncate,
+                                standard_fault_kinds)
+
+__all__ = [
+    "BitFlip",
+    "ComposedPlan",
+    "DropEntries",
+    "DuplicateEntries",
+    "FaultPlan",
+    "HeaderFuzz",
+    "LogTransferChannel",
+    "ReorderEntries",
+    "TransferOutcome",
+    "Truncate",
+    "standard_fault_kinds",
+]

@@ -1,0 +1,109 @@
+"""A lossy, retrying log-transfer channel over a WAN link.
+
+The audited machine ships its event log to the auditor (§5.3) across a
+real network.  This module simulates that shipment: the serialized log is
+framed into MTU-sized chunks and sent over a
+:class:`~repro.net.link.LossyWanLink`; each lost frame is retransmitted
+with exponential backoff until a per-frame retry budget is exhausted.  A
+frame that exhausts its budget ends the transfer — what arrived is a
+contiguous *prefix* of the log, exactly the shape
+:func:`repro.core.resilience.audit_resilient` knows how to salvage.
+
+Everything is driven by a caller-supplied
+:class:`~repro.determinism.SplitMix64`, so a transfer that degraded in an
+interesting way is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.determinism import SplitMix64
+from repro.net.link import LossyWanLink, WanLink
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """What one simulated log transfer delivered, and at what cost."""
+
+    delivered: bool          #: did every frame arrive within budget?
+    data: bytes              #: contiguous prefix that made it across
+    total_frames: int
+    frames_delivered: int
+    transmissions: int       #: frames sent, including retransmissions
+    retransmissions: int
+    elapsed_ms: float        #: propagation + jitter + backoff time
+    drop_rate: float         #: the link's configured loss probability
+
+    @property
+    def degraded(self) -> bool:
+        """True when the retry budget could not deliver the whole log."""
+        return not self.delivered
+
+
+class LogTransferChannel:
+    """Frame, send, and retransmit a serialized log across a lossy link."""
+
+    def __init__(self, link: WanLink | None = None,
+                 drop_rate: float = 0.0, mtu_bytes: int = 1024,
+                 max_retries: int = 8, backoff_base_ms: float = 5.0,
+                 backoff_factor: float = 2.0,
+                 backoff_cap_ms: float = 500.0) -> None:
+        if link is None:
+            link = LossyWanLink(drop_rate=drop_rate)
+        if mtu_bytes <= 0:
+            raise ValueError(f"MTU must be positive: {mtu_bytes}")
+        if max_retries < 0:
+            raise ValueError(f"negative retry budget: {max_retries}")
+        if backoff_base_ms < 0 or backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and "
+                             "non-shrinking")
+        self.link = link
+        self.mtu_bytes = mtu_bytes
+        self.max_retries = max_retries
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_factor = backoff_factor
+        self.backoff_cap_ms = backoff_cap_ms
+
+    def _backoff_ms(self, attempt: int) -> float:
+        """Delay before retransmission ``attempt`` (1-based)."""
+        return min(self.backoff_cap_ms,
+                   self.backoff_base_ms
+                   * self.backoff_factor ** (attempt - 1))
+
+    def transfer(self, data: bytes, rng: SplitMix64) -> TransferOutcome:
+        """Ship ``data`` across the link; never raises on loss."""
+        drop_rate = getattr(self.link, "drop_rate", 0.0)
+        frames = [data[i:i + self.mtu_bytes]
+                  for i in range(0, len(data), self.mtu_bytes)] or [b""]
+        clock_ms = 0.0
+        received: list[bytes] = []
+        transmissions = 0
+        retransmissions = 0
+        for frame in frames:
+            attempt = 0
+            while True:
+                transmissions += 1
+                clock_ms = self.link.deliver_ms(clock_ms, rng)
+                if self.link.delivers(rng):
+                    received.append(frame)
+                    break
+                attempt += 1
+                if attempt > self.max_retries:
+                    # Budget exhausted: the transfer stops here and the
+                    # auditor gets the contiguous prefix that arrived.
+                    return TransferOutcome(
+                        delivered=False, data=b"".join(received),
+                        total_frames=len(frames),
+                        frames_delivered=len(received),
+                        transmissions=transmissions,
+                        retransmissions=retransmissions,
+                        elapsed_ms=clock_ms, drop_rate=drop_rate)
+                retransmissions += 1
+                clock_ms += self._backoff_ms(attempt)
+        return TransferOutcome(
+            delivered=True, data=b"".join(received),
+            total_frames=len(frames), frames_delivered=len(frames),
+            transmissions=transmissions,
+            retransmissions=retransmissions,
+            elapsed_ms=clock_ms, drop_rate=drop_rate)

@@ -1,0 +1,236 @@
+"""Composable, seeded fault plans for serialized event logs.
+
+The auditor of §5.3 receives the log from a machine it does not trust,
+over a network it does not control.  A :class:`FaultPlan` is a
+deterministic model of one kind of damage that log can suffer in either
+place; chaining plans with :meth:`FaultPlan.then` models compound damage.
+Every plan draws from a caller-supplied
+:class:`~repro.determinism.SplitMix64` stream, so a chaos run that found
+a bug is reproducible from its seed alone.
+
+Two families exist, distinguished by where the damage happens:
+
+* **byte-level** plans (:class:`BitFlip`, :class:`Truncate`,
+  :class:`HeaderFuzz`) damage the serialized form without understanding
+  it — storage rot, a lossy transfer, a fuzzer.  The v2 wire format's
+  per-entry CRC32 and whole-log digest catch these as
+  :class:`~repro.errors.LogFormatError`.
+* **entry-level** plans (:class:`DropEntries`, :class:`DuplicateEntries`,
+  :class:`ReorderEntries`) model an *adversary with write access*: the
+  log is rewritten with valid framing (CRCs and digest recomputed), so
+  only the attestation chain of :mod:`repro.core.attestation` — or a
+  divergent replay — can expose the edit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.log import EventLog
+from repro.determinism import SplitMix64
+from repro.errors import FaultPlanError
+
+_HEADER_BYTES = 10  # magic + version + count
+
+
+class FaultPlan(abc.ABC):
+    """One deterministic, composable kind of damage to a serialized log."""
+
+    #: Short identifier used in chaos-matrix output and fork labels.
+    name: str = "fault"
+
+    @abc.abstractmethod
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        """Return the damaged form of ``data``; never mutates in place."""
+
+    def apply_seeded(self, data: bytes, seed: int) -> bytes:
+        """Apply with a fresh stream derived from ``seed``."""
+        return self.apply(data, SplitMix64(seed).fork(self.name))
+
+    def then(self, other: "FaultPlan") -> "ComposedPlan":
+        """Compose: this plan's output feeds ``other``."""
+        return ComposedPlan([self, other])
+
+
+@dataclass
+class ComposedPlan(FaultPlan):
+    """Apply several plans in sequence, each on an independent stream."""
+
+    plans: list[FaultPlan] = field(default_factory=list)
+    name: str = "composed"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        for index, plan in enumerate(self.plans):
+            data = plan.apply(data, rng.fork(f"{index}:{plan.name}"))
+        return data
+
+    def then(self, other: FaultPlan) -> "ComposedPlan":
+        return ComposedPlan([*self.plans, other])
+
+
+# -- byte-level damage ------------------------------------------------------
+
+
+@dataclass
+class BitFlip(FaultPlan):
+    """Flip ``flips`` random bits anywhere in the serialized log."""
+
+    flips: int = 1
+    name: str = "bit-flip"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if self.flips < 0:
+            raise FaultPlanError(f"negative flip count {self.flips}")
+        if not data or self.flips == 0:
+            return data
+        damaged = bytearray(data)
+        for _ in range(self.flips):
+            position = rng.randint(0, len(damaged) - 1)
+            damaged[position] ^= 1 << rng.randint(0, 7)
+        return bytes(damaged)
+
+
+@dataclass
+class Truncate(FaultPlan):
+    """Keep only the leading ``keep_fraction`` of the serialized bytes.
+
+    Models an interrupted transfer or a partially-written log file; the
+    exact cut point is drawn within the discarded region so repeated runs
+    exercise different entry boundaries.
+    """
+
+    keep_fraction: float = 0.5
+    name: str = "truncate"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if not 0.0 <= self.keep_fraction <= 1.0:
+            raise FaultPlanError(
+                f"keep fraction must be in [0, 1]: {self.keep_fraction}")
+        if self.keep_fraction == 1.0 or not data:
+            return data
+        floor = int(len(data) * self.keep_fraction)
+        # Jitter the cut by up to half an average entry so sweeps hit
+        # header/body/CRC boundaries alike.
+        cut = min(len(data) - 1, floor + rng.randint(0, 15))
+        return data[:cut]
+
+
+@dataclass
+class HeaderFuzz(FaultPlan):
+    """Randomize ``fuzzed_bytes`` bytes of the fixed log header."""
+
+    fuzzed_bytes: int = 1
+    name: str = "header-fuzz"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if self.fuzzed_bytes < 0:
+            raise FaultPlanError(
+                f"negative fuzz count {self.fuzzed_bytes}")
+        if not data or self.fuzzed_bytes == 0:
+            return data
+        damaged = bytearray(data)
+        region = min(_HEADER_BYTES, len(damaged))
+        for _ in range(self.fuzzed_bytes):
+            position = rng.randint(0, region - 1)
+            damaged[position] = rng.randint(0, 255)
+        return bytes(damaged)
+
+
+# -- entry-level damage (adversarial rewrites) ------------------------------
+
+
+def _parse_for_rewrite(data: bytes, plan_name: str) -> tuple[EventLog, int]:
+    parse = EventLog.parse_prefix(data)
+    if parse.error is not None:
+        raise FaultPlanError(
+            f"{plan_name} rewrites entries and needs a parseable log; "
+            f"compose byte-level damage *after* it ({parse.error})")
+    return parse.log, parse.version
+
+
+@dataclass
+class DropEntries(FaultPlan):
+    """Silently delete ``count`` random entries, reframing the rest."""
+
+    count: int = 1
+    name: str = "drop-entries"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if self.count < 0:
+            raise FaultPlanError(f"negative drop count {self.count}")
+        log, version = _parse_for_rewrite(data, self.name)
+        for _ in range(min(self.count, len(log.entries))):
+            del log.entries[rng.randint(0, len(log.entries) - 1)]
+        return log.to_bytes(version)
+
+
+@dataclass
+class DuplicateEntries(FaultPlan):
+    """Replay-attack style: insert ``count`` duplicates of random entries.
+
+    Each duplicate is inserted right after its original, so the
+    instruction counts stay non-decreasing and the rewritten log passes
+    every framing check.
+    """
+
+    count: int = 1
+    name: str = "duplicate-entries"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if self.count < 0:
+            raise FaultPlanError(f"negative duplicate count {self.count}")
+        log, version = _parse_for_rewrite(data, self.name)
+        if not log.entries:
+            return log.to_bytes(version)
+        for _ in range(self.count):
+            position = rng.randint(0, len(log.entries) - 1)
+            log.entries.insert(position + 1, log.entries[position])
+        return log.to_bytes(version)
+
+
+@dataclass
+class ReorderEntries(FaultPlan):
+    """Swap the *contents* of ``swaps`` adjacent entry pairs.
+
+    The instruction counts stay in place (a careful adversary keeps the
+    log monotonic so it still parses); only the event contents trade
+    positions.  Detectable by the attestation chain or by a divergent
+    replay, never by framing checks.
+    """
+
+    swaps: int = 1
+    name: str = "reorder-entries"
+
+    def apply(self, data: bytes, rng: SplitMix64) -> bytes:
+        if self.swaps < 0:
+            raise FaultPlanError(f"negative swap count {self.swaps}")
+        log, version = _parse_for_rewrite(data, self.name)
+        entries = log.entries
+        if len(entries) < 2:
+            return log.to_bytes(version)
+        for _ in range(self.swaps):
+            i = rng.randint(0, len(entries) - 2)
+            first, second = entries[i], entries[i + 1]
+            entries[i] = type(first)(second.kind, first.instr_count,
+                                     payload=second.payload,
+                                     value=second.value)
+            entries[i + 1] = type(second)(first.kind, second.instr_count,
+                                          payload=first.payload,
+                                          value=first.value)
+        return log.to_bytes(version)
+
+
+def standard_fault_kinds(severity: int) -> "list[FaultPlan]":
+    """One plan of each kind at the given severity (chaos-matrix axis)."""
+    if severity < 1:
+        raise FaultPlanError(f"severity must be >= 1: {severity}")
+    keep = max(0.05, 1.0 - 0.3 * severity)
+    return [
+        BitFlip(flips=severity),
+        Truncate(keep_fraction=keep),
+        HeaderFuzz(fuzzed_bytes=severity),
+        DropEntries(count=severity),
+        DuplicateEntries(count=severity),
+        ReorderEntries(swaps=severity),
+    ]

@@ -207,6 +207,14 @@ class TimedCorePlatform(Platform):
                 return count
             if self._input_exhausted():
                 return -1
+            if (not self.machine.is_play
+                    and not session.packet_pending()):
+                # A damaged log can leave a non-PACKET entry at the
+                # cursor while the guest blocks for a packet; nothing
+                # can ever consume it, so the wait is hopeless and the
+                # guest must see end-of-input rather than spin to the
+                # instruction budget.
+                return -1
             if session.skips_waits:
                 target = session.wait_target(vm.instruction_count)
                 if target is None:

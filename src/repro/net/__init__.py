@@ -9,13 +9,14 @@ argument (replay noise ≪ network jitter) is quantitative over them.
 
 from repro.net.jitter import (BROADBAND_JITTER, EAST_COAST_JITTER,
                               JitterModel, QuantileJitter)
-from repro.net.link import WanLink
+from repro.net.link import LossyWanLink, WanLink
 from repro.net.trace import PacketRecord, PacketTrace
 
 __all__ = [
     "BROADBAND_JITTER",
     "EAST_COAST_JITTER",
     "JitterModel",
+    "LossyWanLink",
     "PacketRecord",
     "PacketTrace",
     "QuantileJitter",

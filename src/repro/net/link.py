@@ -44,6 +44,13 @@ class WanLink:
         return (send_cycle + self.one_way_cycles
                 + self.jitter.sample_cycles(rng, self.frequency_hz))
 
+    def delivers(self, rng: SplitMix64) -> bool:
+        """Does one transmission attempt survive the path?
+
+        The base link never drops; :class:`LossyWanLink` overrides this.
+        """
+        return True
+
     def transit_times_ms(self, send_times_ms: list[float],
                          rng: SplitMix64) -> list[float]:
         """Arrival times for a whole transmission schedule.
@@ -59,3 +66,27 @@ class WanLink:
             last = max(last, arrival)
             arrivals.append(last)
         return arrivals
+
+
+class LossyWanLink(WanLink):
+    """A WAN link that drops a fraction of transmission attempts.
+
+    Models the log-transfer path from the audited machine to the auditor
+    (§5.3): the log travels over a real network, so the resilient audit
+    pipeline must survive loss, not just jitter.  Drops are drawn from
+    the caller's :class:`~repro.determinism.SplitMix64` stream, so every
+    lossy transfer is exactly reproducible.
+    """
+
+    def __init__(self, rtt_ms: float = 10.0,
+                 jitter: JitterModel | None = None,
+                 frequency_hz: float = 3.4e9,
+                 drop_rate: float = 0.0) -> None:
+        super().__init__(rtt_ms=rtt_ms, jitter=jitter,
+                         frequency_hz=frequency_hz)
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop rate must be in [0, 1): {drop_rate}")
+        self.drop_rate = drop_rate
+
+    def delivers(self, rng: SplitMix64) -> bool:
+        return rng.random() >= self.drop_rate

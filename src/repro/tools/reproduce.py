@@ -134,6 +134,50 @@ def run_fig8(args) -> None:
           "Sanity-detector column)")
 
 
+def run_chaos(args) -> None:
+    _banner("Chaos matrix — resilient audit under injected faults")
+    from repro.core.attestation import attest_execution
+    from repro.core.resilience import audit_resilient
+    from repro.faults import LogTransferChannel, standard_fault_kinds
+
+    seed = args.chaos_seed
+    program = build_nfs_program()
+    workload = build_nfs_workload(SplitMix64(seed),
+                                  num_requests=args.requests)
+    observed = play(program, MachineConfig(), workload=workload, seed=0)
+    data = observed.log.to_bytes()
+    key = b"chaos-machine-key"
+    auth = attest_execution(observed.log, key)
+    print(f"  baseline: {len(observed.tx)} tx, {len(observed.log)} log "
+          f"entries, {len(data)} bytes (seed {seed})")
+    print(f"  {'fault':20s} {'sev':>3s} {'classification':18s} "
+          f"{'coverage':>8s} {'consistent':>10s}")
+    for severity in range(1, args.severities + 1):
+        for plan in standard_fault_kinds(severity):
+            damaged = plan.apply(data,
+                                 SplitMix64(seed).fork(
+                                     f"{plan.name}:{severity}"))
+            outcome = audit_resilient(program, observed, damaged,
+                                      authenticator=auth,
+                                      signing_key=key)
+            verdict = ("-" if outcome.consistent is None
+                       else str(outcome.consistent))
+            print(f"  {plan.name:20s} {severity:>3d} "
+                  f"{outcome.classification.value:18s} "
+                  f"{outcome.coverage:>8.2f} {verdict:>10s}")
+    for drop in (0.1, 0.2, 0.6, 0.9):
+        channel = LogTransferChannel(drop_rate=drop, mtu_bytes=512,
+                                     max_retries=6)
+        shipped = channel.transfer(data,
+                                   SplitMix64(seed).fork(f"xfer:{drop}"))
+        outcome = audit_resilient(program, observed, transfer=shipped)
+        print(f"  transfer drop={drop:.1f}: "
+              f"{'delivered' if shipped.delivered else 'degraded':10s} "
+              f"{shipped.retransmissions:3d} retx -> "
+              f"{outcome.classification.value} "
+              f"(coverage {outcome.coverage:.2f})")
+
+
 EXPERIMENTS = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -142,6 +186,7 @@ EXPERIMENTS = {
     "fig7": run_fig7,
     "sec65": run_sec65,
     "fig8": run_fig8,
+    "chaos": run_chaos,
 }
 
 
@@ -157,6 +202,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="repetitions per configuration (default 6)")
     parser.add_argument("--requests", type=int, default=25,
                         help="NFS requests per trace (default 25)")
+    parser.add_argument("--chaos-seed", type=int, default=2014,
+                        help="seed for the chaos fault sweep "
+                             "(default 2014)")
+    parser.add_argument("--severities", type=int, default=3,
+                        help="fault severities swept by 'chaos' "
+                             "(default 3)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:

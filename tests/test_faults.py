@@ -1,0 +1,169 @@
+"""Tests for the fault-injection subsystem (plans + lossy transfer)."""
+
+import pytest
+
+from repro.core.log import EventLog
+from repro.determinism import SplitMix64
+from repro.errors import FaultPlanError, LogFormatError
+from repro.faults import (BitFlip, ComposedPlan, DropEntries,
+                          DuplicateEntries, HeaderFuzz, LogTransferChannel,
+                          ReorderEntries, Truncate, standard_fault_kinds)
+from repro.net.link import LossyWanLink
+
+
+def sample_log(entries: int = 12) -> EventLog:
+    log = EventLog()
+    for i in range(entries):
+        log.record_packet(100 * i, bytes([i % 256]) * 24)
+        log.record_time(100 * i + 10, 1_000_000 + i)
+    return log
+
+
+@pytest.fixture
+def data() -> bytes:
+    return sample_log().to_bytes()
+
+
+class TestFaultPlans:
+    def test_deterministic_given_seed(self, data):
+        for plan in standard_fault_kinds(2):
+            assert (plan.apply_seeded(data, 99)
+                    == plan.apply_seeded(data, 99)), plan.name
+
+    def test_different_seeds_differ(self, data):
+        damaged = {BitFlip(4).apply_seeded(data, seed)
+                   for seed in range(8)}
+        assert len(damaged) > 1
+
+    def test_byte_level_damage_is_detected(self, data):
+        for plan in (BitFlip(1), Truncate(0.6), HeaderFuzz(2)):
+            damaged = plan.apply_seeded(data, 5)
+            assert damaged != data
+            with pytest.raises(LogFormatError):
+                EventLog.from_bytes(damaged)
+
+    def test_entry_level_damage_reframes_validly(self, data):
+        original = EventLog.from_bytes(data)
+        for plan in (DropEntries(2), DuplicateEntries(2),
+                     ReorderEntries(2)):
+            damaged = plan.apply_seeded(data, 5)
+            rewritten = EventLog.from_bytes(damaged)  # must not raise
+            assert rewritten.entries != original.entries, plan.name
+
+    def test_entry_level_rejects_corrupt_input(self, data):
+        broken = HeaderFuzz(3).apply_seeded(data, 1)
+        with pytest.raises(FaultPlanError):
+            DropEntries(1).apply_seeded(broken, 2)
+
+    def test_composition(self, data):
+        plan = DropEntries(1).then(BitFlip(1)).then(Truncate(0.9))
+        assert isinstance(plan, ComposedPlan)
+        assert len(plan.plans) == 3
+        damaged = plan.apply_seeded(data, 3)
+        assert damaged != data
+        with pytest.raises(LogFormatError):
+            EventLog.from_bytes(damaged)
+
+    def test_zero_severity_is_identity(self, data):
+        assert BitFlip(0).apply_seeded(data, 1) == data
+        assert Truncate(1.0).apply_seeded(data, 1) == data
+        assert HeaderFuzz(0).apply_seeded(data, 1) == data
+
+    def test_invalid_parameters(self, data):
+        rng = SplitMix64(0)
+        with pytest.raises(FaultPlanError):
+            BitFlip(-1).apply(data, rng)
+        with pytest.raises(FaultPlanError):
+            Truncate(1.5).apply(data, rng)
+        with pytest.raises(FaultPlanError):
+            standard_fault_kinds(0)
+
+    def test_standard_kinds_cover_all_families(self):
+        names = {plan.name for plan in standard_fault_kinds(1)}
+        assert names == {"bit-flip", "truncate", "header-fuzz",
+                         "drop-entries", "duplicate-entries",
+                         "reorder-entries"}
+
+
+class TestLossyWanLink:
+    def test_base_link_never_drops(self):
+        from repro.net.link import WanLink
+        rng = SplitMix64(1)
+        assert all(WanLink().delivers(rng) for _ in range(50))
+
+    def test_drop_rate_validated(self):
+        with pytest.raises(ValueError):
+            LossyWanLink(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            LossyWanLink(drop_rate=-0.1)
+
+    def test_drop_rate_honoured(self):
+        rng = SplitMix64(2)
+        link = LossyWanLink(drop_rate=0.5)
+        delivered = sum(link.delivers(rng) for _ in range(2000))
+        assert 850 < delivered < 1150
+
+
+class TestLogTransferChannel:
+    def test_lossless_transfer_is_identity(self, data):
+        outcome = LogTransferChannel(mtu_bytes=128).transfer(
+            data, SplitMix64(3))
+        assert outcome.delivered
+        assert outcome.data == data
+        assert outcome.retransmissions == 0
+        assert outcome.elapsed_ms > 0
+
+    def test_delivers_within_budget_at_20_percent_drop(self, data):
+        # Acceptance bound: a 20% lossy path must still deliver within
+        # the default retry budget, for every seed we sweep.
+        for seed in range(10):
+            channel = LogTransferChannel(drop_rate=0.2, mtu_bytes=128)
+            outcome = channel.transfer(data, SplitMix64(seed))
+            assert outcome.delivered, seed
+            assert outcome.data == data
+
+    def test_degrades_structurally_beyond_budget(self, data):
+        channel = LogTransferChannel(drop_rate=0.95, mtu_bytes=64,
+                                     max_retries=2)
+        outcome = channel.transfer(data, SplitMix64(4))
+        assert not outcome.delivered
+        assert outcome.degraded
+        assert outcome.frames_delivered < outcome.total_frames
+        # What arrived is a contiguous prefix of the original bytes.
+        assert data.startswith(outcome.data)
+
+    def test_retransmissions_counted_and_backoff_paid(self, data):
+        channel = LogTransferChannel(drop_rate=0.5, mtu_bytes=64,
+                                     max_retries=16)
+        outcome = channel.transfer(data, SplitMix64(5))
+        assert outcome.delivered
+        assert outcome.retransmissions > 0
+        lossless = LogTransferChannel(mtu_bytes=64).transfer(
+            data, SplitMix64(5))
+        assert outcome.elapsed_ms > lossless.elapsed_ms
+
+    def test_exponential_backoff_schedule(self):
+        channel = LogTransferChannel(backoff_base_ms=5.0,
+                                     backoff_factor=2.0,
+                                     backoff_cap_ms=30.0)
+        delays = [channel._backoff_ms(a) for a in range(1, 6)]
+        assert delays == [5.0, 10.0, 20.0, 30.0, 30.0]
+
+    def test_transfer_deterministic(self, data):
+        channel = LogTransferChannel(drop_rate=0.3, mtu_bytes=64)
+        first = channel.transfer(data, SplitMix64(6))
+        second = channel.transfer(data, SplitMix64(6))
+        assert first == second
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogTransferChannel(mtu_bytes=0)
+        with pytest.raises(ValueError):
+            LogTransferChannel(max_retries=-1)
+        with pytest.raises(ValueError):
+            LogTransferChannel(backoff_factor=0.5)
+
+    def test_empty_payload_transfers(self):
+        outcome = LogTransferChannel().transfer(b"", SplitMix64(7))
+        assert outcome.delivered
+        assert outcome.data == b""

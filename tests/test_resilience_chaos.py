@@ -1,0 +1,246 @@
+"""Chaos matrix for the resilient audit pipeline.
+
+Sweeps every fault kind over several severities with fixed seeds and
+asserts the §5.3 auditor's robustness contract: ``audit_resilient``
+never raises, every attestation-chain break is reported as
+``tamper-detected``, and truncations that leave an intact checkpoint
+segment salvage a nonzero coverage fraction.
+"""
+
+import pytest
+
+from repro.apps import build_nfs_program, build_nfs_workload
+from repro.core.attestation import attest_execution
+from repro.core.log import EventLog
+from repro.core.resilience import (AuditClassification, AuditOutcome,
+                                   DegradationLevel, audit_resilient)
+from repro.core.segments import checkpoint_usable, play_with_checkpoint
+from repro.determinism import SplitMix64
+from repro.faults import (BitFlip, DropEntries, DuplicateEntries,
+                          HeaderFuzz, LogTransferChannel, ReorderEntries,
+                          Truncate, standard_fault_kinds)
+from repro.machine import MachineConfig
+
+CHAOS_SEED = 20141006
+SIGNING_KEY = b"chaos-signing-key"
+SEVERITIES = (1, 2, 3)
+
+BYTE_LEVEL = {"bit-flip", "truncate", "header-fuzz"}
+ENTRY_LEVEL = {"drop-entries", "duplicate-entries", "reorder-entries"}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    program = build_nfs_program()
+    workload = build_nfs_workload(SplitMix64(101), num_requests=5)
+    observed, checkpoint = play_with_checkpoint(
+        program, MachineConfig(), workload, at_instr=40_000, seed=0)
+    return {
+        "program": program,
+        "observed": observed,
+        "checkpoint": checkpoint,
+        "data": observed.log.to_bytes(),
+        "auth": attest_execution(observed.log, SIGNING_KEY),
+    }
+
+
+def run_audit(baseline, log_bytes, **kwargs):
+    return audit_resilient(baseline["program"], baseline["observed"],
+                           log_bytes, **kwargs)
+
+
+class TestCleanPath:
+    def test_intact_log_audits_clean(self, baseline):
+        outcome = run_audit(baseline, baseline["data"],
+                            authenticator=baseline["auth"],
+                            signing_key=SIGNING_KEY)
+        assert outcome.classification == AuditClassification.CLEAN
+        assert outcome.degradation == DegradationLevel.NONE
+        assert outcome.coverage == 1.0
+        assert outcome.consistent is True
+        assert outcome.attestation_ok is True
+        assert outcome.trustworthy
+        assert outcome.report is not None
+        assert outcome.report.payloads_match
+
+
+class TestChaosMatrix:
+    """fault kind x severity sweep; fixed seeds, reproducible runs."""
+
+    @pytest.mark.parametrize("severity", SEVERITIES)
+    def test_sweep_never_crashes_and_classifies(self, baseline, severity):
+        for plan in standard_fault_kinds(severity):
+            rng = SplitMix64(CHAOS_SEED).fork(f"{plan.name}:{severity}")
+            damaged = plan.apply(baseline["data"], rng)
+            outcome = run_audit(baseline, damaged,
+                                authenticator=baseline["auth"],
+                                signing_key=SIGNING_KEY)
+            label = f"{plan.name}@{severity}"
+            assert isinstance(outcome, AuditOutcome), label
+            assert 0.0 <= outcome.coverage <= 1.0, label
+            assert isinstance(outcome.classification,
+                              AuditClassification), label
+            if plan.name in BYTE_LEVEL and damaged != baseline["data"]:
+                # Framing damage is always caught by the v2 CRC/digest.
+                assert (outcome.classification
+                        == AuditClassification.LOG_CORRUPT), label
+                assert outcome.failure is not None, label
+            if outcome.attestation_ok is False:
+                assert (outcome.classification
+                        == AuditClassification.TAMPER_DETECTED), label
+            if outcome.classification == \
+                    AuditClassification.TAMPER_DETECTED:
+                assert outcome.degradation == DegradationLevel.UNUSABLE
+                assert not outcome.trustworthy
+
+    @pytest.mark.parametrize("severity", SEVERITIES)
+    def test_sweep_is_reproducible(self, baseline, severity):
+        for plan in standard_fault_kinds(severity):
+            first = plan.apply(
+                baseline["data"],
+                SplitMix64(CHAOS_SEED).fork(f"{plan.name}:{severity}"))
+            again = plan.apply(
+                baseline["data"],
+                SplitMix64(CHAOS_SEED).fork(f"{plan.name}:{severity}"))
+            assert first == again, plan.name
+
+
+class TestTamperDetection:
+    def tampered_variants(self, data):
+        """Rewrites that keep the full entry count (chain recomputable)."""
+        base = EventLog.from_bytes(data)
+        variants = []
+        # Rewrite the first packet's payload.
+        edited = EventLog.from_bytes(data)
+        first = edited.entries[0]
+        edited.entries[0] = type(first)(first.kind, first.instr_count,
+                                        payload=b"X" * 7,
+                                        value=first.value)
+        variants.append(("payload-rewrite", edited.to_bytes()))
+        # Swap the contents of the first two entries.
+        variants.append(
+            ("front-reorder",
+             ReorderEntries(1).apply_seeded(data, CHAOS_SEED)))
+        # Duplicate an early entry (shifts everything after it).
+        variants.append(
+            ("early-duplicate",
+             DuplicateEntries(3).apply_seeded(data, CHAOS_SEED)))
+        assert all(v != data for _, v in variants)
+        assert len(base.entries) > 0
+        return variants
+
+    def test_every_chain_break_is_reported(self, baseline):
+        for name, tampered in self.tampered_variants(baseline["data"]):
+            parsed = EventLog.from_bytes(tampered)  # frames validly
+            assert len(parsed.entries) >= baseline["auth"].length or \
+                name == "payload-rewrite"
+            outcome = run_audit(baseline, tampered,
+                                authenticator=baseline["auth"],
+                                signing_key=SIGNING_KEY)
+            assert (outcome.classification
+                    == AuditClassification.TAMPER_DETECTED), name
+            assert outcome.attestation_ok is False, name
+            assert outcome.coverage == 0.0, name
+
+    def test_without_attestation_tamper_becomes_divergence(self, baseline):
+        tampered = DropEntries(2).apply_seeded(baseline["data"],
+                                               CHAOS_SEED)
+        outcome = run_audit(baseline, tampered)
+        assert outcome.classification in (
+            AuditClassification.REPLAY_DIVERGENT,
+            AuditClassification.LOG_CORRUPT)
+
+
+class TestTruncationSalvage:
+    @pytest.mark.parametrize("keep", [0.8, 0.6])
+    def test_genesis_salvage_nonzero(self, baseline, keep):
+        damaged = Truncate(keep).apply_seeded(baseline["data"],
+                                              CHAOS_SEED)
+        outcome = run_audit(baseline, damaged)
+        assert outcome.classification == AuditClassification.LOG_CORRUPT
+        assert outcome.coverage > 0.0
+        assert outcome.salvaged_packets > 0
+        assert outcome.parse is not None
+        assert outcome.parse.intact_entries > 0
+
+    @pytest.mark.parametrize("keep", [0.8, 0.6, 0.5])
+    def test_checkpoint_segment_salvage_nonzero(self, baseline, keep):
+        damaged = Truncate(keep).apply_seeded(baseline["data"],
+                                              CHAOS_SEED)
+        parse = EventLog.parse_prefix(damaged)
+        checkpoint = baseline["checkpoint"]
+        if not checkpoint_usable(checkpoint, parse.intact_entries):
+            pytest.skip("truncation cut before the checkpoint")
+        outcome = run_audit(baseline, damaged, checkpoint=checkpoint)
+        # At least one intact checkpoint segment => nonzero salvage.
+        assert outcome.coverage > 0.0
+        assert outcome.salvaged_packets >= min(checkpoint.tx_count,
+                                               len(baseline["observed"].tx))
+        assert "checkpoint" in outcome.detail
+
+    def test_checkpoint_beyond_damage_is_not_used(self, baseline):
+        # Cut almost everything: the checkpoint lies past the damage and
+        # must not be resumed from (its events are untrusted).
+        damaged = Truncate(0.1).apply_seeded(baseline["data"], CHAOS_SEED)
+        parse = EventLog.parse_prefix(damaged)
+        checkpoint = baseline["checkpoint"]
+        if checkpoint_usable(checkpoint, parse.intact_entries):
+            pytest.skip("cut did not reach the checkpoint")
+        outcome = run_audit(baseline, damaged, checkpoint=checkpoint)
+        assert "checkpoint" not in outcome.detail
+        assert 0.0 <= outcome.coverage <= 1.0
+
+
+class TestTransferDegradation:
+    def test_within_budget_delivers_clean(self, baseline):
+        channel = LogTransferChannel(drop_rate=0.2, mtu_bytes=256)
+        shipped = channel.transfer(baseline["data"],
+                                   SplitMix64(CHAOS_SEED))
+        assert shipped.delivered
+        outcome = audit_resilient(baseline["program"],
+                                  baseline["observed"],
+                                  transfer=shipped)
+        assert outcome.classification == AuditClassification.CLEAN
+        assert outcome.coverage == 1.0
+
+    def test_beyond_budget_is_structured_not_raised(self, baseline):
+        channel = LogTransferChannel(drop_rate=0.92, mtu_bytes=128,
+                                     max_retries=2)
+        shipped = channel.transfer(baseline["data"],
+                                   SplitMix64(CHAOS_SEED))
+        assert shipped.degraded
+        outcome = audit_resilient(baseline["program"],
+                                  baseline["observed"],
+                                  transfer=shipped)
+        assert (outcome.classification
+                == AuditClassification.TRANSFER_DEGRADED)
+        assert outcome.transfer is shipped
+        assert 0.0 <= outcome.coverage < 1.0
+
+
+class TestHostileInputsNeverCrash:
+    @pytest.mark.parametrize("payload", [
+        b"",
+        b"\x00" * 64,
+        b"TDRL",                                     # bare magic
+        b"TDRL\x02\x00\xff\xff\xff\xff",             # huge entry count
+        b"TDRL\x02\x00\x01\x00\x00\x00" + b"\xff" * 20,
+        bytes(range(256)),
+    ])
+    def test_garbage_is_classified(self, baseline, payload):
+        outcome = run_audit(baseline, payload)
+        assert outcome.classification == AuditClassification.LOG_CORRUPT
+        assert outcome.coverage == 0.0
+        assert outcome.degradation == DegradationLevel.UNUSABLE
+
+    def test_no_bytes_at_all(self, baseline):
+        outcome = audit_resilient(baseline["program"],
+                                  baseline["observed"], None)
+        assert outcome.classification == AuditClassification.LOG_CORRUPT
+        assert outcome.coverage == 0.0
+
+    def test_v1_log_still_audits(self, baseline):
+        data = baseline["observed"].log.to_bytes(version=1)
+        outcome = run_audit(baseline, data)
+        assert outcome.classification == AuditClassification.CLEAN
+        assert outcome.coverage == 1.0

@@ -33,4 +33,12 @@ class TestReproduceCli:
 
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
-                                    "fig7", "sec65", "fig8"}
+                                    "fig7", "sec65", "fig8", "chaos"}
+
+    def test_chaos_quick(self, capsys):
+        assert main(["chaos", "--requests", "4", "--severities", "1",
+                     "--chaos-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos matrix" in out
+        assert "tamper-detected" in out
+        assert "transfer drop=0.9" in out
