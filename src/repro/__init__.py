@@ -36,6 +36,7 @@ the full API:
 * ``repro.apps``      — guest applications (mini-NFS, SciMark, ...)
 * ``repro.net``       — packets, traces, WAN jitter
 * ``repro.analysis``  — statistics and the experiment harness
+* ``repro.obs``       — metrics, cycle-attribution ledger, span tracing
 """
 
 from repro.apps import compile_app
@@ -49,6 +50,7 @@ from repro.machine import (ExecutionResult, InteractiveClient, Machine,
                            MachineConfig, Request, ScriptedArrivals,
                            machine_type, scenario_config)
 from repro.net import PacketTrace
+from repro.obs import Observability, format_attribution_table
 
 __version__ = "1.0.0"
 
@@ -59,6 +61,7 @@ __all__ = [
     "InteractiveClient",
     "Machine",
     "MachineConfig",
+    "Observability",
     "PacketTrace",
     "Request",
     "ReproError",
@@ -69,6 +72,7 @@ __all__ = [
     "compare_traces",
     "compile_app",
     "compile_minij",
+    "format_attribution_table",
     "machine_type",
     "play",
     "replay",

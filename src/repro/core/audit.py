@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ReplayError
+from repro.obs.flight import DivergenceRecord, capture_divergence
 
 
 @dataclass
@@ -31,6 +32,9 @@ class AuditReport:
     max_abs_ipd_diff_ms: float = 0.0
     max_rel_ipd_diff: float = 0.0
     mean_rel_ipd_diff: float = 0.0
+    #: Flight-recorder capture when the audit found a divergence
+    #: (payload mismatch or timing beyond the replay-accuracy bound).
+    flight: DivergenceRecord | None = None
 
     def is_consistent(self, rel_threshold: float = 0.0185,
                       abs_threshold_ms: float = 0.05) -> bool:
@@ -97,18 +101,39 @@ def _build_report(play_times: list[float], replay_times: list[float],
         mean_rel_ipd_diff=mean_rel)
 
 
-def compare_traces(play_result, replay_result) -> AuditReport:
-    """Audit a play/replay pair of :class:`ExecutionResult` objects."""
+def compare_traces(play_result, replay_result,
+                   flight_n: int = 16) -> AuditReport:
+    """Audit a play/replay pair of :class:`ExecutionResult` objects.
+
+    On divergence the flight recorder captures the last ``flight_n``
+    transmissions of each side plus the per-source cycle deltas (when the
+    runs carried ledgers): on a packet-count mismatch the record rides on
+    the raised :class:`ReplayError` as its ``flight`` attribute, otherwise
+    it lands in :attr:`AuditReport.flight`.
+    """
     play_times, play_payloads = _times_and_payloads(play_result)
     replay_times, replay_payloads = _times_and_payloads(replay_result)
     if len(play_times) != len(replay_times):
-        raise ReplayError(
+        record = capture_divergence(
+            play_result, replay_result, last_n=flight_n,
+            reason=f"packet count mismatch: play {len(play_times)}, "
+                   f"replay {len(replay_times)}")
+        error = ReplayError(
             f"functional divergence: play transmitted {len(play_times)} "
-            f"packets, replay {len(replay_times)}")
-    return _build_report(play_times, replay_times,
-                         play_payloads == replay_payloads,
-                         play_result.total_ns * 1e-6,
-                         replay_result.total_ns * 1e-6)
+            f"packets, replay {len(replay_times)}\n{record.summary()}")
+        error.flight = record
+        raise error
+    report = _build_report(play_times, replay_times,
+                           play_payloads == replay_payloads,
+                           play_result.total_ns * 1e-6,
+                           replay_result.total_ns * 1e-6)
+    if not report.payloads_match or not report.is_consistent():
+        reason = ("payload mismatch" if not report.payloads_match
+                  else f"IPD deviation {report.max_abs_ipd_diff_ms:.3f} ms "
+                       f"beyond the replay-accuracy bound")
+        report.flight = capture_divergence(play_result, replay_result,
+                                           last_n=flight_n, reason=reason)
+    return report
 
 
 def compare_trace_prefix(play_result,

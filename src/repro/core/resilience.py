@@ -39,6 +39,7 @@ from repro.errors import ReproError
 from repro.faults.channel import TransferOutcome
 from repro.machine.config import MachineConfig
 from repro.machine.machine import ExecutionResult
+from repro.obs.flight import DivergenceRecord, capture_divergence
 from repro.vm.program import Program
 
 
@@ -91,6 +92,8 @@ class AuditOutcome:
     attestation_ok: bool | None = None
     failure: ReproError | None = None
     salvaged_packets: int = 0
+    #: Flight-recorder capture of the divergence, when one was found.
+    flight: DivergenceRecord | None = None
 
     @property
     def trustworthy(self) -> bool:
@@ -131,8 +134,8 @@ def audit_resilient(program: Program, observed: ExecutionResult,
                     signing_key: bytes | None = None,
                     checkpoint: MachineCheckpoint | None = None,
                     replay_seed: int = 1,
-                    max_instructions: int | None = 200_000_000
-                    ) -> AuditOutcome:
+                    max_instructions: int | None = 200_000_000,
+                    obs=None) -> AuditOutcome:
     """Audit ``observed`` against a possibly damaged serialized log.
 
     ``log_bytes`` is the log as received (defaults to
@@ -145,24 +148,46 @@ def audit_resilient(program: Program, observed: ExecutionResult,
     Never raises: every failure mode becomes an :class:`AuditOutcome`.
     """
     try:
-        return _audit_resilient(program, observed, log_bytes,
-                                config=config, transfer=transfer,
-                                authenticator=authenticator,
-                                signing_key=signing_key,
-                                checkpoint=checkpoint,
-                                replay_seed=replay_seed,
-                                max_instructions=max_instructions)
+        outcome = _audit_resilient(program, observed, log_bytes,
+                                   config=config, transfer=transfer,
+                                   authenticator=authenticator,
+                                   signing_key=signing_key,
+                                   checkpoint=checkpoint,
+                                   replay_seed=replay_seed,
+                                   max_instructions=max_instructions,
+                                   obs=obs)
     except Exception as exc:  # the never-raise guarantee is the contract
         failure = exc if isinstance(exc, ReproError) else None
-        return _outcome(
+        outcome = _outcome(
             AuditClassification.REPLAY_DIVERGENT, 0.0, None,
             f"audit pipeline failed: {type(exc).__name__}: {exc}",
-            transfer=transfer, failure=failure)
+            transfer=transfer, failure=failure,
+            flight=getattr(exc, "flight", None))
+    if obs is not None:
+        if obs.tracer is not None:
+            obs.tracer.instant(
+                "audit.outcome", category="audit",
+                classification=outcome.classification.value,
+                coverage=round(outcome.coverage, 4),
+                consistent=outcome.consistent)
+        if obs.registry.enabled:
+            registry = obs.registry
+            registry.counter("tdr_audits_total",
+                             "Resilient audits performed").inc()
+            slug = outcome.classification.value.replace("-", "_")
+            registry.counter(f"tdr_audits_{slug}_total",
+                             f"Audits classified {outcome.classification.value}"
+                             ).inc()
+            registry.histogram(
+                "tdr_audit_coverage", "Fraction of the trace audited",
+                buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)).observe(
+                outcome.coverage)
+    return outcome
 
 
 def _audit_resilient(program, observed, log_bytes, *, config, transfer,
                      authenticator, signing_key, checkpoint, replay_seed,
-                     max_instructions) -> AuditOutcome:
+                     max_instructions, obs=None) -> AuditOutcome:
     config = config or MachineConfig()
     if log_bytes is None and transfer is not None:
         log_bytes = transfer.data
@@ -189,10 +214,11 @@ def _audit_resilient(program, observed, log_bytes, *, config, transfer,
 
     # Clean path: the whole log arrived and framed correctly.
     if parse.complete and not transfer_failed:
+        flight = None
         try:
             replayed = replay(program, parse.log, config,
                               seed=replay_seed,
-                              max_instructions=max_instructions)
+                              max_instructions=max_instructions, obs=obs)
             report = compare_traces(observed, replayed)
             if report.payloads_match:
                 return _outcome(
@@ -202,16 +228,19 @@ def _audit_resilient(program, observed, log_bytes, *, config, transfer,
                     + ("consistent" if report.is_consistent()
                        else "deviates beyond the replay-accuracy bound"),
                     report=report, parse=parse, transfer=transfer,
-                    attestation_ok=attestation_ok)
+                    attestation_ok=attestation_ok, flight=report.flight)
             divergence_detail = "replayed payloads differ from observed"
+            flight = report.flight
         except ReproError as exc:
             divergence_detail = str(exc)
+            flight = getattr(exc, "flight", None)
         # Framing was clean but the replay could not follow the log:
         # fall through and salvage whatever prefix still reproduces.
         return _salvage(program, observed, parse, config,
                         AuditClassification.REPLAY_DIVERGENT,
                         divergence_detail, transfer, attestation_ok,
-                        checkpoint, replay_seed, max_instructions)
+                        checkpoint, replay_seed, max_instructions,
+                        obs=obs, flight=flight)
 
     classification = (AuditClassification.TRANSFER_DEGRADED
                       if transfer_failed
@@ -223,12 +252,12 @@ def _audit_resilient(program, observed, log_bytes, *, config, transfer,
               else f"log damaged: {parse.error}")
     return _salvage(program, observed, parse, config, classification,
                     detail, transfer, attestation_ok, checkpoint,
-                    replay_seed, max_instructions)
+                    replay_seed, max_instructions, obs=obs)
 
 
 def _salvage(program, observed, parse, config, classification, detail,
              transfer, attestation_ok, checkpoint, replay_seed,
-             max_instructions) -> AuditOutcome:
+             max_instructions, obs=None, flight=None) -> AuditOutcome:
     """Replay the longest intact prefix and measure what it still covers."""
     total_tx = len(observed.tx)
     prefix = parse.log
@@ -240,11 +269,11 @@ def _salvage(program, observed, parse, config, classification, detail,
                         detail + "; nothing salvageable",
                         parse=parse, transfer=transfer,
                         attestation_ok=attestation_ok,
-                        failure=parse.error)
+                        failure=parse.error, flight=flight)
 
     partial, diverged = replay_salvaged_prefix(
         program, prefix, config, seed=replay_seed, checkpoint=resume,
-        max_instructions=max_instructions)
+        max_instructions=max_instructions, obs=obs)
 
     if resume is not None:
         # The checkpoint certifies the auditor already replayed the
@@ -273,8 +302,13 @@ def _salvage(program, observed, parse, config, classification, detail,
         window += f" (resumed from checkpoint at tx {resume.tx_count})"
     if diverged is not None:
         window += f"; prefix replay stopped at divergence: {diverged}"
+    if flight is None and (diverged is not None or covered < total_tx):
+        flight = capture_divergence(
+            observed, partial,
+            reason=(f"salvage divergence: {diverged}" if diverged is not None
+                    else f"salvage covered {covered}/{total_tx} tx"))
     return _outcome(classification, coverage, consistent,
                     f"{detail}; {window}",
                     report=report, parse=parse, transfer=transfer,
                     attestation_ok=attestation_ok, failure=parse.error,
-                    salvaged_packets=covered)
+                    salvaged_packets=covered, flight=flight)

@@ -36,7 +36,8 @@ from repro.errors import ReplayDivergenceError, ReplayError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import ExecutionResult, Machine
 from repro.machine.workload import Workload
-from repro.vm.interpreter import Interpreter, VmConfig
+from repro.obs.ledger import Source
+from repro.vm.interpreter import Interpreter
 from repro.vm.program import Program
 
 
@@ -55,8 +56,9 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
                          workload: Workload | None, at_instr: int,
                          seed: int = 0,
                          covert_schedule: list[int] | None = None,
-                         max_instructions: int | None = 200_000_000
-                         ) -> tuple[ExecutionResult, MachineCheckpoint]:
+                         max_instructions: int | None = 200_000_000,
+                         obs=None) -> tuple[ExecutionResult,
+                                            MachineCheckpoint]:
     """Play to completion, snapshotting state at instruction ``at_instr``.
 
     The checkpoint is taken the first time the instruction counter
@@ -66,16 +68,21 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
     if at_instr <= 0:
         raise ReplayError("checkpoint instruction must be positive")
     machine = Machine(config, seed=seed, mode="play", workload=workload,
-                      covert_schedule=covert_schedule)
-    vm = Interpreter(program, machine.platform,
-                     VmConfig(thread_quantum=config.thread_quantum,
-                              poll_interval=config.vm_poll_interval))
+                      covert_schedule=covert_schedule, obs=obs)
+    tracer = obs.tracer if obs is not None else None
+    vm = Interpreter(program, machine.platform, machine.vm_config())
+    machine.attach_observers(vm)
+    if tracer is not None:
+        tracer.bind(machine.clock.now_ns, track=f"play:{config.name}")
+        tracer.begin("segments.play_with_checkpoint", at_instr=at_instr)
     if workload is not None:
         workload.start(machine)
 
     # Run up to the checkpoint, snapshot, then finish.
     vm.run(max_instructions=at_instr)
     if vm.instruction_count < at_instr:
+        if tracer is not None:
+            tracer.end("segments.play_with_checkpoint")
         raise ReplayError(
             f"execution ended at instruction {vm.instruction_count}, "
             f"before the requested checkpoint at {at_instr}")
@@ -85,29 +92,29 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
         log_position=len(machine.session.log.entries),
         tx_count=len(machine.platform.tx_trace),
         covert_cursor=machine._covert_cursor)
+    if tracer is not None:
+        tracer.instant("checkpoint.capture", category="checkpoint",
+                       instruction=vm.instruction_count,
+                       clock_cycles=checkpoint.clock_cycles,
+                       tx_count=checkpoint.tx_count)
     remaining = (None if max_instructions is None
                  else max_instructions - at_instr)
     vm.run(max_instructions=remaining)
+    if tracer is not None:
+        tracer.end("segments.play_with_checkpoint",
+                   total_cycles=machine.clock.cycles)
 
     machine._ran = True
-    result = ExecutionResult(
-        mode="play", config_name=config.name, seed=seed,
-        tx=list(machine.platform.tx_trace),
-        console=list(machine.platform.console),
-        total_cycles=machine.clock.cycles,
-        total_ns=machine.clock.now_ns(),
-        instructions=vm.instruction_count,
-        log=machine.session.log,
-        stats=machine._collect_stats(vm))
-    return result, checkpoint
+    return machine.make_result(vm), checkpoint
 
 
 def _replay_from(program: Program, log: EventLog,
                  checkpoint: MachineCheckpoint | None,
                  config: MachineConfig, seed: int,
                  max_instructions: int | None,
-                 tolerate_divergence: bool
-                 ) -> tuple[ExecutionResult, ReplayDivergenceError | None]:
+                 tolerate_divergence: bool,
+                 obs=None) -> tuple[ExecutionResult,
+                                    ReplayDivergenceError | None]:
     """Shared replay core: from a checkpoint, or from the very start.
 
     With ``tolerate_divergence`` the run survives a mid-execution
@@ -116,7 +123,8 @@ def _replay_from(program: Program, log: EventLog,
     the :class:`ExecutionResult` for whatever was reproduced before the
     divergence point.
     """
-    machine = Machine(config, seed=seed, mode="replay", log=log)
+    machine = Machine(config, seed=seed, mode="replay", log=log, obs=obs)
+    tracer = obs.tracer if obs is not None else None
     if checkpoint is not None:
         session = machine.session
         assert isinstance(session, ReplaySession)
@@ -130,43 +138,44 @@ def _replay_from(program: Program, log: EventLog,
         # Restore machine context: clock and quiesced microarchitecture
         # (§3.6 — the checkpoint boundary behaves like an execution
         # start).
-        machine.clock.advance(checkpoint.clock_cycles)
+        machine.clock.advance(checkpoint.clock_cycles, Source.RESUME)
         machine.hierarchy.flush()
         machine.tlb.flush()
         machine.predictor.flush()
         machine._covert_cursor = checkpoint.covert_cursor
 
-    vm = Interpreter(program, machine.platform,
-                     VmConfig(thread_quantum=config.thread_quantum,
-                              poll_interval=config.vm_poll_interval))
+    vm = Interpreter(program, machine.platform, machine.vm_config())
+    machine.attach_observers(vm)
     if checkpoint is not None:
         restore_interpreter(vm, checkpoint.vm_state)
+    if tracer is not None:
+        tracer.bind(machine.clock.now_ns, track=f"replay:{config.name}")
+        tracer.begin("segments.replay",
+                     from_checkpoint=checkpoint is not None)
     diverged: ReplayDivergenceError | None = None
     try:
         vm.run(max_instructions=max_instructions)
     except ReplayDivergenceError as exc:
         if not tolerate_divergence:
+            if tracer is not None:
+                tracer.end("segments.replay")
             raise
         diverged = exc
+        if tracer is not None:
+            tracer.instant("replay.divergence", category="audit",
+                           detail=str(exc))
+    if tracer is not None:
+        tracer.end("segments.replay", total_cycles=machine.clock.cycles)
 
     machine._ran = True
-    result = ExecutionResult(
-        mode="replay", config_name=config.name, seed=seed,
-        tx=list(machine.platform.tx_trace),
-        console=list(machine.platform.console),
-        total_cycles=machine.clock.cycles,
-        total_ns=machine.clock.now_ns(),
-        instructions=vm.instruction_count,
-        log=None,
-        stats=machine._collect_stats(vm))
-    return result, diverged
+    return machine.make_result(vm), diverged
 
 
 def replay_segment(program: Program, log: EventLog,
                    checkpoint: MachineCheckpoint,
                    config: MachineConfig, seed: int = 1,
-                   max_instructions: int | None = 200_000_000
-                   ) -> ExecutionResult:
+                   max_instructions: int | None = 200_000_000,
+                   obs=None) -> ExecutionResult:
     """Replay the suffix of ``log`` starting from ``checkpoint``.
 
     Returns an :class:`ExecutionResult` whose transmissions and clock
@@ -175,7 +184,8 @@ def replay_segment(program: Program, log: EventLog,
     the checkpoint's reading).
     """
     result, _ = _replay_from(program, log, checkpoint, config, seed,
-                             max_instructions, tolerate_divergence=False)
+                             max_instructions, tolerate_divergence=False,
+                             obs=obs)
     return result
 
 
@@ -192,9 +202,9 @@ def checkpoint_usable(checkpoint: MachineCheckpoint,
 def replay_salvaged_prefix(program: Program, log: EventLog,
                            config: MachineConfig, seed: int = 1,
                            checkpoint: MachineCheckpoint | None = None,
-                           max_instructions: int | None = 200_000_000
-                           ) -> tuple[ExecutionResult,
-                                      ReplayDivergenceError | None]:
+                           max_instructions: int | None = 200_000_000,
+                           obs=None) -> tuple[ExecutionResult,
+                                              ReplayDivergenceError | None]:
     """Replay the longest intact prefix of a damaged log.
 
     ``log`` should already be the salvaged prefix (see
@@ -206,7 +216,7 @@ def replay_salvaged_prefix(program: Program, log: EventLog,
     from it rather than re-executing from the start.
     """
     return _replay_from(program, log, checkpoint, config, seed,
-                        max_instructions, tolerate_divergence=True)
+                        max_instructions, tolerate_divergence=True, obs=obs)
 
 
 def segment_of(result: ExecutionResult,

@@ -41,6 +41,10 @@ class Session(abc.ABC):
     def __init__(self) -> None:
         self.time_cell = SymmetricCell(TS_TIME_CELL_VADDR)
         self.events_handled = 0
+        #: Optional :class:`repro.obs.tracer.SpanTracer`; when set (by the
+        #: machine, from its obs bundle) each handled event emits an
+        #: instant on the current run's track.  Purely observational.
+        self.tracer = None
 
     @abc.abstractmethod
     def observe_time(self, instr_count: int, live_value_ns: int) -> int:
@@ -85,6 +89,9 @@ class PlaySession(Session):
                                     self.play_mask)
         self.log.record_time(instr_count, value)
         self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.time", category="session",
+                                instr=instr_count)
         return value
 
     def packet_due(self, instr_count: int,
@@ -93,6 +100,10 @@ class PlaySession(Session):
             return None
         self.log.record_packet(instr_count, staged_packet)
         self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.packet", category="session",
+                                instr=instr_count,
+                                size=len(staged_packet))
         return staged_packet
 
     def exhausted(self) -> bool:
@@ -129,6 +140,9 @@ class ReplaySession(Session):
                 f"replayed at {instr_count}")
         self._cursor += 1
         self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.time", category="session",
+                                instr=instr_count)
         # Pre-stage the logged value in the T-S cell (the supporting core's
         # job during replay, §3.4), then run the same symmetric access.
         self.time_cell.stored = entry.value
@@ -147,6 +161,11 @@ class ReplaySession(Session):
             self.max_injection_slack, instr_count - entry.instr_count)
         self._cursor += 1
         self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.packet", category="session",
+                                instr=instr_count,
+                                slack=instr_count - entry.instr_count,
+                                size=len(entry.payload))
         return entry.payload
 
     def exhausted(self) -> bool:

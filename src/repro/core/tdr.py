@@ -25,17 +25,19 @@ def play(program: Program, config: MachineConfig | None = None,
          workload: Workload | None = None, seed: int = 0,
          covert_enabled: bool = False,
          covert_schedule: list[int] | None = None,
-         max_instructions: int | None = 200_000_000) -> ExecutionResult:
+         max_instructions: int | None = 200_000_000,
+         obs=None) -> ExecutionResult:
     """Run the original execution, recording a log of its inputs."""
     machine = Machine(config or MachineConfig(), seed=seed, mode="play",
                       workload=workload, covert_enabled=covert_enabled,
-                      covert_schedule=covert_schedule)
+                      covert_schedule=covert_schedule, obs=obs)
     return machine.run(program, max_instructions=max_instructions)
 
 
 def replay(program: Program, log: EventLog,
            config: MachineConfig | None = None, seed: int = 1,
-           max_instructions: int | None = 200_000_000) -> ExecutionResult:
+           max_instructions: int | None = 200_000_000,
+           obs=None) -> ExecutionResult:
     """Time-deterministically replay a recorded log.
 
     ``seed`` deliberately defaults to a different value than
@@ -45,17 +47,17 @@ def replay(program: Program, log: EventLog,
     determinism instead.
     """
     machine = Machine(config or MachineConfig(), seed=seed, mode="replay",
-                      log=log)
+                      log=log, obs=obs)
     return machine.run(program, max_instructions=max_instructions)
 
 
 def replay_naive(program: Program, log: EventLog,
                  config: MachineConfig | None = None, seed: int = 1,
-                 max_instructions: int | None = 200_000_000
-                 ) -> ExecutionResult:
+                 max_instructions: int | None = 200_000_000,
+                 obs=None) -> ExecutionResult:
     """Replay with the functional-only baseline replayer (Fig 3)."""
     machine = Machine(config or MachineConfig(), seed=seed,
-                      mode="naive-replay", log=log)
+                      mode="naive-replay", log=log, obs=obs)
     return machine.run(program, max_instructions=max_instructions)
 
 
@@ -71,16 +73,22 @@ class TdrResult:
 def round_trip(program: Program, config: MachineConfig | None = None,
                workload: Workload | None = None, play_seed: int = 0,
                replay_seed: int = 1, covert_enabled: bool = False,
+               covert_schedule: list[int] | None = None,
                replay_config: MachineConfig | None = None,
-               max_instructions: int | None = 200_000_000) -> TdrResult:
+               max_instructions: int | None = 200_000_000,
+               obs=None) -> TdrResult:
     """Play, replay, and audit in one call.
 
     ``replay_config`` defaults to ``config`` (same machine type T); pass a
     different type to model the Alice/Bob machine-substitution scenario.
+    ``covert_schedule`` installs the channel encoder's delay schedule on
+    the play machine only — the audit replay runs clean, which is exactly
+    what makes the channel detectable (§5.3).
     """
     play_result = play(program, config, workload, seed=play_seed,
                        covert_enabled=covert_enabled,
-                       max_instructions=max_instructions)
+                       covert_schedule=covert_schedule,
+                       max_instructions=max_instructions, obs=obs)
     if play_result.log is None:
         raise ReplayError(
             f"play produced no log (mode={play_result.mode!r}, "
@@ -89,6 +97,6 @@ def round_trip(program: Program, config: MachineConfig | None = None,
             f"instructions={play_result.instructions})")
     replay_result = replay(program, play_result.log,
                            replay_config or config, seed=replay_seed,
-                           max_instructions=max_instructions)
+                           max_instructions=max_instructions, obs=obs)
     report = compare_traces(play_result, replay_result)
     return TdrResult(play_result, replay_result, report)

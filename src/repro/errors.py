@@ -111,3 +111,7 @@ class DetectorError(ReproError):
 
 class ChannelError(ReproError):
     """A covert-channel encoder was configured or used incorrectly."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer (metrics, ledger, tracing) was misused."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
+from repro.obs.ledger import Source
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,9 @@ _STRONG_NOT_TAKEN, _WEAK_NOT_TAKEN, _WEAK_TAKEN, _STRONG_TAKEN = 0, 1, 2, 3
 
 class BranchPredictor:
     """Per-core branch predictor with deterministic state evolution."""
+
+    #: Ledger bucket for mispredict-penalty cycles this component charges.
+    LEDGER_SOURCE = Source.BRANCH
 
     def __init__(self, config: BranchPredictorConfig) -> None:
         self.config = config

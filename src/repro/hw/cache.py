@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.determinism import SplitMix64, mix64
 from repro.errors import HardwareConfigError
 from repro.hw.bus import MemoryBus
+from repro.obs.ledger import Source
 
 
 class ReplacementPolicy(enum.Enum):
@@ -69,6 +70,9 @@ class CacheConfig:
 
 class Cache:
     """One set-associative cache level over physical addresses."""
+
+    #: Ledger bucket for cycles this component charges.
+    LEDGER_SOURCE = Source.CACHE
 
     def __init__(self, config: CacheConfig,
                  rng: SplitMix64 | None = None) -> None:
@@ -198,6 +202,10 @@ class CacheHierarchy:
     contention noise enters (§3.3: "DMAs from devices must still traverse
     the memory bus").
     """
+
+    #: Ledger bucket for hierarchy latencies; the bus-stall share of a
+    #: DRAM fill is split out under :data:`Source.BUS` by the platform.
+    LEDGER_SOURCE = Source.CACHE
 
     def __init__(self, l1: Cache, l2: Cache, bus: MemoryBus,
                  dram_cycles: int = 200) -> None:

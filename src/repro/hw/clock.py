@@ -7,10 +7,21 @@ nanoseconds happens only at the boundary (trace export, ``nanoTime``).
 
 Keeping time integral is what makes the determinism invariant checkable:
 with all noise sources disabled, two executions of the same program must
-produce *bit-identical* cycle counts.
+produce *bit-identical* cycle counts.  The cycle→nanosecond conversion is
+therefore done with exact rational arithmetic (``cycles * 10^9 /
+frequency`` as integers, rounded once at the boundary) rather than a
+precomputed float factor, so long runs never accumulate drift: at 3 Hz,
+3 cycles is *exactly* 1e9 ns, not 999999999.99999994.
+
+Cycle *attribution* is the observability layer's job: attach a
+:class:`repro.obs.ledger.CycleLedger` and every charge is tagged with the
+source that caused it (cache, TLB, interrupt, covert, ...).  With no
+ledger attached the accounting costs one ``is None`` check per charge.
 """
 
 from __future__ import annotations
+
+from fractions import Fraction
 
 from repro.errors import HardwareConfigError
 
@@ -25,37 +36,80 @@ class VirtualClock:
         3.40 GHz (Intel i7-4770); that is the default.
     """
 
-    __slots__ = ("frequency_hz", "_cycles", "_ns_per_cycle")
+    __slots__ = ("frequency_hz", "_cycles", "_ns_num", "_ns_den", "_ledger")
 
     def __init__(self, frequency_hz: float = 3.4e9) -> None:
         if frequency_hz <= 0:
             raise HardwareConfigError(f"frequency must be positive: {frequency_hz}")
         self.frequency_hz = frequency_hz
-        self._ns_per_cycle = 1e9 / frequency_hz
+        # ns-per-cycle as an exact rational: 10^9 / frequency.
+        ratio = Fraction(1_000_000_000) / Fraction(frequency_hz)
+        self._ns_num = ratio.numerator
+        self._ns_den = ratio.denominator
         self._cycles = 0
+        self._ledger = None
 
     @property
     def cycles(self) -> int:
         """Elapsed cycles since the clock was created or reset."""
         return self._cycles
 
-    def advance(self, cycles: int) -> None:
-        """Charge ``cycles`` to the clock.  Negative charges are a bug."""
+    @property
+    def ledger(self):
+        """The attached cycle-attribution ledger, if any."""
+        return self._ledger
+
+    def attach_ledger(self, ledger) -> None:
+        """Route every subsequent charge through ``ledger.charge``."""
+        self._ledger = ledger
+
+    def detach_ledger(self) -> None:
+        self._ledger = None
+
+    def advance(self, cycles: int, source: str = "other") -> None:
+        """Charge ``cycles`` (a non-negative int) to the clock.
+
+        ``source`` tags the charge for the attribution ledger; untagged
+        call sites land in the ``"other"`` bucket so ledger totals always
+        sum to :attr:`cycles`.
+        """
+        if not isinstance(cycles, int):
+            raise TypeError(f"cycles must be int, not "
+                            f"{type(cycles).__name__}: fractional cycles "
+                            f"would reintroduce clock drift")
         if cycles < 0:
             raise ValueError(f"cannot advance clock by {cycles} cycles")
         self._cycles += cycles
+        if self._ledger is not None:
+            self._ledger.charge(source, cycles)
 
     def now_ns(self) -> float:
-        """Current time in nanoseconds at the nominal frequency."""
-        return self._cycles * self._ns_per_cycle
+        """Current time in nanoseconds at the nominal frequency.
+
+        Computed as an exact integer product with a single correctly
+        rounded division at the end, so the result is the closest float
+        to the true value regardless of how many cycles accumulated.
+        """
+        return self._cycles * self._ns_num / self._ns_den
+
+    def now_ns_exact(self) -> Fraction:
+        """Current time in nanoseconds as an exact rational."""
+        return Fraction(self._cycles * self._ns_num, self._ns_den)
 
     def now_ms(self) -> float:
         """Current time in milliseconds at the nominal frequency."""
-        return self._cycles * self._ns_per_cycle * 1e-6
+        return self._cycles * self._ns_num / (self._ns_den * 1_000_000)
 
     def cycles_for_ns(self, ns: float) -> int:
-        """Number of whole cycles covering ``ns`` nanoseconds."""
-        return max(0, round(ns / self._ns_per_cycle))
+        """Number of whole cycles covering ``ns`` nanoseconds.
+
+        Exact rational arithmetic: the float ``ns`` is taken at face
+        value (every float is an exact rational) and the division by the
+        ns-per-cycle ratio is performed without intermediate rounding.
+        """
+        if ns <= 0:
+            return 0
+        return max(0, round(Fraction(ns) * self._ns_den / self._ns_num))
 
     def cycles_for_ms(self, ms: float) -> int:
         """Number of whole cycles covering ``ms`` milliseconds."""
@@ -64,6 +118,8 @@ class VirtualClock:
     def reset(self) -> None:
         """Rewind to cycle zero (used between independent executions)."""
         self._cycles = 0
+        if self._ledger is not None:
+            self._ledger.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(cycles={self._cycles}, f={self.frequency_hz:.3g} Hz)"

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.determinism import SplitMix64, ZeroNoise
 from repro.errors import HardwareConfigError
+from repro.obs.ledger import Source
 
 
 class CostClass(enum.IntEnum):
@@ -128,6 +129,9 @@ class CpuModel:
     noise draws happen only every ``speculation_period`` instructions and
     are amortized as an accumulated integer surcharge.
     """
+
+    #: Ledger bucket for per-instruction execution cycles.
+    LEDGER_SOURCE = Source.INSTRUCTION
 
     def __init__(self, config: CpuTimingConfig,
                  noise_rng: SplitMix64 | ZeroNoise) -> None:

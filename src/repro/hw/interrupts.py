@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.determinism import SplitMix64, ZeroNoise
 from repro.errors import HardwareConfigError
+from repro.obs.ledger import Source
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,9 @@ class InterruptController:
     scheduler quantum); the controller reports the accumulated direct cost
     and cache pollution since the previous poll.
     """
+
+    #: Ledger bucket for handler cycles charged to the timed core.
+    LEDGER_SOURCE = Source.INTERRUPT
 
     def __init__(self, sources: list[IrqSource],
                  noise_rng: SplitMix64 | ZeroNoise,

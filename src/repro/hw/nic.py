@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.obs.ledger import Source
+
 
 @dataclass(order=True)
 class _QueuedPacket:
@@ -25,6 +27,10 @@ class Nic:
 
     #: Bus traffic contributed by one packet DMA (decays at the next poll).
     DMA_TRAFFIC = 0.15
+
+    #: The NIC never charges the timed core directly — its DMA shows up as
+    #: shared-bus contention, so its ledger bucket is the bus.
+    LEDGER_SOURCE = Source.BUS
 
     def __init__(self) -> None:
         self._rx: list[_QueuedPacket] = []

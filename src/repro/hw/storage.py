@@ -23,10 +23,14 @@ import abc
 
 from repro.determinism import SplitMix64, ZeroNoise
 from repro.errors import HardwareConfigError
+from repro.obs.ledger import Source
 
 
 class StorageDevice(abc.ABC):
     """A block device whose reads cost a (possibly variable) cycle count."""
+
+    #: Ledger bucket for device-latency cycles the timed core waits out.
+    LEDGER_SOURCE = Source.STORAGE
 
     def __init__(self) -> None:
         self.reads = 0

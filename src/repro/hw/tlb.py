@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HardwareConfigError
+from repro.obs.ledger import Source
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,9 @@ class TlbConfig:
 
 class Tlb:
     """Fully-associative, LRU-replaced translation lookaside buffer."""
+
+    #: Ledger bucket for page-walk cycles this component charges.
+    LEDGER_SOURCE = Source.TLB
 
     def __init__(self, config: TlbConfig) -> None:
         self.config = config

@@ -31,6 +31,8 @@ from repro.hw.tlb import Tlb, TlbConfig
 from repro.machine.config import MachineConfig, StorageKind
 from repro.machine.natives import MACHINE_REGISTRY
 from repro.machine.platform import TimedCorePlatform
+from repro.obs.ledger import CycleLedger, Source
+from repro.obs.sampling import OpcodeSampler
 from repro.machine.ringbuf import STBuffer, TSBuffer
 from repro.machine.workload import Workload
 from repro.vm.interpreter import Interpreter, VmConfig
@@ -53,6 +55,10 @@ class ExecutionResult:
     instructions: int
     log: EventLog | None                  # present after a play run
     stats: dict[str, float] = field(default_factory=dict)
+    #: Per-source cycle attribution (largest first); None without obs.
+    ledger: dict[str, int] | None = None
+    #: Sampled opcode-name histogram; None without obs.
+    opcodes: dict[str, int] | None = None
 
     def tx_times_ms(self) -> list[float]:
         """Transmission times in milliseconds."""
@@ -72,7 +78,8 @@ class Machine:
                  mode: str = "play", log: EventLog | None = None,
                  workload: Workload | None = None,
                  covert_enabled: bool = False,
-                 covert_schedule: list[int] | None = None) -> None:
+                 covert_schedule: list[int] | None = None,
+                 obs=None) -> None:
         if mode not in MODES:
             raise HardwareConfigError(f"unknown mode '{mode}'; "
                                       f"expected one of {MODES}")
@@ -102,6 +109,14 @@ class Machine:
         cache_init_rng = root.fork("cache-init")
 
         self.clock = VirtualClock(config.frequency_hz)
+        # Observability (a repro.obs.Observability bundle, or None): the
+        # ledger is per-run so play and replay never conflate totals; the
+        # tracer and registry are shared across the bundle's machines.
+        self.obs = obs
+        self.ledger: CycleLedger | None = None
+        if obs is not None and obs.ledger_enabled:
+            self.ledger = CycleLedger()
+            self.clock.attach_ledger(self.ledger)
         self.bus = MemoryBus(
             BusConfig(contention_probability=config.bus_contention_probability,
                       max_stall_cycles=config.bus_max_stall_cycles),
@@ -170,6 +185,8 @@ class Machine:
             self.l2.randomize(cache_init_rng)
 
         self.session: Session = self._build_session(log)
+        if obs is not None and obs.tracer is not None:
+            self.session.tracer = obs.tracer
         self.platform = TimedCorePlatform(self)
         self._ran = False
 
@@ -223,7 +240,7 @@ class Machine:
             direct, lines, traffic = \
                 self.irq_controller.pending_interference(now)
             if direct:
-                self.clock.advance(direct)
+                self.clock.advance(direct, Source.INTERRUPT)
                 self.hierarchy.pollute(self._irq_rng, lines,
                                        lines * 2)
             if traffic:
@@ -232,7 +249,7 @@ class Machine:
             while self._next_preempt <= now:
                 duration = int(self._preempt_rng.exponential(
                     config.preempt_mean_duration_cycles))
-                self.clock.advance(duration)
+                self.clock.advance(duration, Source.PREEMPT)
                 self.hierarchy.pollute(self._preempt_rng, 96, 384)
                 self._next_preempt += max(1, int(self._preempt_rng.exponential(
                     config.preempt_mean_interval_cycles)))
@@ -266,12 +283,22 @@ class Machine:
             return
         slowdown = 0.05 if not config.cache_partitioning else 0.005
         self.clock.advance(int(elapsed * config.co_tenant_intensity
-                               * slowdown))
+                               * slowdown), Source.CO_TENANT)
         self.bus.add_traffic(config.co_tenant_intensity * 0.3)
         if not config.cache_partitioning:
             self.l2.pollute(rng, 16)
 
     # -- execution --------------------------------------------------------------------
+
+    def vm_config(self) -> VmConfig:
+        """The interpreter configuration this machine's runs use."""
+        return VmConfig(thread_quantum=self.config.thread_quantum,
+                        poll_interval=self.config.vm_poll_interval)
+
+    def attach_observers(self, vm: Interpreter) -> None:
+        """Give ``vm`` this machine's opcode sampler, if obs wants one."""
+        if self.obs is not None and self.obs.sample_opcodes:
+            vm.sampler = OpcodeSampler(stride=self.config.vm_poll_interval)
 
     def run(self, program: Program,
             max_instructions: int | None = 200_000_000) -> ExecutionResult:
@@ -280,15 +307,53 @@ class Machine:
             raise HardwareConfigError(
                 "a Machine is single-shot; build a new one per execution")
         self._ran = True
-        vm = Interpreter(program, self.platform,
-                         VmConfig(thread_quantum=self.config.thread_quantum,
-                                  poll_interval=self.config.vm_poll_interval))
+        vm = Interpreter(program, self.platform, self.vm_config())
+        self.attach_observers(vm)
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is not None:
+            tracer.bind(self.clock.now_ns,
+                        track=f"{self.mode}:{self.config.name}")
+            tracer.begin("machine.run", mode=self.mode,
+                         config=self.config.name, seed=self.seed)
         if self.workload is not None:
-            self.workload.start(self)
+            if tracer is not None:
+                with tracer.span("workload.start"):
+                    self.workload.start(self)
+            else:
+                self.workload.start(self)
+        if tracer is not None:
+            tracer.begin("vm.execute")
         vm.run(max_instructions)
+        if tracer is not None:
+            tracer.end("vm.execute", instructions=vm.instruction_count)
+            tracer.end("machine.run", total_cycles=self.clock.cycles)
+        result = self.make_result(vm)
+        if self.obs is not None and self.obs.registry.enabled:
+            registry = self.obs.registry
+            registry.counter(
+                "tdr_runs_total", "Machine executions completed").inc()
+            registry.counter(
+                f"tdr_runs_{self.mode.replace('-', '_')}_total",
+                f"Executions in {self.mode} mode").inc()
+            registry.histogram(
+                "tdr_run_cycles", "Virtual cycles per run").observe(
+                result.total_cycles)
+            registry.histogram(
+                "tdr_run_instructions", "Instructions per run").observe(
+                result.instructions)
+            registry.counter(
+                "tdr_tx_packets_total", "Packets transmitted").inc(
+                len(result.tx))
+        return result
+
+    def make_result(self, vm: Interpreter) -> ExecutionResult:
+        """Assemble the :class:`ExecutionResult` of the machine's state.
+
+        Split out of :meth:`run` so checkpoint/segment replay (which
+        drives the interpreter itself) produces identical results.
+        """
         log = self.session.log if isinstance(self.session, PlaySession) \
             else None
-        stats = self._collect_stats(vm)
         return ExecutionResult(
             mode=self.mode,
             config_name=self.config.name,
@@ -299,7 +364,10 @@ class Machine:
             total_ns=self.clock.now_ns(),
             instructions=vm.instruction_count,
             log=log,
-            stats=stats)
+            stats=self._collect_stats(vm),
+            ledger=self.ledger.totals() if self.ledger is not None else None,
+            opcodes=(vm.sampler.histogram() if vm.sampler is not None
+                     else None))
 
     def _collect_stats(self, vm: Interpreter) -> dict[str, float]:
         l1, l2 = self.l1, self.l2

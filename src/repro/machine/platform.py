@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.hw.cpu import CostClass
+from repro.obs.ledger import Source
 from repro.vm.heap import GuestThrow
 from repro.vm.isa import EXC_INDEX_OUT_OF_BOUNDS, EXC_NULL_REFERENCE
 from repro.vm.platform import Platform
@@ -51,6 +52,9 @@ class TimedCorePlatform(Platform):
         self.session = machine.session
         self.st_buffer = machine.st_buffer
         self.ts_buffer = machine.ts_buffer
+        # Attribution ledger, if the machine was built with observability.
+        # ``mem_access`` keeps a combined-advance fast path when absent.
+        self._ledger = machine.clock.ledger
         self.console: list = []
         self.tx_trace: list[tuple[int, bytes]] = []
         # A JIT register-allocates locals: LOAD/STORE of stack slots do
@@ -70,18 +74,37 @@ class TimedCorePlatform(Platform):
     # -- Platform interface ---------------------------------------------------
 
     def charge(self, cost_class: CostClass) -> None:
-        self.clock.advance(self.cpu.instruction_cost(cost_class))
+        self.clock.advance(self.cpu.instruction_cost(cost_class),
+                           Source.INSTRUCTION)
 
     def mem_access(self, vaddr: int) -> None:
         if self._registerized_base is not None and \
                 self._registerized_base[0] <= vaddr < \
                 self._registerized_base[1]:
             return
-        cost = self.tlb.access(vaddr >> _PAGE_SHIFT)
+        if self._ledger is None:
+            cost = self.tlb.access(vaddr >> _PAGE_SHIFT)
+            paddr = self.space.translate(vaddr)
+            cost += self.hierarchy.access(paddr)
+            if cost:
+                self.clock.advance(cost)
+            return
+        # Attributed path: TLB walk, cache/DRAM latency, and the bus-stall
+        # share of DRAM fills land in their own buckets.  The split changes
+        # only bookkeeping — the summed advance is identical to the fast
+        # path, so cycle counts stay bit-identical either way.
+        tlb_cost = self.tlb.access(vaddr >> _PAGE_SHIFT)
+        if tlb_cost:
+            self.clock.advance(tlb_cost, Source.TLB)
         paddr = self.space.translate(vaddr)
-        cost += self.hierarchy.access(paddr)
-        if cost:
-            self.clock.advance(cost)
+        stall_before = self.bus.total_stall_cycles
+        cost = self.hierarchy.access(paddr)
+        stall = self.bus.total_stall_cycles - stall_before
+        if stall:
+            self.clock.advance(cost - stall, Source.CACHE)
+            self.clock.advance(stall, Source.BUS)
+        elif cost:
+            self.clock.advance(cost, Source.CACHE)
 
     def fetch_access(self, code_vaddr: int) -> None:
         self.mem_access(code_vaddr)
@@ -89,10 +112,10 @@ class TimedCorePlatform(Platform):
     def branch(self, branch_site: int, taken: bool) -> None:
         penalty = self.predictor.record(branch_site, taken)
         if penalty:
-            self.clock.advance(penalty)
+            self.clock.advance(penalty, Source.BRANCH)
 
-    def charge_cycles(self, cycles: int) -> None:
-        self.clock.advance(cycles)
+    def charge_cycles(self, cycles: int, source: str = "other") -> None:
+        self.clock.advance(cycles, source)
 
     def on_quantum(self, interpreter: "Interpreter") -> None:
         self.machine.service_world()
@@ -132,7 +155,8 @@ class TimedCorePlatform(Platform):
             self.st_buffer.stage(payload)
             self.st_buffer.consume()
         if self.session.injection_overhead_cycles:
-            self.clock.advance(self.session.injection_overhead_cycles)
+            self.clock.advance(self.session.injection_overhead_cycles,
+                               Source.INJECTION)
         obj = self._guest_array(vm, buf_handle)
         count = min(len(payload), len(obj.data))
         for vaddr in self.st_buffer.copy_addresses(count):
@@ -165,7 +189,8 @@ class TimedCorePlatform(Platform):
         self.mem_access(cell_vaddr)
         value = self.session.observe_time(vm.instruction_count, live)
         if self.session.injection_overhead_cycles:
-            self.clock.advance(self.session.injection_overhead_cycles)
+            self.clock.advance(self.session.injection_overhead_cycles,
+                               Source.INJECTION)
         return value
 
     def _native_send_packet(self, vm: "Interpreter", args: list) -> None:
@@ -223,11 +248,11 @@ class TimedCorePlatform(Platform):
                 # phase: the instruction counter jumps, wall time barely
                 # moves (Fig 3's "replay faster than play" segments).
                 vm.instruction_count = max(vm.instruction_count, target)
-                self.clock.advance(2_000)
+                self.clock.advance(2_000, Source.INJECTION)
                 continue
             # One poll iteration = one counted point in the execution.
             vm.instruction_count += 1
-            self.clock.advance(self.cpu.scale_block(stride))
+            self.clock.advance(self.cpu.scale_block(stride), Source.IDLE)
             self.machine.service_world()
 
     def _native_storage_read(self, vm: "Interpreter", args: list) -> int:
@@ -241,7 +266,7 @@ class TimedCorePlatform(Platform):
         # The SC performs the I/O (§3.7); the TC waits for the (possibly
         # padded) device latency and the DMA raises bus traffic.
         latency = self.machine.storage.read(block)
-        self.clock.advance(latency)
+        self.clock.advance(latency, Source.STORAGE)
         self.bus.add_traffic(0.25)
         count = min(STORAGE_BLOCK_WORDS, len(obj.data))
         data = obj.data
@@ -258,7 +283,7 @@ class TimedCorePlatform(Platform):
         if cycles < 0:
             raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
         if self.machine.covert_enabled:
-            self.clock.advance(cycles)
+            self.clock.advance(cycles, Source.COVERT)
 
     def _native_covert_next_delay(self, vm: "Interpreter",
                                   args: list) -> int:
@@ -286,7 +311,7 @@ class TimedCorePlatform(Platform):
         if cycles < 0:
             raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
         if cycles:
-            self.clock.advance(self.cpu.scale_block(cycles))
+            self.clock.advance(self.cpu.scale_block(cycles), Source.COMPUTE)
 
     def _native_spawn(self, vm: "Interpreter", args: list) -> None:
         func_idx, arg = args

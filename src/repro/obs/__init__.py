@@ -1,0 +1,87 @@
+"""Observability for the TDR pipeline: metrics, ledger, tracing, profiling.
+
+The package turns the simulator's one opaque cycle counter into an
+inspectable accounting system:
+
+* :mod:`repro.obs.metrics` — zero-dependency Counter/Gauge/Histogram
+  registry with a process-global default and a null no-op implementation;
+* :mod:`repro.obs.ledger` — the **cycle-attribution ledger**: every
+  ``VirtualClock.advance`` is tagged with the hardware source that caused
+  it, and per-source totals always sum to the clock (a programmatic
+  Table 1);
+* :mod:`repro.obs.tracer` — span tracing in the virtual cycle domain with
+  NDJSON and Chrome trace-event export;
+* :mod:`repro.obs.sampling` — sampled opcode histograms from the
+  interpreter hot loop;
+* :mod:`repro.obs.flight` — the divergence flight recorder: last-N events
+  and per-source cycle deltas when play and replay disagree.
+
+Everything here observes and never perturbs: enabling any collector
+leaves cycle counts bit-identical to an uninstrumented run, and with
+observability disabled (the default) the added overhead is a handful of
+``is None`` checks.
+
+Usage::
+
+    from repro import round_trip
+    from repro.obs import Observability, format_attribution_table
+
+    obs = Observability()      # ledger + opcode sampling + tracer
+    outcome = round_trip(program, config, workload=workload, obs=obs)
+    print(format_attribution_table(outcome.play.ledger,
+                                   outcome.play.total_cycles))
+    obs.tracer.write_chrome_trace("tdr-trace.json")
+"""
+
+from __future__ import annotations
+
+from repro.obs.flight import DivergenceRecord, capture_divergence
+from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
+                              Source, format_attribution_table)
+from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
+                               MetricsRegistry, NullRegistry, enable_metrics,
+                               get_registry, set_registry)
+from repro.obs.sampling import OpcodeSampler
+from repro.obs.tracer import SpanTracer
+
+__all__ = [
+    "Counter", "CycleLedger", "DivergenceRecord", "Gauge", "Histogram",
+    "KNOWN_SOURCES", "MITIGATED_SOURCES", "MetricsRegistry", "NULL_REGISTRY",
+    "NullRegistry", "Observability", "OpcodeSampler", "Source", "SpanTracer",
+    "capture_divergence", "default_observability", "enable_metrics",
+    "format_attribution_table", "get_registry", "set_registry",
+]
+
+
+class Observability:
+    """Bundle of observability settings handed to machines and pipelines.
+
+    Pass one instance through :func:`repro.core.tdr.round_trip` (or any
+    ``play``/``replay``/audit entry point) to observe a whole pipeline:
+    each machine run gets its own :class:`CycleLedger` and
+    :class:`OpcodeSampler` (snapshotted onto its ``ExecutionResult``),
+    while the :class:`SpanTracer` and metrics registry are shared so the
+    runs land on one timeline and one instrument set.
+
+    ``Observability()`` enables the ledger, the sampler, a tracer, and a
+    recording registry.  Disable pieces with the keyword flags; machines
+    built with ``obs=None`` (the default everywhere) skip all of it.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 tracer: SpanTracer | None = None, *,
+                 ledger: bool = True, sample_opcodes: bool = True,
+                 trace: bool = True, flight_n: int = 16) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer if tracer is not None \
+            else (SpanTracer() if trace else None)
+        self.ledger_enabled = ledger
+        self.sample_opcodes = sample_opcodes
+        #: Transmissions kept per side by the divergence flight recorder.
+        self.flight_n = flight_n
+
+
+def default_observability() -> Observability:
+    """A fully enabled bundle wired to the process-global registry."""
+    return Observability(registry=enable_metrics())

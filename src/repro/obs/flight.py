@@ -1,0 +1,114 @@
+"""The divergence flight recorder.
+
+When an audit finds play/replay divergence — mismatched payloads, an IPD
+deviation beyond the replay-accuracy bound, or a replay that could not
+follow the log — the interesting question is *where the cycles went
+differently*.  The flight recorder answers it from the two runs'
+cycle-attribution ledgers and transmission traces: the last N
+transmissions of each side, the first mismatching packet, and the
+per-source cycle deltas between the runs.
+
+A covert timing channel has a tell-tale signature here: the play run
+carries a positive ``covert`` delta that the replay (on a clean machine)
+does not reproduce — the programmatic version of §5.3's "the packet
+timing during replay is what the timing *ought* to have been".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _tail_events(result, last_n: int) -> list[tuple[int, str]]:
+    """(cycle, payload preview) for the last ``last_n`` transmissions."""
+    tail = []
+    for cycle, payload in result.tx[-last_n:]:
+        preview = payload[:8].hex()
+        if len(payload) > 8:
+            preview += f"..+{len(payload) - 8}B"
+        tail.append((cycle, preview))
+    return tail
+
+
+@dataclass
+class DivergenceRecord:
+    """What the flight recorder captured about one divergent audit."""
+
+    reason: str
+    #: Last-N (cycle, payload preview) transmissions of each run.
+    play_tail: list[tuple[int, str]] = field(default_factory=list)
+    replay_tail: list[tuple[int, str]] = field(default_factory=list)
+    #: Per-source play-minus-replay cycle deltas (nonzero entries only).
+    source_deltas: dict[str, int] = field(default_factory=dict)
+    #: Index of the first transmission whose payload differs, if any.
+    first_payload_mismatch: int | None = None
+    #: play/replay cycle totals at capture time.
+    play_cycles: int = 0
+    replay_cycles: int = 0
+
+    @property
+    def dominant_source(self) -> str | None:
+        """The source with the largest absolute cycle delta."""
+        if not self.source_deltas:
+            return None
+        return max(self.source_deltas,
+                   key=lambda s: abs(self.source_deltas[s]))
+
+    def summary(self) -> str:
+        """One-paragraph human rendering for logs and error messages."""
+        lines = [f"divergence flight record: {self.reason}",
+                 f"  play {self.play_cycles:,} cycles vs "
+                 f"replay {self.replay_cycles:,} cycles"]
+        if self.first_payload_mismatch is not None:
+            lines.append(f"  first payload mismatch at tx "
+                         f"#{self.first_payload_mismatch}")
+        if self.source_deltas:
+            deltas = ", ".join(f"{source} {delta:+,}"
+                               for source, delta
+                               in list(self.source_deltas.items())[:6])
+            lines.append(f"  per-source cycle deltas (play-replay): "
+                         f"{deltas}")
+        if self.play_tail:
+            lines.append(f"  last play tx: {self.play_tail[-1]}")
+        if self.replay_tail:
+            lines.append(f"  last replay tx: {self.replay_tail[-1]}")
+        return "\n".join(lines)
+
+
+def capture_divergence(play_result, replay_result, last_n: int = 16,
+                       reason: str = "play/replay divergence"
+                       ) -> DivergenceRecord:
+    """Build a :class:`DivergenceRecord` from two execution results.
+
+    Works on anything duck-typed like
+    :class:`~repro.machine.machine.ExecutionResult`; ledgers and cycle
+    totals are optional (runs without observability still get the
+    transmission tails).
+    """
+    play_ledger = getattr(play_result, "ledger", None) or {}
+    replay_ledger = getattr(replay_result, "ledger", None) or {}
+    deltas: dict[str, int] = {}
+    for source in play_ledger.keys() | replay_ledger.keys():
+        diff = play_ledger.get(source, 0) - replay_ledger.get(source, 0)
+        if diff:
+            deltas[source] = diff
+    deltas = dict(sorted(deltas.items(), key=lambda kv: (-abs(kv[1]), kv[0])))
+
+    first_mismatch = None
+    play_tx = getattr(play_result, "tx", [])
+    replay_tx = getattr(replay_result, "tx", [])
+    for i in range(min(len(play_tx), len(replay_tx))):
+        if play_tx[i][1] != replay_tx[i][1]:
+            first_mismatch = i
+            break
+    if first_mismatch is None and len(play_tx) != len(replay_tx):
+        first_mismatch = min(len(play_tx), len(replay_tx))
+
+    return DivergenceRecord(
+        reason=reason,
+        play_tail=_tail_events(play_result, last_n),
+        replay_tail=_tail_events(replay_result, last_n),
+        source_deltas=deltas,
+        first_payload_mismatch=first_mismatch,
+        play_cycles=getattr(play_result, "total_cycles", 0),
+        replay_cycles=getattr(replay_result, "total_cycles", 0))

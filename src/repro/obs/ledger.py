@@ -1,0 +1,157 @@
+"""The cycle-attribution ledger: who charged the virtual clock, and why.
+
+The paper's central claim (Fig 2, Table 1) is an *accounting* argument:
+each source of time noise — caches, TLB, branch predictor, bus
+contention, interrupts, preemption — contributes a measurable share of
+the execution time, and each mitigation removes exactly its share.  The
+ledger makes that argument inspectable: every
+:meth:`~repro.hw.clock.VirtualClock.advance` is tagged with the
+:class:`Source` that caused it, and the per-source totals always sum to
+the clock's ``cycles``.
+
+The ledger is an *observer*: it never feeds back into timing, so runs
+with and without a ledger attached are bit-identical in cycle counts
+(the determinism guard tests assert this).
+"""
+
+from __future__ import annotations
+
+
+class Source:
+    """Canonical charge sources, mapped to the paper's Table 1 rows.
+
+    ==================  ==================================================
+    Source              Table 1 row / paper section
+    ==================  ==================================================
+    ``INSTRUCTION``     baseline interpreter cost (not a noise source)
+    ``CACHE``           Caches — flush at the beginning (§3.6)
+    ``TLB``             Caches — same physical frames / CR4.PCIDE (§4.2)
+    ``BRANCH``          implicit in §3.5's symmetric-access argument
+    ``BUS``             Interrupts/DMA — residual bus contention (§3.3)
+    ``INTERRUPT``       Interrupts — handle on a separate core
+    ``PREEMPT``         Preemption — run in kernel mode
+    ``CO_TENANT``       §7 multi-tenancy cross-talk
+    ``STORAGE``         I/O — pad variable-time operations (§3.7)
+    ``COVERT``          the adversary's injected delays (§5)
+    ``GC``              deterministic runtime work (§3.2)
+    ``IDLE``            blocking-receive poll loop (§3.4)
+    ``INJECTION``       naive-replay event-injection asymmetry (Fig 3)
+    ``COMPUTE``         abstracted data-independent compute blocks
+    ``RESUME``          checkpoint fast-forward during segment replay
+    ==================  ==================================================
+    """
+
+    INSTRUCTION = "instruction"
+    CACHE = "cache"
+    TLB = "tlb"
+    BRANCH = "branch"
+    BUS = "bus"
+    INTERRUPT = "interrupt"
+    PREEMPT = "preempt"
+    CO_TENANT = "co-tenant"
+    STORAGE = "storage"
+    COVERT = "covert"
+    GC = "gc"
+    IDLE = "idle-poll"
+    INJECTION = "injection"
+    COMPUTE = "compute-block"
+    RESUME = "checkpoint-resume"
+    OTHER = "other"
+
+
+#: Every canonical source, in presentation order.
+KNOWN_SOURCES: tuple[str, ...] = (
+    Source.INSTRUCTION, Source.CACHE, Source.TLB, Source.BRANCH,
+    Source.BUS, Source.INTERRUPT, Source.PREEMPT, Source.CO_TENANT,
+    Source.STORAGE, Source.COVERT, Source.GC, Source.IDLE,
+    Source.INJECTION, Source.COMPUTE, Source.RESUME, Source.OTHER)
+
+#: Sources that a fully mitigated (Table 1) configuration drives to zero.
+MITIGATED_SOURCES: tuple[str, ...] = (
+    Source.INTERRUPT, Source.PREEMPT, Source.CO_TENANT, Source.COVERT)
+
+
+class CycleLedger:
+    """Per-source cycle totals for one machine run.
+
+    The hot path is :meth:`charge`; everything else is reporting.
+    """
+
+    __slots__ = ("_totals", "charges")
+
+    def __init__(self) -> None:
+        self._totals: dict[str, int] = {}
+        #: Number of individual charge events recorded.
+        self.charges = 0
+
+    def charge(self, source: str, cycles: int) -> None:
+        """Attribute ``cycles`` to ``source`` (called by the clock)."""
+        totals = self._totals
+        totals[source] = totals.get(source, 0) + cycles
+        self.charges += 1
+
+    def get(self, source: str) -> int:
+        """Cycles attributed to ``source`` (0 if never charged)."""
+        return self._totals.get(source, 0)
+
+    @property
+    def total(self) -> int:
+        """Sum over all sources; equals the attached clock's ``cycles``."""
+        return sum(self._totals.values())
+
+    def totals(self) -> dict[str, int]:
+        """Snapshot of the per-source totals, largest first."""
+        return dict(sorted(self._totals.items(),
+                           key=lambda kv: (-kv[1], kv[0])))
+
+    def delta(self, other: "CycleLedger | dict[str, int]") -> dict[str, int]:
+        """Per-source ``self - other``, over the union of sources.
+
+        This is the flight recorder's "where did the two runs disagree"
+        primitive: a covert channel shows up as a positive ``covert``
+        delta of the play run over its replay.
+        """
+        mine = self._totals
+        theirs = other._totals if isinstance(other, CycleLedger) else other
+        out: dict[str, int] = {}
+        for source in mine.keys() | theirs.keys():
+            diff = mine.get(source, 0) - theirs.get(source, 0)
+            if diff:
+                out[source] = diff
+        return dict(sorted(out.items(),
+                           key=lambda kv: (-abs(kv[1]), kv[0])))
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self.charges = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CycleLedger(total={self.total}, sources={len(self._totals)})"
+
+
+def format_attribution_table(totals: "dict[str, int] | CycleLedger",
+                             total_cycles: int | None = None,
+                             title: str = "cycle attribution") -> str:
+    """Render per-source totals as the paper's "where did the noise go".
+
+    ``total_cycles`` (when given, usually the run's clock reading) is
+    cross-checked against the ledger sum; the footer states whether the
+    accounting is exact.
+    """
+    if isinstance(totals, CycleLedger):
+        totals = totals.totals()
+    ledger_sum = sum(totals.values())
+    denominator = total_cycles if total_cycles else ledger_sum
+    width = max([len(s) for s in totals] + [len("source")])
+    lines = [f"{title}:",
+             f"  {'source':<{width}} {'cycles':>16} {'share':>8}"]
+    for source, cycles in sorted(totals.items(),
+                                 key=lambda kv: (-kv[1], kv[0])):
+        share = cycles / denominator if denominator else 0.0
+        lines.append(f"  {source:<{width}} {cycles:>16,} {share:>7.2%}")
+    lines.append(f"  {'total':<{width}} {ledger_sum:>16,}")
+    if total_cycles is not None:
+        verdict = ("exact" if ledger_sum == total_cycles
+                   else f"MISMATCH vs clock {total_cycles:,}")
+        lines.append(f"  (accounting {verdict})")
+    return "\n".join(lines)

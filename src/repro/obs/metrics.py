@@ -1,0 +1,299 @@
+"""Zero-dependency metrics: counters, gauges, histograms, registries.
+
+The simulator is grown toward a service that runs many audits per second,
+so its instrumentation follows the shape of a production metrics stack —
+a :class:`MetricsRegistry` of named :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instruments with a Prometheus-style text exposition —
+without taking any dependency.
+
+Two properties matter more than features:
+
+* **Disabled overhead is ~zero.**  The process-global default registry is
+  a :class:`NullRegistry` whose instruments are shared no-op singletons,
+  so ``get_registry().counter("x").inc()`` on an un-instrumented process
+  is two attribute lookups and an empty method call.  Call
+  :func:`enable_metrics` (or :func:`set_registry`) to start collecting.
+* **Observation never perturbs the observed.**  No instrument touches the
+  virtual clock, any RNG, or any simulated state; enabling metrics must
+  leave cycle counts bit-identical (asserted by the determinism guard
+  tests).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ObservabilityError
+
+#: Default histogram buckets — wide enough for cycle counts and small
+#: enough for ratios; callers with specific ranges pass their own.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter '{self.name}' cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+
+    __slots__ = ("name", "help", "buckets", "_bucket_counts", "_count",
+                 "_sum", "_min", "_max")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram '{name}' buckets must be sorted and non-empty")
+        self.buckets = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._bucket_counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float | None:
+        return self._min
+
+    @property
+    def max(self) -> float | None:
+        return self._max
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative count per upper bound (``le`` buckets)."""
+        return dict(zip(self.buckets, self._bucket_counts))
+
+
+class _NullInstrument:
+    """Shared no-op instrument returned by the :class:`NullRegistry`.
+
+    Implements the union of the Counter/Gauge/Histogram write interfaces
+    so call sites never need to check whether metrics are enabled.
+    """
+
+    __slots__ = ()
+    name = "<null>"
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> dict[float, int]:
+        return {}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Thread-safe on the create path (the simulator itself is single
+    threaded, but audits may be served from a thread pool); instrument
+    writes are plain attribute updates, safe under the GIL for the
+    increment-only usage here.
+    """
+
+    #: Whether instruments returned by this registry actually record.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ObservabilityError(
+                        f"metric '{name}' already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}")
+                return existing
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help,
+                                   buckets=buckets)
+
+    def collect(self) -> dict[str, float]:
+        """Flat snapshot: counter/gauge values, histogram count+sum."""
+        out: dict[str, float] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Histogram):
+                out[f"{name}_count"] = float(inst.count)
+                out[f"{name}_sum"] = inst.sum
+            else:
+                out[name] = inst.value
+        return out
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        lines: list[str] = []
+        for name, inst in sorted(self._instruments.items()):
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {inst.value:g}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {inst.value:g}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                for bound, count in inst.bucket_counts().items():
+                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {count}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {inst.count}')
+                lines.append(f"{name}_sum {inst.sum:g}")
+                lines.append(f"{name}_count {inst.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments drop everything (the default)."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no lock, no dict — nothing is stored
+        pass
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def collect(self) -> dict[str, float]:
+        return {}
+
+    def render(self) -> str:
+        return ""
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry (null until enabled)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Replace a null default with a recording registry (idempotent)."""
+    if not _default_registry.enabled:
+        set_registry(MetricsRegistry())
+    return _default_registry

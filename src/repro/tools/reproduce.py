@@ -29,6 +29,8 @@ from repro.detectors import all_statistical_detectors
 from repro.machine import MachineConfig
 from repro.machine.config import RuntimeKind
 from repro.machine.noise import scenario_config
+from repro.obs import (MITIGATED_SOURCES, Observability,
+                       format_attribution_table)
 
 
 def _banner(title: str) -> None:
@@ -178,6 +180,51 @@ def run_chaos(args) -> None:
               f"(coverage {outcome.coverage:.2f})")
 
 
+def run_trace(args) -> None:
+    _banner("Trace — cycle attribution, opcode profile, Chrome trace")
+    obs = Observability()
+    program = build_nfs_program()
+    noisy = scenario_config("dirty")
+    outcome = round_trip(program, noisy,
+                         workload=build_nfs_workload(
+                             SplitMix64(77), num_requests=args.requests),
+                         obs=obs)
+    print(format_attribution_table(
+        outcome.play.ledger, outcome.play.total_cycles,
+        title=f"play ({noisy.name}, {outcome.play.total_cycles:,} cycles)"))
+    print()
+    print(format_attribution_table(
+        outcome.replay.ledger, outcome.replay.total_cycles,
+        title=f"replay ({noisy.name}, "
+              f"{outcome.replay.total_cycles:,} cycles)"))
+
+    sanity = scenario_config("sanity")
+    clean = play(program, sanity,
+                 workload=build_nfs_workload(SplitMix64(77),
+                                             num_requests=args.requests),
+                 seed=0, obs=obs)
+    print()
+    print(format_attribution_table(
+        clean.ledger, clean.total_cycles,
+        title=f"play ({sanity.name}, {clean.total_cycles:,} cycles)"))
+    leaked = sum(clean.ledger.get(s, 0) for s in MITIGATED_SOURCES)
+    print(f"  mitigated sources ({', '.join(MITIGATED_SOURCES)}): "
+          f"{leaked:,} cycles"
+          + ("  [Table 1: fully mitigated]" if leaked == 0 else ""))
+
+    if outcome.play.opcodes:
+        top = sorted(outcome.play.opcodes.items(),
+                     key=lambda kv: (-kv[1], kv[0]))[:8]
+        print()
+        print("  sampled opcode profile (play, top 8):")
+        for op, count in top:
+            print(f"    {op:12s} {count:>8,} samples")
+
+    obs.tracer.write_chrome_trace(args.trace_out)
+    print(f"\n  wrote {len(obs.tracer)} trace events to {args.trace_out} "
+          f"(load in chrome://tracing or https://ui.perfetto.dev)")
+
+
 EXPERIMENTS = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -187,6 +234,7 @@ EXPERIMENTS = {
     "sec65": run_sec65,
     "fig8": run_fig8,
     "chaos": run_chaos,
+    "trace": run_trace,
 }
 
 
@@ -208,6 +256,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--severities", type=int, default=3,
                         help="fault severities swept by 'chaos' "
                              "(default 3)")
+    parser.add_argument("--trace-out", default="tdr-trace.json",
+                        help="Chrome trace file written by 'trace' "
+                             "(default tdr-trace.json)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:

@@ -105,6 +105,9 @@ class Interpreter:
         self.globals: list = [0] * program.num_globals
         self.instruction_count = 0
         self.halted = False
+        #: Optional :class:`repro.obs.sampling.OpcodeSampler`; when set,
+        #: the run loop records the opcode at every platform-poll point.
+        self.sampler = None
         self.threads: list[ThreadState] = []
         self._next_thread_id = 0
         self._current_index = 0
@@ -157,7 +160,7 @@ class Interpreter:
     def _maybe_gc(self, gc_wanted: bool) -> None:
         if gc_wanted:
             cost = self.heap.collect(self._gc_roots())
-            self.platform.charge_cycles(cost)
+            self.platform.charge_cycles(cost, "gc")
 
     # -- exception dispatch ----------------------------------------------------
 
@@ -197,6 +200,7 @@ class Interpreter:
         mem = platform.mem_access
         fetch = platform.fetch_access
         cost_of = OPCODE_COST_CLASS
+        sampler = self.sampler
         poll_interval = self.config.poll_interval
         quantum = self.config.thread_quantum
         heap = self.heap
@@ -248,6 +252,10 @@ class Interpreter:
             thread.executed += 1
             slice_left -= 1
             if self.instruction_count % poll_interval == 0:
+                # The opcode sampler piggybacks on the poll stride so its
+                # disabled cost stays off the per-instruction path.
+                if sampler is not None:
+                    sampler.record(op)
                 platform.on_quantum(self)
                 if self.halted:
                     break

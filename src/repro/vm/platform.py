@@ -42,8 +42,13 @@ class Platform(abc.ABC):
         """Record a conditional branch outcome (charges mispredicts)."""
 
     @abc.abstractmethod
-    def charge_cycles(self, cycles: int) -> None:
-        """Charge a raw cycle amount (GC, natives, padding)."""
+    def charge_cycles(self, cycles: int, source: str = "other") -> None:
+        """Charge a raw cycle amount (GC, natives, padding).
+
+        ``source`` tags the charge for the cycle-attribution ledger
+        (see :mod:`repro.obs.ledger`); platforms without a ledger may
+        ignore it.
+        """
 
     @abc.abstractmethod
     def on_quantum(self, interpreter: "Interpreter") -> None:
@@ -82,7 +87,7 @@ class NullPlatform(Platform):
     def branch(self, branch_site: int, taken: bool) -> None:
         pass
 
-    def charge_cycles(self, cycles: int) -> None:
+    def charge_cycles(self, cycles: int, source: str = "other") -> None:
         self.cycles += cycles
 
     def on_quantum(self, interpreter: "Interpreter") -> None:

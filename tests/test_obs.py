@@ -1,0 +1,319 @@
+"""Tests for the observability package (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.apps import (build_nfs_program, build_nfs_workload, compile_app,
+                        zero_array_source)
+from repro.core.tdr import play, replay, round_trip
+from repro.determinism import SplitMix64
+from repro.errors import ObservabilityError
+from repro.machine.noise import scenario_config
+from repro.obs import (KNOWN_SOURCES, MITIGATED_SOURCES, Counter, CycleLedger,
+                       Gauge, Histogram, MetricsRegistry, NullRegistry,
+                       Observability, OpcodeSampler, Source, SpanTracer,
+                       capture_divergence, format_attribution_table,
+                       get_registry, set_registry)
+from repro.obs.metrics import NULL_INSTRUMENT
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 555.5
+        assert h.min == 0.5 and h.max == 500
+        assert h.bucket_counts() == {1.0: 1, 10.0: 2, 100.0: 3}
+        assert h.mean == pytest.approx(138.875)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("bad", buckets=(10.0, 1.0))
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("a")  # name already taken by a counter
+        assert len(reg) == 1
+
+    def test_registry_collect_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", help="total runs").inc(3)
+        reg.histogram("cycles", buckets=(10.0, 100.0)).observe(42)
+        snap = reg.collect()
+        assert snap["runs"] == 3
+        assert snap["cycles_count"] == 1 and snap["cycles_sum"] == 42
+        text = reg.render()
+        assert "# TYPE runs counter" in text
+        assert '# HELP runs total runs' in text
+        assert 'cycles_bucket{le="100"} 1' in text
+        assert 'cycles_bucket{le="+Inf"} 1' in text
+
+    def test_null_registry_drops_everything(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        inst = reg.counter("x")
+        assert inst is NULL_INSTRUMENT
+        inst.inc()
+        inst.observe(5)
+        inst.set(9)
+        assert inst.value == 0.0
+        assert reg.collect() == {}
+        assert reg.render() == ""
+        assert len(reg) == 0
+
+    def test_global_registry_swap(self):
+        original = get_registry()
+        try:
+            mine = MetricsRegistry()
+            assert set_registry(mine) is original
+            assert get_registry() is mine
+        finally:
+            set_registry(original)
+
+
+class TestCycleLedger:
+    def test_charge_and_totals(self):
+        ledger = CycleLedger()
+        ledger.charge(Source.CACHE, 10)
+        ledger.charge(Source.CACHE, 5)
+        ledger.charge(Source.BUS, 100)
+        assert ledger.get(Source.CACHE) == 15
+        assert ledger.get(Source.TLB) == 0
+        assert ledger.total == 115
+        assert ledger.charges == 3
+        assert list(ledger.totals()) == [Source.BUS, Source.CACHE]
+
+    def test_delta(self):
+        a, b = CycleLedger(), CycleLedger()
+        a.charge(Source.COVERT, 1000)
+        a.charge(Source.CACHE, 50)
+        b.charge(Source.CACHE, 50)
+        b.charge(Source.TLB, 7)
+        assert a.delta(b) == {Source.COVERT: 1000, Source.TLB: -7}
+        assert a.delta(b.totals()) == a.delta(b)
+
+    def test_reset(self):
+        ledger = CycleLedger()
+        ledger.charge(Source.GC, 1)
+        ledger.reset()
+        assert ledger.total == 0 and ledger.charges == 0
+
+    def test_known_sources_cover_mitigated(self):
+        assert set(MITIGATED_SOURCES) <= set(KNOWN_SOURCES)
+        assert len(set(KNOWN_SOURCES)) == len(KNOWN_SOURCES)
+
+    def test_format_table_exact(self):
+        text = format_attribution_table({"cache": 30, "bus": 70}, 100)
+        assert "accounting exact" in text
+        assert "70.00%" in text
+
+    def test_format_table_mismatch(self):
+        text = format_attribution_table({"cache": 30}, 100)
+        assert "MISMATCH" in text
+
+
+class TestSpanTracer:
+    def test_span_balance_enforced(self):
+        tracer = SpanTracer()
+        tracer.begin("outer")
+        tracer.begin("inner")
+        with pytest.raises(ObservabilityError):
+            tracer.end("outer")
+        tracer.end("inner")
+        tracer.end("outer")
+
+    def test_span_context_manager(self):
+        tracer = SpanTracer()
+        with tracer.span("work", items=3):
+            tracer.instant("tick")
+        phases = [e["ph"] for e in tracer.events]
+        assert phases == ["B", "i", "E"]
+
+    def test_bind_creates_named_tracks(self):
+        clock = [0.0]
+        tracer = SpanTracer()
+        tracer.bind(lambda: clock[0], track="play:test")
+        tracer.instant("a")
+        clock[0] = 2_000.0  # 2000 ns -> ts of 2.0 us
+        tracer.bind(lambda: clock[0], track="replay:test")
+        tracer.instant("b")
+        meta = [e for e in tracer.events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["play:test",
+                                                     "replay:test"]
+        a, b = [e for e in tracer.events if e["ph"] == "i"]
+        assert a["tid"] != b["tid"]
+        assert b["ts"] == pytest.approx(2.0)
+
+    def test_exports(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("s"):
+            pass
+        chrome = tracer.to_chrome_trace()
+        assert chrome["traceEvents"] == tracer.events
+        path = tmp_path / "t.json"
+        tracer.write_chrome_trace(str(path))
+        assert json.loads(path.read_text())["otherData"]["producer"] \
+            == "repro.obs"
+        ndjson = tracer.to_ndjson()
+        assert len(ndjson.strip().splitlines()) == len(tracer)
+
+
+class TestOpcodeSampler:
+    def test_record_and_histogram(self):
+        from repro.vm.isa import Op
+
+        sampler = OpcodeSampler(stride=10)
+        for _ in range(3):
+            sampler.record(int(Op.IADD))
+        sampler.record(int(Op.LOAD))
+        assert sampler.samples == 4
+        hist = sampler.histogram()
+        assert hist["IADD"] == 3 and hist["LOAD"] == 1
+        assert sampler.top(1) == [("IADD", 3)]
+        assert sampler.estimated_instructions() == 40
+
+    def test_unknown_opcode_fallback(self):
+        sampler = OpcodeSampler()
+        sampler.record(0xDEAD)
+        assert sampler.histogram() == {"op#57005": 1}
+
+
+class _FakeResult:
+    def __init__(self, tx, ledger=None, total_cycles=0):
+        self.tx = tx
+        self.ledger = ledger
+        self.total_cycles = total_cycles
+
+
+class TestFlightRecorder:
+    def test_capture_covert_signature(self):
+        record = capture_divergence(
+            _FakeResult([(100, b"a"), (250, b"b")],
+                        ledger={"covert": 900, "cache": 50},
+                        total_cycles=1000),
+            _FakeResult([(100, b"a"), (150, b"b")],
+                        ledger={"cache": 50}, total_cycles=100),
+            reason="IPD deviation")
+        assert record.dominant_source == "covert"
+        assert record.source_deltas == {"covert": 900}
+        assert record.first_payload_mismatch is None
+        assert record.play_cycles == 1000 and record.replay_cycles == 100
+        assert "IPD deviation" in record.summary()
+        assert "covert +900" in record.summary()
+
+    def test_payload_mismatch_index(self):
+        record = capture_divergence(
+            _FakeResult([(1, b"a"), (2, b"X")]),
+            _FakeResult([(1, b"a"), (2, b"Y"), (3, b"c")]))
+        assert record.first_payload_mismatch == 1
+
+    def test_count_mismatch_without_payload_diff(self):
+        record = capture_divergence(
+            _FakeResult([(1, b"a")]),
+            _FakeResult([(1, b"a"), (2, b"b")]))
+        assert record.first_payload_mismatch == 1
+
+    def test_long_payload_preview_truncated(self):
+        record = capture_divergence(
+            _FakeResult([(1, b"0123456789abcdef")]), _FakeResult([]))
+        (_, preview), = record.play_tail
+        assert preview.endswith("..+8B")
+
+
+class TestObservabilityIntegration:
+    """End-to-end: the collectors wired through a real machine run."""
+
+    def test_ledger_sums_to_total_cycles(self):
+        obs = Observability()
+        program = compile_app(zero_array_source(elements=512))
+        result = play(program, scenario_config("user-noisy"), seed=0,
+                      obs=obs)
+        assert result.ledger is not None
+        assert sum(result.ledger.values()) == result.total_cycles
+        assert set(result.ledger) <= set(KNOWN_SOURCES)
+        assert result.ledger[Source.INSTRUCTION] > 0
+
+    def test_sanity_config_zeroes_mitigated_sources(self):
+        # Table 1: each mitigation removes exactly its noise source; the
+        # fully mitigated (Sanity) configuration leaves none of them.
+        obs = Observability()
+        program = compile_app(zero_array_source(elements=8192))
+        noisy = play(program, scenario_config("user-noisy"), seed=0,
+                     obs=obs)
+        sane = play(program, scenario_config("sanity"), seed=0, obs=obs)
+        assert sum(noisy.ledger.get(s, 0)
+                   for s in (Source.INTERRUPT, Source.PREEMPT)) > 0
+        for source in MITIGATED_SOURCES:
+            assert sane.ledger.get(source, 0) == 0
+        assert sum(sane.ledger.values()) == sane.total_cycles
+
+    def test_covert_schedule_attributed_and_flagged(self):
+        # The §5.3 signature: play on the compromised machine carries a
+        # covert share that the clean audit replay does not reproduce.
+        program = build_nfs_program()
+        workload = build_nfs_workload(SplitMix64(5), num_requests=8)
+        schedule = [0] * 8
+        schedule[3] = 6_800_000
+        obs = Observability()
+        outcome = round_trip(program, None, workload=workload,
+                             covert_schedule=schedule, obs=obs)
+        assert outcome.play.ledger[Source.COVERT] == 6_800_000
+        assert outcome.replay.ledger.get(Source.COVERT, 0) == 0
+        assert not outcome.audit.is_consistent()
+        flight = outcome.audit.flight
+        assert flight is not None
+        assert flight.source_deltas.get(Source.COVERT) == 6_800_000
+
+    def test_round_trip_shares_tracer_across_tracks(self):
+        obs = Observability()
+        program = compile_app(zero_array_source(elements=512))
+        workload = build_nfs_workload(SplitMix64(2), num_requests=3)
+        round_trip(build_nfs_program(), None, workload=workload, obs=obs)
+        tracks = [e["args"]["name"] for e in obs.tracer.events
+                  if e["ph"] == "M"]
+        assert any(t.startswith("play:") for t in tracks)
+        assert any(t.startswith("replay:") for t in tracks)
+        names = {e["name"] for e in obs.tracer.events}
+        assert {"machine.run", "vm.execute", "event.packet"} <= names
+
+    def test_opcode_histogram_on_result(self):
+        obs = Observability()
+        program = compile_app(zero_array_source(elements=512))
+        result = play(program, None, seed=0, obs=obs)
+        assert result.opcodes
+        assert sum(result.opcodes.values()) > 0
+
+    def test_metrics_recorded_per_run(self):
+        obs = Observability()
+        program = compile_app(zero_array_source(elements=512))
+        play(program, None, seed=0, obs=obs)
+        snap = obs.registry.collect()
+        assert snap["tdr_runs_total"] == 1
+        assert snap["tdr_runs_play_total"] == 1
+        assert snap["tdr_run_cycles_count"] == 1
+
+    def test_obs_disabled_result_has_no_artifacts(self):
+        program = compile_app(zero_array_source(elements=512))
+        result = play(program, None, seed=0)
+        assert result.ledger is None
+        assert result.opcodes is None

@@ -1,0 +1,121 @@
+"""Determinism guards: observability must never perturb the observed.
+
+Every collector in ``repro.obs`` is a pure observer — enabling the
+ledger, the tracer, opcode sampling, and metrics must leave the
+simulation's cycle counts, transmissions, and audit verdicts
+*bit-identical* to an uninstrumented run.  These tests pin that
+invariant, plus the exactness of the clock's rational cycle→ns
+conversion.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import build_nfs_program, build_nfs_workload, compile_app, \
+    zero_array_source
+from repro.core.tdr import play, round_trip
+from repro.determinism import SplitMix64
+from repro.hw.clock import VirtualClock
+from repro.machine.noise import scenario_config
+from repro.obs import CycleLedger, Observability
+
+
+def _nfs_round_trip(obs):
+    program = build_nfs_program()
+    workload = build_nfs_workload(SplitMix64(11), num_requests=6)
+    return round_trip(program, None, workload=workload, obs=obs)
+
+
+class TestObservabilityIsInert:
+    def test_round_trip_bit_identical_with_obs(self):
+        bare = _nfs_round_trip(obs=None)
+        observed = _nfs_round_trip(obs=Observability())
+        assert observed.play.total_cycles == bare.play.total_cycles
+        assert observed.replay.total_cycles == bare.replay.total_cycles
+        assert observed.play.tx == bare.play.tx
+        assert observed.replay.tx == bare.replay.tx
+        assert observed.audit.payloads_match == bare.audit.payloads_match
+        assert observed.audit.max_rel_ipd_diff \
+            == bare.audit.max_rel_ipd_diff
+        assert observed.audit.is_consistent() == bare.audit.is_consistent()
+
+    def test_noisy_play_bit_identical_with_obs(self):
+        # The attributed mem_access path splits one advance into
+        # cache/bus parts; the parts must sum to the unattributed charge.
+        program = compile_app(zero_array_source(elements=8192))
+        for scenario in ("user-noisy", "dirty", "sanity"):
+            config = scenario_config(scenario)
+            bare = play(program, config, seed=3)
+            observed = play(program, config, seed=3, obs=Observability())
+            assert observed.total_cycles == bare.total_cycles, scenario
+            assert observed.tx == bare.tx, scenario
+
+    def test_each_collector_alone_is_inert(self):
+        program = compile_app(zero_array_source(elements=2048))
+        baseline = play(program, None, seed=1).total_cycles
+        for kwargs in ({"ledger": False}, {"sample_opcodes": False},
+                       {"trace": False}):
+            obs = Observability(**kwargs)
+            assert play(program, None, seed=1,
+                        obs=obs).total_cycles == baseline, kwargs
+
+    def test_ledger_attach_detach_mid_run_keeps_clock(self):
+        clock = VirtualClock(frequency_hz=1000)
+        clock.advance(5, "cache")
+        ledger = CycleLedger()
+        clock.attach_ledger(ledger)
+        clock.advance(7, "bus")
+        clock.detach_ledger()
+        clock.advance(11)
+        assert clock.cycles == 23
+        assert ledger.totals() == {"bus": 7}
+
+
+class TestClockExactness:
+    def test_three_hz_is_exact(self):
+        # The motivating case: 1/3 is not a binary float, so a
+        # precomputed ns-per-cycle factor drifts.  Rational arithmetic
+        # does not: 3 cycles at 3 Hz is exactly one second.
+        clock = VirtualClock(frequency_hz=3)
+        clock.advance(3)
+        assert clock.now_ns() == 1_000_000_000.0
+        assert clock.now_ns_exact() == Fraction(1_000_000_000)
+        clock.advance(3 * 10**12 - 3)
+        assert clock.now_ns_exact() == Fraction(10**21)
+        assert clock.now_ns() == 1e21
+
+    def test_no_drift_over_long_runs(self):
+        clock = VirtualClock(frequency_hz=3.4e9)
+        clock.advance(34 * 10**14)  # 10^6 seconds of virtual time
+        assert clock.now_ns_exact() == Fraction(10**15)
+        assert clock.now_ms() == 1e9
+
+    def test_cycles_are_strictly_int(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        assert type(clock.cycles) is int
+        with pytest.raises(TypeError):
+            clock.advance(1.5)  # float cycles would reintroduce drift
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_cycles_for_ns_roundtrip(self):
+        clock = VirtualClock(frequency_hz=3.4e9)
+        for cycles in (1, 17, 3_400_000_000, 123_456_789_123):
+            ns = Fraction(cycles) * clock._ns_num / clock._ns_den
+            assert clock.cycles_for_ns(float(ns)) \
+                == round(Fraction(float(ns)) * clock._ns_den
+                         / clock._ns_num)
+        assert clock.cycles_for_ns(0) == 0
+        assert clock.cycles_for_ns(-5) == 0
+        assert clock.cycles_for_ms(1) == 3_400_000
+
+    def test_reset_clears_clock_and_ledger(self):
+        clock = VirtualClock()
+        ledger = CycleLedger()
+        clock.attach_ledger(ledger)
+        clock.advance(9, "gc")
+        clock.reset()
+        assert clock.cycles == 0
+        assert ledger.total == 0

@@ -33,7 +33,8 @@ class TestReproduceCli:
 
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
-                                    "fig7", "sec65", "fig8", "chaos"}
+                                    "fig7", "sec65", "fig8", "chaos",
+                                    "trace"}
 
     def test_chaos_quick(self, capsys):
         assert main(["chaos", "--requests", "4", "--severities", "1",
@@ -42,3 +43,31 @@ class TestReproduceCli:
         assert "Chaos matrix" in out
         assert "tamper-detected" in out
         assert "transfer drop=0.9" in out
+
+    @pytest.mark.parametrize("experiment,needle", [
+        ("fig3", "naive replay"),
+        ("table2", "SciMark"),
+        ("fig6", "timing stability"),
+        ("fig7", "replay accuracy"),
+        ("fig8", "AUC"),
+    ])
+    def test_each_experiment_smokes(self, capsys, experiment, needle):
+        assert main([experiment, "--runs", "2", "--requests", "3"]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_trace_quick(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--requests", "3",
+                     "--trace-out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "accounting exact" in out
+        assert "Table 1: fully mitigated" in out
+        assert "sampled opcode profile" in out
+        assert out_file.exists()
+        import json
+        trace = json.loads(out_file.read_text())
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert {"B", "E"} <= phases       # balanced spans present
+        assert all("ts" in e or e["ph"] == "M" for e in events)
