@@ -9,39 +9,50 @@ magnitude or more, to the point where all execution times are within
 Reproduced shape: per kernel, variance(dirty) >> variance(clean) >>
 variance(sanity), with roughly an order of magnitude per step and Sanity
 in the sub-percent range.
+
+The 120 machine runs (3 scenarios x 5 kernels x 8 seeds) are dispatched
+through the experiment fleet: every run is fully described by its
+(kernel, config, seed) spec, so parallel execution is bit-identical to
+the old serial loop and only changes wall-clock time.
 """
 
 from __future__ import annotations
 
 from conftest import print_banner
 
+from repro.analysis.parallel import MachineSpec, run_fleet
 from repro.analysis.stats import spread_percent
-from repro.core.tdr import play
 from repro.machine.noise import scenario_config
 
 KERNELS = ("sor", "smm", "mc", "lu", "fft")
 RUNS = 8
+SCENARIOS = ("dirty", "clean", "sanity")
 
 PAPER_DIRTY = {"sor": 79.0, "smm": 15.3, "mc": 51.0, "lu": 15.08,
                "fft": 44.0}
 
 
-def run_fig6(scimark_programs):
-    spreads: dict[str, dict[str, float]] = {}
-    for scenario in ("dirty", "clean", "sanity"):
+def run_fig6(jobs=None):
+    specs, keys = [], []
+    for scenario in SCENARIOS:
         config = scenario_config(scenario)
-        spreads[scenario] = {}
         for name in KERNELS:
-            times = [float(play(scimark_programs[name], config,
-                                seed=seed).total_cycles)
-                     for seed in range(RUNS)]
-            spreads[scenario][name] = spread_percent(times)
-    return spreads
+            for seed in range(RUNS):
+                specs.append(MachineSpec(program=f"kernel:{name}",
+                                         config=config, seed=seed))
+                keys.append((scenario, name))
+    results = run_fleet(specs, jobs=jobs)
+
+    times: dict[tuple[str, str], list[float]] = {}
+    for key, res in zip(keys, results):
+        times.setdefault(key, []).append(float(res.total_cycles))
+    return {scenario: {name: spread_percent(times[(scenario, name)])
+                       for name in KERNELS}
+            for scenario in SCENARIOS}
 
 
-def test_fig6_stability(benchmark, scimark_programs):
-    spreads = benchmark.pedantic(run_fig6, args=(scimark_programs,),
-                                 rounds=1, iterations=1)
+def test_fig6_stability(benchmark):
+    spreads = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
 
     print_banner(f"Figure 6 — SciMark timing variance, {RUNS} runs "
                  "(paper dirty values in parentheses)")

@@ -25,6 +25,7 @@ from conftest import print_banner
 
 from repro.analysis.experiment import (NfsTrafficModel, run_detector_matrix,
                                        vm_covert_schedule)
+from repro.analysis.parallel import _compiled, run_fleet
 from repro.analysis.plot import ascii_scatter
 from repro.detectors.roc import roc_from_scores
 from repro.analysis.stats import auc_mann_whitney
@@ -72,64 +73,97 @@ def vm_channels():
     }
 
 
-def run_statistical_matrix():
+def run_statistical_matrix(jobs=None):
     channels = [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]
     cells = run_detector_matrix(channels, all_statistical_detectors,
                                 model=NfsTrafficModel(),
                                 num_training=30, num_test=25,
-                                packets_per_trace=120, seed=2014)
+                                packets_per_trace=120, seed=2014,
+                                jobs=jobs)
     aucs = {(c.channel, c.detector): c.auc for c in cells}
     needle_rocs = {c.detector: c.roc.points for c in cells
                    if c.channel == "needle"}
     return aucs, needle_rocs
 
 
-def run_sanity_detector(nfs_program):
-    """End-to-end TDR detection on the simulated machine."""
+def _vm_deviation(task):
+    """Fleet worker: one TDR deviation measurement (play + clean replay).
+
+    Top-level so worker processes can resolve it by reference; the guest
+    program is rebuilt per process via the symbolic ``"nfs"`` spec.
+    """
+    seed, schedule = task
+    program = _compiled("nfs")
     config = MachineConfig()
+    workload = build_nfs_workload(SplitMix64(7000 + seed),
+                                  num_requests=VM_REQUESTS)
+    observed = play(program, config, workload=workload, seed=seed,
+                    covert_schedule=list(schedule) if schedule else None)
+    reference = replay(program, observed.log, config, seed=30_000 + seed)
+    report = compare_traces(observed, reference)
+    assert report.payloads_match
+    return report.deviation_score()
 
-    def deviation(seed, covert_schedule=None):
-        workload = build_nfs_workload(SplitMix64(7000 + seed),
-                                      num_requests=VM_REQUESTS)
-        observed = play(nfs_program, config, workload=workload, seed=seed,
-                        covert_schedule=covert_schedule)
-        reference = replay(nfs_program, observed.log, config,
-                           seed=30_000 + seed)
-        report = compare_traces(observed, reference)
-        assert report.payloads_match
-        return report.deviation_score()
 
-    legit_scores = [deviation(seed) for seed in range(VM_LEGIT_TRACES)]
+def _vm_calib_ipds(seed):
+    """Fleet worker: the adversary's calibration pass (clean-host IPDs)."""
+    program = _compiled("nfs")
+    workload = build_nfs_workload(SplitMix64(7000 + seed),
+                                  num_requests=VM_REQUESTS)
+    return play(program, MachineConfig(), workload=workload,
+                seed=seed).ipds_ms()
 
-    aucs = {}
-    scores_by_channel = {}
-    for name, channel in vm_channels().items():
-        covert_scores = []
-        for i in range(VM_TRACES_PER_CHANNEL):
-            seed = 100 * (CHANNEL_ORDER.index(name) + 1) + i
-            # Calibration pass: the adversary profiles the clean host.
-            calib_workload = build_nfs_workload(SplitMix64(7000 + seed),
-                                                num_requests=VM_REQUESTS)
-            calib = play(nfs_program, config, workload=calib_workload,
-                         seed=seed)
-            natural = calib.ipds_ms()
+
+def run_sanity_detector(jobs=None):
+    """End-to-end TDR detection on the simulated machine.
+
+    Three fleet waves: legitimate deviations, the adversary's calibration
+    plays, then covert deviations (which depend on the calibrations via
+    the fitted channel schedules).  Schedules are fitted in the parent in
+    the original serial loop order, so every machine run sees exactly the
+    seeds and schedules of the old serial implementation.
+    """
+    config = MachineConfig()
+    _compiled("nfs")  # warm the parent cache; forked workers share it
+
+    legit_tasks = [(seed, None) for seed in range(VM_LEGIT_TRACES)]
+    legit_scores = run_fleet(legit_tasks, jobs=jobs, worker=_vm_deviation)
+
+    channels = vm_channels()
+    calib_seeds = [100 * (CHANNEL_ORDER.index(name) + 1) + i
+                   for name in channels
+                   for i in range(VM_TRACES_PER_CHANNEL)]
+    naturals = run_fleet(calib_seeds, jobs=jobs, worker=_vm_calib_ipds)
+
+    covert_tasks = []
+    idx = 0
+    for name, channel in channels.items():
+        for _ in range(VM_TRACES_PER_CHANNEL):
+            seed, natural = calib_seeds[idx], naturals[idx]
+            idx += 1
             rng = SplitMix64(555 + seed)
             channel.fit(natural * 4, rng)
             bits = random_bits(max(1, channel.bits_needed(len(natural))),
                                rng)
             schedule = vm_covert_schedule(channel, natural, bits, rng,
                                           config.frequency_hz)
-            covert_scores.append(deviation(seed, covert_schedule=schedule))
+            covert_tasks.append((seed, tuple(schedule)))
+    covert_all = run_fleet(covert_tasks, jobs=jobs, worker=_vm_deviation)
+
+    aucs = {}
+    scores_by_channel = {}
+    for pos, name in enumerate(channels):
+        covert_scores = covert_all[pos * VM_TRACES_PER_CHANNEL:
+                                   (pos + 1) * VM_TRACES_PER_CHANNEL]
         aucs[name] = auc_mann_whitney(covert_scores, legit_scores)
         scores_by_channel[name] = covert_scores
     return aucs, legit_scores, scores_by_channel
 
 
-def test_fig8_roc(benchmark, nfs_program):
+def test_fig8_roc(benchmark):
     def run_all():
         statistical, needle_rocs = run_statistical_matrix()
-        sanity_aucs, legit_scores, covert_scores = \
-            run_sanity_detector(nfs_program)
+        sanity_aucs, legit_scores, covert_scores = run_sanity_detector()
         return (statistical, needle_rocs, sanity_aucs, legit_scores,
                 covert_scores)
 

@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from conftest import print_banner
 
+from repro.analysis.parallel import MachineSpec, run_fleet
 from repro.analysis.stats import spread_percent
-from repro.apps import compile_app, zero_array_source
-from repro.core.tdr import play
 from repro.machine import MachineConfig
 from repro.machine.config import StorageKind
 
@@ -66,21 +65,23 @@ void main() {
 """
 
 
-def run_table1():
-    from repro.apps import compile_app
+def run_table1(jobs=None):
+    # All 64 runs (8 configs x 8 seeds) go through the fleet; workers
+    # compile the guest from its source spec, so only (config, seed)
+    # crosses the process boundary.
+    configs = [MachineConfig(name="sanity-baseline")]
+    configs += [MachineConfig(name=f"ablate:{label}", **overrides)
+                for label, overrides in ABLATIONS]
+    specs = [MachineSpec(program=f"src:{GUEST}", config=config, seed=seed)
+             for config in configs for seed in range(RUNS)]
+    results = iter(run_fleet(specs, jobs=jobs))
 
-    program = compile_app(GUEST)
-
-    def spread_for(config):
-        times = [float(play(program, config, seed=seed).total_cycles)
-                 for seed in range(RUNS)]
-        return spread_percent(times)
-
-    baseline = spread_for(MachineConfig(name="sanity-baseline"))
-    rows = []
-    for label, overrides in ABLATIONS:
-        config = MachineConfig(name=f"ablate:{label}", **overrides)
-        rows.append((label, spread_for(config)))
+    spreads = [spread_percent([float(next(results).total_cycles)
+                               for _ in range(RUNS)])
+               for _ in configs]
+    baseline = spreads[0]
+    rows = [(label, spread)
+            for (label, _), spread in zip(ABLATIONS, spreads[1:])]
     return baseline, rows
 
 

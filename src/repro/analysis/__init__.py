@@ -1,5 +1,7 @@
 """Statistics and experiment helpers used by the detectors and benches."""
 
+from repro.analysis.parallel import (MachineSpec, default_jobs, execute_spec,
+                                     run_fleet)
 from repro.analysis.stats import (auc_mann_whitney, cdf_points, correlation,
                                   entropy_bits, equiprobable_bin_edges,
                                   ks_distance, mean, percentile, quantize,
@@ -7,7 +9,11 @@ from repro.analysis.stats import (auc_mann_whitney, cdf_points, correlation,
                                   variance)
 
 __all__ = [
+    "MachineSpec",
     "auc_mann_whitney",
+    "default_jobs",
+    "execute_spec",
+    "run_fleet",
     "cdf_points",
     "correlation",
     "entropy_bits",

@@ -145,19 +145,42 @@ class MatrixCell:
         return self.roc.auc
 
 
+def _matrix_channel_worker(task) -> list[MatrixCell]:
+    """One channel's full detector row (top-level: fleet workers pickle it).
+
+    The per-channel RNG is forked by the parent in the serial loop order,
+    so the traces each worker generates are bit-identical to the serial
+    path regardless of scheduling.
+    """
+    (channel, detectors_factory, model, num_test, packets_per_trace,
+     rng, training, held_out_legit) = task
+    covert = generate_covert_traces(channel, model, num_test,
+                                    packets_per_trace, rng)
+    return [MatrixCell(channel.name, detector.name,
+                       evaluate_detector(detector, training, covert,
+                                         held_out_legit))
+            for detector in detectors_factory()]
+
+
 def run_detector_matrix(channels: list[CovertChannel],
                         detectors_factory,
                         model: NfsTrafficModel | None = None,
                         num_training: int = 30,
                         num_test: int = 25,
                         packets_per_trace: int = 120,
-                        seed: int = 2014) -> list[MatrixCell]:
+                        seed: int = 2014,
+                        jobs: int | None = 1) -> list[MatrixCell]:
     """Evaluate every detector against every channel (Fig 8's grid).
 
     ``detectors_factory`` is a zero-argument callable returning fresh
     :class:`Detector` instances — each (channel, detector) cell trains
-    from scratch so cells stay independent.
+    from scratch so cells stay independent.  ``jobs`` parallelizes over
+    channels through :func:`repro.analysis.parallel.run_fleet`; results
+    are independent of the worker count because every channel derives its
+    RNG from its own named fork of the root seed.
     """
+    from repro.analysis.parallel import run_fleet
+
     model = model or NfsTrafficModel()
     root = SplitMix64(seed)
     training = generate_legit_traces(model, num_training, packets_per_trace,
@@ -165,16 +188,13 @@ def run_detector_matrix(channels: list[CovertChannel],
     held_out_legit = generate_legit_traces(model, num_test,
                                            packets_per_trace,
                                            root.fork("held-out"))
-    cells: list[MatrixCell] = []
-    for channel in channels:
-        covert = generate_covert_traces(channel, model, num_test,
-                                        packets_per_trace,
-                                        root.fork(f"chan-{channel.name}"))
-        for detector in detectors_factory():
-            roc = evaluate_detector(detector, training, covert,
-                                    held_out_legit)
-            cells.append(MatrixCell(channel.name, detector.name, roc))
-    return cells
+    # Fork every channel's RNG up front, in the serial loop order, so the
+    # root RNG state evolution matches the serial path exactly.
+    tasks = [(channel, detectors_factory, model, num_test, packets_per_trace,
+              root.fork(f"chan-{channel.name}"), training, held_out_legit)
+             for channel in channels]
+    rows = run_fleet(tasks, jobs=jobs, worker=_matrix_channel_worker)
+    return [cell for row in rows for cell in row]
 
 
 def matrix_as_table(cells: list[MatrixCell]) -> str:

@@ -1,0 +1,128 @@
+"""Content-addressed memoization of clean-reference replays.
+
+Time-deterministic replay is a pure function: the result is fully
+determined by (program, recorded log, machine config, replay seed,
+instruction budget).  Pipelines exploit the purity — detector trials
+score many observations against the same clean reference, and the
+resilient audit path re-replays the same baseline log while classifying
+damaged variants — but until now each of those re-executions paid the
+full simulation cost.
+
+:class:`ReplayCache` keys a bounded LRU map by a content address:
+
+* the SHA-256 of the serialized event log (``EventLog.to_bytes``),
+* a fingerprint of the machine configuration (its dataclass repr —
+  stable, covers every timing knob),
+* a fingerprint of the program (pickled once per program object),
+* the replay seed and instruction budget, and
+* whether observability was attached (an observed run carries ledger and
+  opcode snapshots a bare run does not).
+
+Because replay is deterministic, a hit returns a result bit-identical to
+what re-execution would produce; the cache can therefore never change a
+verdict, only skip work.  Hits hand out a deep copy so callers that
+mutate their result (annotating stats, say) cannot poison later hits.
+
+Hit/miss counts land on the metrics registry as
+``tdr_replay_cache_hits_total`` / ``tdr_replay_cache_misses_total``,
+with ``tdr_replay_cache_entries`` tracking occupancy.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import pickle
+from collections import OrderedDict
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import ExecutionResult
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["ReplayCache"]
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ReplayCache:
+    """Bounded LRU cache of replay results, keyed by content.
+
+    One instance per pipeline run is the intended scope (the CLI and the
+    benches create one and thread it through); sharing across configs is
+    safe because the config fingerprint is part of the key.
+    """
+
+    def __init__(self, maxsize: int = 128,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, ExecutionResult] = OrderedDict()
+        self._program_fps: dict[int, tuple[object, str]] = {}
+        self.hits = 0
+        self.misses = 0
+        registry = registry if registry is not None else get_registry()
+        self._hits_metric = registry.counter(
+            "tdr_replay_cache_hits_total",
+            help="replay executions skipped via the memoization cache")
+        self._misses_metric = registry.counter(
+            "tdr_replay_cache_misses_total",
+            help="replay executions that had to run the simulator")
+        self._size_metric = registry.gauge(
+            "tdr_replay_cache_entries",
+            help="entries currently held by the replay cache")
+
+    def _program_fp(self, program) -> str:
+        # Pickling the program per replay call would eat the saving; memo
+        # by object identity, holding a strong ref so the id stays valid.
+        key = id(program)
+        memo = self._program_fps.get(key)
+        if memo is not None and memo[0] is program:
+            return memo[1]
+        fp = _digest(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+        self._program_fps[key] = (program, fp)
+        return fp
+
+    def _key(self, program, log, config: MachineConfig, seed: int,
+             max_instructions: int | None, observed: bool) -> tuple:
+        return (self._program_fp(program),
+                _digest(repr(config).encode()),
+                _digest(log.to_bytes()),
+                seed, max_instructions, observed)
+
+    def replay(self, program, log, config: MachineConfig | None = None,
+               seed: int = 1, max_instructions: int | None = 200_000_000,
+               obs=None) -> ExecutionResult:
+        """:func:`repro.core.tdr.replay`, memoized.
+
+        Signature-compatible with the uncached function, so call sites
+        swap ``replay(...)`` for ``cache.replay(...)``.
+        """
+        from repro.core.tdr import replay as tdr_replay
+
+        config = config or MachineConfig()
+        key = self._key(program, log, config, seed, max_instructions,
+                        obs is not None)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._hits_metric.inc()
+            return copy.deepcopy(cached)
+        self.misses += 1
+        self._misses_metric.inc()
+        result = tdr_replay(program, log, config, seed=seed,
+                            max_instructions=max_instructions, obs=obs)
+        self._entries[key] = copy.deepcopy(result)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self._size_metric.set(len(self._entries))
+        return result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._program_fps.clear()
+        self._size_metric.set(0)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -135,7 +135,7 @@ def audit_resilient(program: Program, observed: ExecutionResult,
                     checkpoint: MachineCheckpoint | None = None,
                     replay_seed: int = 1,
                     max_instructions: int | None = 200_000_000,
-                    obs=None) -> AuditOutcome:
+                    obs=None, replay_cache=None) -> AuditOutcome:
     """Audit ``observed`` against a possibly damaged serialized log.
 
     ``log_bytes`` is the log as received (defaults to
@@ -143,7 +143,10 @@ def audit_resilient(program: Program, observed: ExecutionResult,
     ``authenticator`` + ``signing_key`` to check the PeerReview-style
     chain of :mod:`repro.core.attestation`, and a ``checkpoint`` from
     :func:`repro.core.segments.play_with_checkpoint` to let the salvage
-    replay resume mid-log instead of re-executing from the start.
+    replay resume mid-log instead of re-executing from the start.  A
+    :class:`~repro.core.replay_cache.ReplayCache` as ``replay_cache``
+    memoizes the clean-path reference replay, so repeated audits of the
+    same (or an identically surviving) log skip straight to comparison.
 
     Never raises: every failure mode becomes an :class:`AuditOutcome`.
     """
@@ -155,7 +158,7 @@ def audit_resilient(program: Program, observed: ExecutionResult,
                                    checkpoint=checkpoint,
                                    replay_seed=replay_seed,
                                    max_instructions=max_instructions,
-                                   obs=obs)
+                                   obs=obs, replay_cache=replay_cache)
     except Exception as exc:  # the never-raise guarantee is the contract
         failure = exc if isinstance(exc, ReproError) else None
         outcome = _outcome(
@@ -187,7 +190,8 @@ def audit_resilient(program: Program, observed: ExecutionResult,
 
 def _audit_resilient(program, observed, log_bytes, *, config, transfer,
                      authenticator, signing_key, checkpoint, replay_seed,
-                     max_instructions, obs=None) -> AuditOutcome:
+                     max_instructions, obs=None,
+                     replay_cache=None) -> AuditOutcome:
     config = config or MachineConfig()
     if log_bytes is None and transfer is not None:
         log_bytes = transfer.data
@@ -216,9 +220,11 @@ def _audit_resilient(program, observed, log_bytes, *, config, transfer,
     if parse.complete and not transfer_failed:
         flight = None
         try:
-            replayed = replay(program, parse.log, config,
-                              seed=replay_seed,
-                              max_instructions=max_instructions, obs=obs)
+            replay_fn = (replay_cache.replay if replay_cache is not None
+                         else replay)
+            replayed = replay_fn(program, parse.log, config,
+                                 seed=replay_seed,
+                                 max_instructions=max_instructions, obs=obs)
             report = compare_traces(observed, replayed)
             if report.payloads_match:
                 return _outcome(

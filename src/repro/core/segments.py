@@ -80,6 +80,7 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
 
     # Run up to the checkpoint, snapshot, then finish.
     vm.run(max_instructions=at_instr)
+    machine.platform.flush_charges()   # the snapshot reads the clock
     if vm.instruction_count < at_instr:
         if tracer is not None:
             tracer.end("segments.play_with_checkpoint")
@@ -100,6 +101,7 @@ def play_with_checkpoint(program: Program, config: MachineConfig,
     remaining = (None if max_instructions is None
                  else max_instructions - at_instr)
     vm.run(max_instructions=remaining)
+    machine.platform.flush_charges()
     if tracer is not None:
         tracer.end("segments.play_with_checkpoint",
                    total_cycles=machine.clock.cycles)
@@ -155,7 +157,9 @@ def _replay_from(program: Program, log: EventLog,
     diverged: ReplayDivergenceError | None = None
     try:
         vm.run(max_instructions=max_instructions)
+        machine.platform.flush_charges()
     except ReplayDivergenceError as exc:
+        machine.platform.flush_charges()
         if not tolerate_divergence:
             if tracer is not None:
                 tracer.end("segments.replay")

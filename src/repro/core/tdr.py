@@ -76,14 +76,17 @@ def round_trip(program: Program, config: MachineConfig | None = None,
                covert_schedule: list[int] | None = None,
                replay_config: MachineConfig | None = None,
                max_instructions: int | None = 200_000_000,
-               obs=None) -> TdrResult:
+               obs=None, replay_cache=None) -> TdrResult:
     """Play, replay, and audit in one call.
 
     ``replay_config`` defaults to ``config`` (same machine type T); pass a
     different type to model the Alice/Bob machine-substitution scenario.
     ``covert_schedule`` installs the channel encoder's delay schedule on
     the play machine only — the audit replay runs clean, which is exactly
-    what makes the channel detectable (§5.3).
+    what makes the channel detectable (§5.3).  Pass a
+    :class:`~repro.core.replay_cache.ReplayCache` as ``replay_cache`` to
+    memoize the reference replay across round trips that share a log —
+    replay is deterministic, so a hit is bit-identical to re-execution.
     """
     play_result = play(program, config, workload, seed=play_seed,
                        covert_enabled=covert_enabled,
@@ -95,8 +98,9 @@ def round_trip(program: Program, config: MachineConfig | None = None,
             f"config={play_result.config_name!r}, "
             f"seed={play_result.seed}, "
             f"instructions={play_result.instructions})")
-    replay_result = replay(program, play_result.log,
-                           replay_config or config, seed=replay_seed,
-                           max_instructions=max_instructions, obs=obs)
+    replay_fn = replay_cache.replay if replay_cache is not None else replay
+    replay_result = replay_fn(program, play_result.log,
+                              replay_config or config, seed=replay_seed,
+                              max_instructions=max_instructions, obs=obs)
     report = compare_traces(play_result, replay_result)
     return TdrResult(play_result, replay_result, report)

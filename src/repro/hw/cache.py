@@ -82,10 +82,13 @@ class Cache:
         self._line_shift = config.line_bytes.bit_length() - 1
         if (1 << self._line_shift) != config.line_bytes:
             raise HardwareConfigError("line size must be a power of two")
-        # Each set is an ordered list of tags: index 0 is the next victim.
-        # For LRU the list is maintained in recency order (MRU last); for
-        # FIFO, in insertion order.  For RANDOM the victim is drawn from rng.
-        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        # Each set is an insertion-ordered dict of tags: the first key is
+        # the next victim.  For LRU the order is recency (MRU last, via
+        # delete+reinsert on hit); for FIFO, insertion order.  For RANDOM
+        # the victim is drawn from rng.  A dict makes the LRU move O(1)
+        # where a list's remove() is a scan — this is the hottest
+        # structure in the simulator.
+        self._sets: list[dict[int, bool]] = [{} for _ in range(self._num_sets)]
         # Dirty lines awaiting writeback, as (set index, tag) pairs.  The
         # guest's own traffic is modelled write-through (symmetric for
         # play and replay), but *polluted* lines — interrupt handlers,
@@ -114,24 +117,35 @@ class Cache:
         if tag in ways:
             self.hits += 1
             if self.config.policy is ReplacementPolicy.LRU:
-                ways.remove(tag)
-                ways.append(tag)
+                del ways[tag]
+                ways[tag] = True
             return True
+        self.fill(set_idx, tag)
+        return False
+
+    def fill(self, set_idx: int, tag: int) -> None:
+        """Miss bookkeeping: count it, evict a victim, insert the line.
+
+        Split out of :meth:`access` so fused fast paths that inline the
+        hit check (see ``TimedCorePlatform``) share the exact miss-side
+        behaviour — including dirty-victim writeback accounting.
+        """
         self.misses += 1
+        ways = self._sets[set_idx]
         if len(ways) >= self.config.ways:
             if self.config.policy is ReplacementPolicy.RANDOM:
                 victim_index = self._rng.randint(0, len(ways) - 1)
-                victim = ways.pop(victim_index)
+                victim = list(ways)[victim_index]
             else:
-                victim = ways.pop(0)
+                victim = next(iter(ways))
+            del ways[victim]
             if self._dirty:
                 key = (set_idx, victim)
                 if key in self._dirty:
                     self._dirty.discard(key)
                     self.writebacks += 1
                     self._pending_writeback += self.config.writeback_cycles
-        ways.append(tag)
-        return False
+        ways[tag] = True
 
     def take_writeback_cost(self) -> int:
         """Collect (and clear) the pending dirty-eviction cost."""
@@ -170,9 +184,10 @@ class Cache:
             if tag in ways:
                 continue
             if len(ways) >= self.config.ways:
-                victim = ways.pop(0)
+                victim = next(iter(ways))
+                del ways[victim]
                 self._dirty.discard((set_idx, victim))
-            ways.append(tag)
+            ways[tag] = True
             self._dirty.add((set_idx, tag))
 
     def randomize(self, rng: SplitMix64, fill_fraction: float = 0.5) -> None:
@@ -221,6 +236,21 @@ class CacheHierarchy:
         """Access physical address; return the cycle cost of the access."""
         if self.l1.access(paddr):
             return self.l1.config.hit_cycles + self.l1.take_writeback_cost()
+        return self._below_l1(paddr)
+
+    def access_after_l1_miss(self, paddr: int, set_idx: int,
+                             tag: int) -> int:
+        """Continue an access whose L1 hit check the caller already did.
+
+        Fused fast paths (``TimedCorePlatform``) inline the L1 hit test;
+        on a miss they delegate here so the miss-side state evolution —
+        L1 fill, L2 lookup, DRAM/bus charging — is shared with
+        :meth:`access` and stays bit-identical.
+        """
+        self.l1.fill(set_idx, tag)
+        return self._below_l1(paddr)
+
+    def _below_l1(self, paddr: int) -> int:
         cost = self.l1.config.hit_cycles + self.l1.take_writeback_cost()
         if self.l2.access(paddr):
             return (cost + self.l2.config.hit_cycles

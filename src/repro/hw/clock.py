@@ -59,6 +59,16 @@ class VirtualClock:
         """The attached cycle-attribution ledger, if any."""
         return self._ledger
 
+    @property
+    def ns_ratio(self) -> tuple[int, int]:
+        """Exact ns-per-cycle rational as ``(numerator, denominator)``.
+
+        Consumers that convert cycle stamps outside the clock (e.g.
+        ``ExecutionResult.tx_times_ms``) use this so every conversion is
+        a single correctly rounded division, never a float scale.
+        """
+        return self._ns_num, self._ns_den
+
     def attach_ledger(self, ledger) -> None:
         """Route every subsequent charge through ``ledger.charge``."""
         self._ledger = ledger

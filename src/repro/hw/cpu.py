@@ -138,11 +138,18 @@ class CpuModel:
         self.config = config
         self._rng = noise_rng
         self._costs = config.costs
+        # Dense cost table indexed by CostClass value: a list index is
+        # measurably cheaper than a dict lookup on the per-instruction
+        # path.
+        self._cost_list = [config.costs[c] for c in CostClass]
         self._freq_factor = 1.0
         self._spec_factor = 1.0
         self._combined = 1.0
         self._frac = 0.0              # fractional-cycle carry (Bresenham)
         self._instructions = 0
+        # Countdown to the next noise redraw (replaces a modulo per call;
+        # redraw points stay at exact multiples of speculation_period).
+        self._until_redraw = config.speculation_period
         self._recompute_noise()
 
     def _recompute_noise(self) -> None:
@@ -169,9 +176,11 @@ class CpuModel:
         base costs rather than being rounded away per instruction.
         """
         self._instructions += 1
-        if self._instructions % self.config.speculation_period == 0:
+        self._until_redraw -= 1
+        if self._until_redraw == 0:
+            self._until_redraw = self.config.speculation_period
             self._recompute_noise()
-        base = self._costs[cost_class]
+        base = self._cost_list[cost_class]
         if self._combined == 1.0 and self._frac == 0.0:
             return base
         exact = base * self._combined + self._frac
@@ -188,7 +197,9 @@ class CpuModel:
         interpreted code.
         """
         self._instructions += 1
-        if self._instructions % self.config.speculation_period == 0:
+        self._until_redraw -= 1
+        if self._until_redraw == 0:
+            self._until_redraw = self.config.speculation_period
             self._recompute_noise()
         if self._combined == 1.0:
             return cycles

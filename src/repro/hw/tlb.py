@@ -48,6 +48,14 @@ class Tlb:
             del self._entries[vpn]
             self._entries[vpn] = True
             return 0
+        return self.miss(vpn)
+
+    def miss(self, vpn: int) -> int:
+        """Miss-side handling: count, evict the LRU entry, insert.
+
+        Split out of :meth:`access` so fused fast paths that inline the
+        hit check share the exact miss behaviour.
+        """
         self.misses += 1
         if len(self._entries) >= self.config.entries:
             oldest = next(iter(self._entries))

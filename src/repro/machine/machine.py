@@ -59,9 +59,24 @@ class ExecutionResult:
     ledger: dict[str, int] | None = None
     #: Sampled opcode-name histogram; None without obs.
     opcodes: dict[str, int] | None = None
+    #: Exact ns-per-cycle rational of the producing clock (numerator /
+    #: denominator).  A zero numerator marks a legacy result that must
+    #: fall back to the float ratio.
+    ns_num: int = 0
+    ns_den: int = 1
 
     def tx_times_ms(self) -> list[float]:
-        """Transmission times in milliseconds."""
+        """Transmission times in milliseconds.
+
+        Uses the clock's exact integer/Fraction ns conversion (integer
+        product, one correctly rounded division) rather than a float
+        ``total_ns / total_cycles`` scale, so long runs do not
+        reintroduce the drift the VirtualClock rewrite removed.
+        """
+        if self.ns_num:
+            num = self.ns_num
+            den = self.ns_den * 1_000_000
+            return [cycle * num / den for cycle, _ in self.tx]
         scale = self.total_ns / self.total_cycles if self.total_cycles else 0.0
         return [cycle * scale * 1e-6 for cycle, _ in self.tx]
 
@@ -324,6 +339,7 @@ class Machine:
         if tracer is not None:
             tracer.begin("vm.execute")
         vm.run(max_instructions)
+        self.platform.flush_charges()
         if tracer is not None:
             tracer.end("vm.execute", instructions=vm.instruction_count)
             tracer.end("machine.run", total_cycles=self.clock.cycles)
@@ -352,8 +368,10 @@ class Machine:
         Split out of :meth:`run` so checkpoint/segment replay (which
         drives the interpreter itself) produces identical results.
         """
+        self.platform.flush_charges()
         log = self.session.log if isinstance(self.session, PlaySession) \
             else None
+        ns_num, ns_den = self.clock.ns_ratio
         return ExecutionResult(
             mode=self.mode,
             config_name=self.config.name,
@@ -367,7 +385,8 @@ class Machine:
             stats=self._collect_stats(vm),
             ledger=self.ledger.totals() if self.ledger is not None else None,
             opcodes=(vm.sampler.histogram() if vm.sampler is not None
-                     else None))
+                     else None),
+            ns_num=ns_num, ns_den=ns_den)
 
     def _collect_stats(self, vm: Interpreter) -> dict[str, float]:
         l1, l2 = self.l1, self.l2

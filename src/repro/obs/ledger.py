@@ -12,6 +12,12 @@ the clock's ``cycles``.
 The ledger is an *observer*: it never feeds back into timing, so runs
 with and without a ledger attached are bit-identical in cycle counts
 (the determinism guard tests assert this).
+
+With batched cycle charging (the default — see DESIGN.md §4.2), the
+platform flushes accumulated costs as one ``advance`` per source at each
+poll/event boundary, so the ledger sees *fewer, larger* charge events
+than the ``REPRO_NO_BATCH=1`` reference.  Per-source **sums** — the only
+quantity any experiment or assertion keys on — are exactly unchanged.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ Two properties matter more than features:
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.errors import ObservabilityError
 
@@ -297,3 +298,54 @@ def enable_metrics() -> MetricsRegistry:
     if not _default_registry.enabled:
         set_registry(MetricsRegistry())
     return _default_registry
+
+
+class time_phase:
+    """Record the wall-clock duration of a named pipeline phase.
+
+    ::
+
+        with time_phase("chaos.baseline", registry) as span:
+            baseline = play(...)
+        print(span.seconds)
+
+    The duration lands in a ``phase_<name>_seconds`` histogram on the
+    given (or process-global) registry.  Host wall-clock only — the
+    virtual clock and all simulated state stay untouched, so timing a
+    phase can never perturb its results.
+    """
+
+    __slots__ = ("name", "registry", "seconds", "_t0")
+
+    def __init__(self, name: str,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        self.seconds = 0.0
+
+    def __enter__(self) -> "time_phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        self.registry.histogram(
+            f"phase_{self.name}_seconds",
+            help=f"wall-clock seconds spent in the '{self.name}' phase",
+        ).observe(self.seconds)
+        return False
+
+
+def phase_report(registry: MetricsRegistry | None = None
+                 ) -> list[tuple[str, int, float]]:
+    """``(phase, runs, total_seconds)`` rows for every timed phase."""
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return []
+    rows = []
+    for name, inst in sorted(registry._instruments.items()):
+        if (name.startswith("phase_") and name.endswith("_seconds")
+                and isinstance(inst, Histogram)):
+            rows.append((name[len("phase_"):-len("_seconds")],
+                         inst.count, inst.sum))
+    return rows

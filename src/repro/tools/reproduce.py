@@ -31,6 +31,17 @@ from repro.machine.config import RuntimeKind
 from repro.machine.noise import scenario_config
 from repro.obs import (MITIGATED_SOURCES, Observability,
                        format_attribution_table)
+from repro.obs.metrics import MetricsRegistry, phase_report, time_phase
+
+
+def _print_phase_report(registry) -> None:
+    rows = phase_report(registry)
+    if not rows:
+        return
+    print()
+    print(f"  {'phase':24s} {'runs':>5s} {'wall-clock':>11s}")
+    for name, count, total in rows:
+        print(f"  {name:24s} {count:>5d} {total:>10.2f}s")
 
 
 def _banner(title: str) -> None:
@@ -130,7 +141,8 @@ def run_fig8(args) -> None:
     cells = run_detector_matrix(all_channels(), all_statistical_detectors,
                                 model=NfsTrafficModel(),
                                 num_training=30, num_test=args.runs * 4,
-                                packets_per_trace=120, seed=2014)
+                                packets_per_trace=120, seed=2014,
+                                jobs=args.jobs if args.jobs else 1)
     print(matrix_as_table(cells))
     print("  (run `pytest benchmarks/test_fig8_roc.py` for the VM-based "
           "Sanity-detector column)")
@@ -139,14 +151,18 @@ def run_fig8(args) -> None:
 def run_chaos(args) -> None:
     _banner("Chaos matrix — resilient audit under injected faults")
     from repro.core.attestation import attest_execution
+    from repro.core.replay_cache import ReplayCache
     from repro.core.resilience import audit_resilient
     from repro.faults import LogTransferChannel, standard_fault_kinds
 
+    registry = MetricsRegistry()
+    cache = ReplayCache(registry=registry)
     seed = args.chaos_seed
     program = build_nfs_program()
     workload = build_nfs_workload(SplitMix64(seed),
                                   num_requests=args.requests)
-    observed = play(program, MachineConfig(), workload=workload, seed=0)
+    with time_phase("chaos.baseline-play", registry):
+        observed = play(program, MachineConfig(), workload=workload, seed=0)
     data = observed.log.to_bytes()
     key = b"chaos-machine-key"
     auth = attest_execution(observed.log, key)
@@ -154,30 +170,36 @@ def run_chaos(args) -> None:
           f"entries, {len(data)} bytes (seed {seed})")
     print(f"  {'fault':20s} {'sev':>3s} {'classification':18s} "
           f"{'coverage':>8s} {'consistent':>10s}")
-    for severity in range(1, args.severities + 1):
-        for plan in standard_fault_kinds(severity):
-            damaged = plan.apply(data,
-                                 SplitMix64(seed).fork(
-                                     f"{plan.name}:{severity}"))
-            outcome = audit_resilient(program, observed, damaged,
-                                      authenticator=auth,
-                                      signing_key=key)
-            verdict = ("-" if outcome.consistent is None
-                       else str(outcome.consistent))
-            print(f"  {plan.name:20s} {severity:>3d} "
-                  f"{outcome.classification.value:18s} "
-                  f"{outcome.coverage:>8.2f} {verdict:>10s}")
-    for drop in (0.1, 0.2, 0.6, 0.9):
-        channel = LogTransferChannel(drop_rate=drop, mtu_bytes=512,
-                                     max_retries=6)
-        shipped = channel.transfer(data,
-                                   SplitMix64(seed).fork(f"xfer:{drop}"))
-        outcome = audit_resilient(program, observed, transfer=shipped)
-        print(f"  transfer drop={drop:.1f}: "
-              f"{'delivered' if shipped.delivered else 'degraded':10s} "
-              f"{shipped.retransmissions:3d} retx -> "
-              f"{outcome.classification.value} "
-              f"(coverage {outcome.coverage:.2f})")
+    with time_phase("chaos.fault-sweep", registry):
+        for severity in range(1, args.severities + 1):
+            for plan in standard_fault_kinds(severity):
+                damaged = plan.apply(data,
+                                     SplitMix64(seed).fork(
+                                         f"{plan.name}:{severity}"))
+                outcome = audit_resilient(program, observed, damaged,
+                                          authenticator=auth,
+                                          signing_key=key,
+                                          replay_cache=cache)
+                verdict = ("-" if outcome.consistent is None
+                           else str(outcome.consistent))
+                print(f"  {plan.name:20s} {severity:>3d} "
+                      f"{outcome.classification.value:18s} "
+                      f"{outcome.coverage:>8.2f} {verdict:>10s}")
+    with time_phase("chaos.transfer-sweep", registry):
+        for drop in (0.1, 0.2, 0.6, 0.9):
+            channel = LogTransferChannel(drop_rate=drop, mtu_bytes=512,
+                                         max_retries=6)
+            shipped = channel.transfer(data,
+                                       SplitMix64(seed).fork(f"xfer:{drop}"))
+            outcome = audit_resilient(program, observed, transfer=shipped,
+                                      replay_cache=cache)
+            print(f"  transfer drop={drop:.1f}: "
+                  f"{'delivered' if shipped.delivered else 'degraded':10s} "
+                  f"{shipped.retransmissions:3d} retx -> "
+                  f"{outcome.classification.value} "
+                  f"(coverage {outcome.coverage:.2f})")
+    print(f"\n  replay cache: {cache.hits} hits, {cache.misses} misses")
+    _print_phase_report(registry)
 
 
 def run_trace(args) -> None:
@@ -185,10 +207,12 @@ def run_trace(args) -> None:
     obs = Observability()
     program = build_nfs_program()
     noisy = scenario_config("dirty")
-    outcome = round_trip(program, noisy,
-                         workload=build_nfs_workload(
-                             SplitMix64(77), num_requests=args.requests),
-                         obs=obs)
+    with time_phase("trace.round-trip", obs.registry):
+        outcome = round_trip(program, noisy,
+                             workload=build_nfs_workload(
+                                 SplitMix64(77),
+                                 num_requests=args.requests),
+                             obs=obs)
     print(format_attribution_table(
         outcome.play.ledger, outcome.play.total_cycles,
         title=f"play ({noisy.name}, {outcome.play.total_cycles:,} cycles)"))
@@ -199,10 +223,11 @@ def run_trace(args) -> None:
               f"{outcome.replay.total_cycles:,} cycles)"))
 
     sanity = scenario_config("sanity")
-    clean = play(program, sanity,
-                 workload=build_nfs_workload(SplitMix64(77),
-                                             num_requests=args.requests),
-                 seed=0, obs=obs)
+    with time_phase("trace.clean-play", obs.registry):
+        clean = play(program, sanity,
+                     workload=build_nfs_workload(SplitMix64(77),
+                                                 num_requests=args.requests),
+                     seed=0, obs=obs)
     print()
     print(format_attribution_table(
         clean.ledger, clean.total_cycles,
@@ -223,6 +248,39 @@ def run_trace(args) -> None:
     obs.tracer.write_chrome_trace(args.trace_out)
     print(f"\n  wrote {len(obs.tracer)} trace events to {args.trace_out} "
           f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    _print_phase_report(obs.registry)
+
+
+def run_fleet_exp(args) -> None:
+    _banner("Fleet — parallel experiment execution")
+    from repro.analysis.parallel import (MachineSpec, default_jobs,
+                                         run_fleet)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    config = MachineConfig()
+    specs = [MachineSpec(program="nfs", config=config, seed=seed,
+                         workload=f"nfs:{7000 + seed}:{args.requests}")
+             for seed in range(args.runs)]
+
+    started = time.time()
+    serial = run_fleet(specs, jobs=1)
+    serial_s = time.time() - started
+    started = time.time()
+    parallel = run_fleet(specs, jobs=jobs)
+    parallel_s = time.time() - started
+
+    identical = all(
+        a.total_cycles == b.total_cycles and a.tx == b.tx
+        for a, b in zip(serial, parallel))
+    print(f"  {len(specs)} NFS plays x {args.requests} requests")
+    print(f"  serial (jobs=1):   {serial_s:7.2f}s")
+    print(f"  fleet  (jobs={jobs}):  {parallel_s:7.2f}s  "
+          f"speedup {serial_s / parallel_s:.2f}x on "
+          f"{default_jobs()} CPUs")
+    print(f"  results bit-identical: {identical}")
+    for spec, result in zip(specs[:4], parallel[:4]):
+        print(f"    seed {spec.seed}: {result.total_cycles:,} cycles, "
+              f"{len(result.tx)} tx")
 
 
 EXPERIMENTS = {
@@ -235,6 +293,7 @@ EXPERIMENTS = {
     "fig8": run_fig8,
     "chaos": run_chaos,
     "trace": run_trace,
+    "fleet": run_fleet_exp,
 }
 
 
@@ -248,6 +307,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments")
     parser.add_argument("--runs", type=int, default=6,
                         help="repetitions per configuration (default 6)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for fleet-aware "
+                             "experiments (default: REPRO_JOBS or the "
+                             "CPU count for 'fleet', serial elsewhere)")
     parser.add_argument("--requests", type=int, default=25,
                         help="NFS requests per trace (default 25)")
     parser.add_argument("--chaos-seed", type=int, default=2014,

@@ -36,7 +36,8 @@ from repro.vm.heap import (GuestThrow, Heap, HeapConfig, KIND_FLOAT_ARRAY,
                            KIND_INT_ARRAY)
 from repro.vm.isa import (EXC_DIV_BY_ZERO, EXC_INDEX_OUT_OF_BOUNDS,
                           EXC_STACK_OVERFLOW, EXCEPTION_NAMES,
-                          OPCODE_COST_CLASS, Op, wrap_i64)
+                          OPCODE_COST_CLASS, OPCODE_COST_LIST, Op,
+                          wrap_i64)
 from repro.vm.platform import Platform
 from repro.vm.program import Function, Program
 
@@ -199,7 +200,7 @@ class Interpreter:
         charge = platform.charge
         mem = platform.mem_access
         fetch = platform.fetch_access
-        cost_of = OPCODE_COST_CLASS
+        cost_of = OPCODE_COST_LIST
         sampler = self.sampler
         poll_interval = self.config.poll_interval
         quantum = self.config.thread_quantum
@@ -215,6 +216,12 @@ class Interpreter:
 
         thread = self.threads[self._current_index]
         slice_left = quantum
+        # Instructions until the next platform poll: a countdown beats a
+        # modulo on every instruction.  Poll points stay exactly at
+        # instruction_count % poll_interval == 0; the countdown is
+        # resynced whenever a native mutates the counter (idle polls,
+        # naive-replay wait skipping).
+        until_poll = poll_interval - (self.instruction_count % poll_interval)
 
         while not self.halted:
             if not thread.frames:
@@ -251,7 +258,9 @@ class Interpreter:
             self.instruction_count += 1
             thread.executed += 1
             slice_left -= 1
-            if self.instruction_count % poll_interval == 0:
+            until_poll -= 1
+            if until_poll == 0:
+                until_poll = poll_interval
                 # The opcode sampler piggybacks on the poll stride so its
                 # disabled cost stays off the per-instruction path.
                 if sampler is not None:
@@ -458,6 +467,11 @@ class Interpreter:
                     raise GuestThrow(stack.pop())
                 elif op == Op.NATIVE:
                     platform.native_call(arg, self)
+                    # Natives may advance the instruction counter (idle
+                    # poll iterations, wait skipping) — resync the poll
+                    # countdown to the modulo invariant.
+                    until_poll = poll_interval - (
+                        self.instruction_count % poll_interval)
                 elif op == Op.HALT:
                     self.halted = True
                 elif op == Op.NOP:
@@ -467,6 +481,9 @@ class Interpreter:
                                          pc=pc, function=function.name)
             except GuestThrow as exc:
                 self._dispatch_exception(thread, exc.code)
+                # A native may have advanced the counter before throwing.
+                until_poll = poll_interval - (
+                    self.instruction_count % poll_interval)
             except IndexError:
                 raise VMRuntimeError("operand stack underflow",
                                      pc=pc, function=function.name) from None

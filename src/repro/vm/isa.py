@@ -177,6 +177,11 @@ OPCODE_COST_CLASS: dict[int, CostClass] = {
     Op.HALT: CostClass.CONST,
 }
 
+#: Dense list form of :data:`OPCODE_COST_CLASS` for the interpreter's hot
+#: loop — a list index is cheaper than a dict lookup per instruction.
+OPCODE_COST_LIST: list[CostClass] = [
+    OPCODE_COST_CLASS[Op(i)] for i in range(len(Op))]
+
 #: Guest exception codes raised by the VM itself (host traps).  Guest code
 #: may throw any non-negative code it likes.
 EXC_DIV_BY_ZERO = -1

@@ -1,0 +1,93 @@
+"""The parallel experiment fleet must be invisible in every result.
+
+Every fleet task is rebuilt from seeds inside its worker process, so
+``run_fleet(jobs=N)`` has to produce the exact list a serial loop would:
+same cycles, same transmissions, same ledger totals, same AUCs.  These
+tests pin that down on a small Fig 8-style slice (full NFS machine runs
+plus a statistical detector matrix).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import NfsTrafficModel, run_detector_matrix
+from repro.analysis.parallel import (MachineSpec, _compiled, _workload,
+                                     default_jobs, execute_spec, run_fleet)
+from repro.channels import Ipctc, Trctc
+from repro.detectors import all_statistical_detectors
+from repro.machine import MachineConfig
+
+REQUESTS = 5
+
+
+def _specs(n=4):
+    return [MachineSpec(program="nfs", config=MachineConfig(), seed=seed,
+                        workload=f"nfs:{7000 + seed}:{REQUESTS}")
+            for seed in range(n)]
+
+
+def _ledger_worker(spec):
+    """Top-level worker: one observed play, returning its ledger totals
+    alongside the timing facts (live results never cross the pool)."""
+    from repro.core.tdr import play
+    from repro.obs import Observability
+
+    result = play(_compiled(spec.program), spec.config,
+                  workload=_workload(spec), seed=spec.seed,
+                  obs=Observability())
+    return (result.total_cycles, result.instructions, result.tx,
+            result.ledger)
+
+
+def test_fleet_bit_identical_to_serial():
+    specs = _specs(4)
+    serial = run_fleet(specs, jobs=1)
+    parallel = run_fleet(specs, jobs=4)
+    assert len(parallel) == len(serial) == 4
+    for ser, par in zip(serial, parallel):
+        assert par.total_cycles == ser.total_cycles
+        assert par.instructions == ser.instructions
+        assert par.tx == ser.tx
+        assert par.tx_times_ms() == ser.tx_times_ms()
+
+
+def test_fleet_ledger_totals_match_serial():
+    specs = _specs(3)
+    serial = run_fleet(specs, jobs=1, worker=_ledger_worker)
+    parallel = run_fleet(specs, jobs=3, worker=_ledger_worker)
+    assert parallel == serial
+    assert all(ledger for _, _, _, ledger in parallel)
+
+
+def test_replay_spec_round_trips():
+    played = execute_spec(_specs(1)[0])
+    replay_spec = MachineSpec(program="nfs", config=MachineConfig(),
+                              seed=31, mode="replay",
+                              log_bytes=played.log.to_bytes())
+    direct = execute_spec(replay_spec)
+    via_fleet = run_fleet([replay_spec, replay_spec], jobs=2)
+    for result in via_fleet:
+        assert result.total_cycles == direct.total_cycles
+        assert result.tx == direct.tx
+
+
+def test_detector_matrix_jobs_parity():
+    def matrix(jobs):
+        cells = run_detector_matrix([Ipctc(), Trctc()],
+                                    all_statistical_detectors,
+                                    model=NfsTrafficModel(),
+                                    num_training=8, num_test=6,
+                                    packets_per_trace=40, seed=7,
+                                    jobs=jobs)
+        return [(c.channel, c.detector, c.auc, c.roc.points)
+                for c in cells]
+
+    assert matrix(jobs=2) == matrix(jobs=1)
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert default_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1

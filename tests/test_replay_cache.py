@@ -1,0 +1,144 @@
+"""Replay memoization: hits are bit-identical, keys are content-addressed.
+
+Replay is a pure function of (program, log, config, seed, budget), so a
+cache hit must be indistinguishable from re-execution — and anything
+that could change the result (a different log byte, seed, or config
+knob) must miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (build_nfs_program, build_nfs_workload, compile_app,
+                        zero_array_source)
+from repro.core.replay_cache import ReplayCache
+from repro.core.resilience import audit_resilient
+from repro.core.tdr import play, replay, round_trip
+from repro.determinism import SplitMix64
+from repro.machine import MachineConfig
+from repro.obs.metrics import MetricsRegistry
+
+REQUESTS = 4
+
+
+@pytest.fixture(scope="module")
+def nfs_program():
+    return build_nfs_program()
+
+
+@pytest.fixture(scope="module")
+def zero_program():
+    return compile_app(zero_array_source(512))
+
+
+@pytest.fixture(scope="module")
+def zero_play(zero_program):
+    return play(zero_program, MachineConfig(), seed=2)
+
+
+def test_hit_is_bit_identical(zero_program, zero_play):
+    cache = ReplayCache()
+    first = cache.replay(zero_program, zero_play.log, MachineConfig(),
+                         seed=5)
+    assert (cache.hits, cache.misses) == (0, 1)
+    second = cache.replay(zero_program, zero_play.log, MachineConfig(),
+                          seed=5)
+    assert (cache.hits, cache.misses) == (1, 1)
+    fresh = replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+    for result in (first, second):
+        assert result.total_cycles == fresh.total_cycles
+        assert result.instructions == fresh.instructions
+        assert result.tx == fresh.tx
+
+
+def test_key_sensitivity(zero_program, zero_play, nfs_program):
+    cache = ReplayCache()
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+    # Different seed and different config knob: both miss.
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=6)
+    slow = MachineConfig().with_overrides(frequency_hz=2.0e9)
+    cache.replay(zero_program, zero_play.log, slow, seed=5)
+    assert (cache.hits, cache.misses) == (0, 3)
+    # Different logged inputs (distinct workloads) miss too.
+    for wseed in (7300, 7301):
+        workload = build_nfs_workload(SplitMix64(wseed),
+                                      num_requests=REQUESTS)
+        observed = play(nfs_program, MachineConfig(), workload=workload,
+                        seed=2)
+        cache.replay(nfs_program, observed.log, MachineConfig(), seed=5)
+    assert (cache.hits, cache.misses) == (0, 5)
+    assert len(cache) == 5
+
+
+def test_hits_are_isolated_from_mutation(zero_program, zero_play):
+    cache = ReplayCache()
+    first = cache.replay(zero_program, zero_play.log, MachineConfig(),
+                         seed=5)
+    first.tx.append((10 ** 12, b"poison"))
+    second = cache.replay(zero_program, zero_play.log, MachineConfig(),
+                          seed=5)
+    assert cache.hits == 1
+    assert second.tx != first.tx
+    assert not any(payload == b"poison" for _, payload in second.tx)
+
+
+def test_lru_eviction(zero_program, zero_play):
+    cache = ReplayCache(maxsize=2)
+    for seed in (5, 6, 7):
+        cache.replay(zero_program, zero_play.log, MachineConfig(),
+                     seed=seed)
+    assert len(cache) == 2
+    # seed=5 was least recently used, so it re-misses; seed=7 hits.
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=7)
+    assert cache.hits == 1
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+    assert cache.misses == 4
+
+
+def test_metrics_counters(zero_program, zero_play):
+    registry = MetricsRegistry()
+    cache = ReplayCache(registry=registry)
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+    cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+    snapshot = registry.collect()
+    assert snapshot["tdr_replay_cache_hits_total"] == 1
+    assert snapshot["tdr_replay_cache_misses_total"] == 1
+    assert snapshot["tdr_replay_cache_entries"] == 1
+
+
+def test_round_trip_reuses_reference_replay(nfs_program):
+    program = nfs_program
+    cache = ReplayCache()
+
+    def trip():
+        workload = build_nfs_workload(SplitMix64(7100),
+                                      num_requests=REQUESTS)
+        return round_trip(program, MachineConfig(), workload=workload,
+                          play_seed=2, replay_seed=8, replay_cache=cache)
+
+    first, second = trip(), trip()
+    # Same seeds -> same log -> the second trip's reference replay hits.
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert second.replay.total_cycles == first.replay.total_cycles
+    assert second.audit.deviation_score() == first.audit.deviation_score()
+
+
+def test_audit_resilient_verdict_unchanged_by_cache(nfs_program):
+    program = nfs_program
+    workload = build_nfs_workload(SplitMix64(7200), num_requests=REQUESTS)
+    observed = play(program, MachineConfig(), workload=workload, seed=2)
+    log_bytes = observed.log.to_bytes()
+
+    plain = audit_resilient(program, observed, log_bytes,
+                            config=MachineConfig(), replay_seed=8)
+    cache = ReplayCache()
+    cached = [audit_resilient(program, observed, log_bytes,
+                              config=MachineConfig(), replay_seed=8,
+                              replay_cache=cache)
+              for _ in range(2)]
+    assert cache.hits == 1
+    for outcome in cached:
+        assert outcome.classification == plain.classification
+        assert outcome.consistent == plain.consistent
+        assert outcome.coverage == plain.coverage

@@ -34,7 +34,7 @@ class TestReproduceCli:
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
                                     "fig7", "sec65", "fig8", "chaos",
-                                    "trace"}
+                                    "trace", "fleet"}
 
     def test_chaos_quick(self, capsys):
         assert main(["chaos", "--requests", "4", "--severities", "1",
