@@ -197,6 +197,31 @@ def run_detector_matrix(channels: list[CovertChannel],
     return [cell for row in rows for cell in row]
 
 
+def matrix_to_figures(cells: list[MatrixCell],
+                      focus_channel: str | None = None) -> dict:
+    """The ``fig8`` figure payload for the run store / HTML report.
+
+    Carries the full AUC matrix (every channel × detector cell) plus the
+    complete ROC curves for one *focus* channel — the report's curve
+    chart shows one channel's detectors (≤ one categorical slot each),
+    while the matrix rides along for the data-table twin.  ``focus``
+    defaults to the first channel in cell order.
+    """
+    channels: list[str] = []
+    for cell in cells:
+        if cell.channel not in channels:
+            channels.append(cell.channel)
+    focus = focus_channel or (channels[0] if channels else None)
+    curves = [{"detector": cell.detector, "auc": cell.auc,
+               "points": [[float(fpr), float(tpr)]
+                          for fpr, tpr in cell.roc.points]}
+              for cell in cells if cell.channel == focus]
+    matrix = [{"channel": cell.channel, "detector": cell.detector,
+               "auc": cell.auc} for cell in cells]
+    return {"fig8": {"channel": focus, "curves": curves,
+                     "matrix": matrix}}
+
+
 def matrix_as_table(cells: list[MatrixCell]) -> str:
     """Render the matrix as the bench's text table (AUC per cell)."""
     channels = sorted({c.channel for c in cells})

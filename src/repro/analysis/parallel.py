@@ -32,15 +32,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Callable, Iterable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 from repro.errors import ReplayError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import ExecutionResult
+from repro.obs.snapshot import FleetObservations, ObsSnapshot
 
-__all__ = ["MachineSpec", "default_jobs", "execute_spec", "run_fleet"]
+__all__ = ["MachineSpec", "ObservedExecution", "default_jobs",
+           "execute_spec", "run_fleet", "run_fleet_observed"]
 
 
 def default_jobs() -> int:
@@ -79,6 +81,17 @@ class MachineSpec:
     covert_schedule: tuple[int, ...] | None = None
     log_bytes: bytes | None = None
     max_instructions: int | None = 200_000_000
+    #: Attach a fresh :class:`~repro.obs.Observability` bundle inside the
+    #: worker and return an :class:`ObservedExecution` instead of a bare
+    #: result.  Off by default: unobserved specs pay nothing.
+    observe: bool = False
+
+
+class ObservedExecution(NamedTuple):
+    """A worker's result plus the picklable image of what it observed."""
+
+    result: ExecutionResult
+    snapshot: ObsSnapshot
 
 
 @lru_cache(maxsize=64)
@@ -115,29 +128,42 @@ def _workload(spec: MachineSpec):
     return builder(SplitMix64(int(wseed)), num_requests=int(requests))
 
 
-def execute_spec(spec: MachineSpec) -> ExecutionResult:
+def execute_spec(spec: MachineSpec) -> "ExecutionResult | ObservedExecution":
     """Run one machine described by ``spec`` (the fleet worker).
 
     Top-level by design: worker processes import this module and receive
-    only the picklable spec, never a live machine.
+    only the picklable spec, never a live machine.  With
+    ``spec.observe=True`` the worker attaches a fresh observability
+    bundle and ships its state home as an :class:`ObsSnapshot` — the
+    collectors themselves (registry locks, clock-bound tracers, attached
+    ledgers) never cross the pool.
     """
     from repro.core.log import EventLog
     from repro.core.tdr import play, replay
 
+    obs = None
+    if spec.observe:
+        from repro.obs import Observability
+
+        obs = Observability()
     program = _compiled(spec.program)
     schedule = (list(spec.covert_schedule)
                 if spec.covert_schedule is not None else None)
     if spec.mode == "play":
-        return play(program, spec.config, workload=_workload(spec),
-                    seed=spec.seed, covert_schedule=schedule,
-                    max_instructions=spec.max_instructions)
-    if spec.mode == "replay":
+        result = play(program, spec.config, workload=_workload(spec),
+                      seed=spec.seed, covert_schedule=schedule,
+                      max_instructions=spec.max_instructions, obs=obs)
+    elif spec.mode == "replay":
         if spec.log_bytes is None:
             raise ReplayError("replay spec needs log_bytes")
         log = EventLog.from_bytes(spec.log_bytes)
-        return replay(program, log, spec.config, seed=spec.seed,
-                      max_instructions=spec.max_instructions)
-    raise ReplayError(f"unknown mode '{spec.mode}'")
+        result = replay(program, log, spec.config, seed=spec.seed,
+                        max_instructions=spec.max_instructions, obs=obs)
+    else:
+        raise ReplayError(f"unknown mode '{spec.mode}'")
+    if obs is None:
+        return result
+    return ObservedExecution(result, ObsSnapshot.capture(obs, result))
 
 
 def _pool_context():
@@ -175,3 +201,25 @@ def run_fleet(tasks: Sequence, jobs: int | None = None,
     except (OSError, PermissionError):
         # Sandboxes without process-spawn rights fall back to serial.
         return [worker(task) for task in tasks]
+
+
+def run_fleet_observed(specs: Sequence[MachineSpec], jobs: int | None = None
+                       ) -> tuple[list[ExecutionResult], FleetObservations]:
+    """Fleet execution that keeps the workers' observability.
+
+    Every spec runs with ``observe=True`` (each worker builds its own
+    bundle), and the returned :class:`FleetObservations` merges the
+    per-worker snapshots **in submission order** — so the aggregate
+    ledger totals and metrics counters are bit-identical whatever
+    ``jobs`` is, including the serial ``jobs=1`` path, which uses the
+    same snapshot-and-merge machinery.
+    """
+    observed = [spec if spec.observe else replace(spec, observe=True)
+                for spec in specs]
+    outputs = run_fleet(observed, jobs=jobs)
+    fleet_obs = FleetObservations()
+    results: list[ExecutionResult] = []
+    for output in outputs:
+        results.append(output.result)
+        fleet_obs.absorb(output.snapshot)
+    return results, fleet_obs

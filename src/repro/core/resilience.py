@@ -94,6 +94,8 @@ class AuditOutcome:
     salvaged_packets: int = 0
     #: Flight-recorder capture of the divergence, when one was found.
     flight: DivergenceRecord | None = None
+    #: Run-store id of the persisted outcome, when one was requested.
+    run_id: str | None = None
 
     @property
     def trustworthy(self) -> bool:
@@ -135,7 +137,8 @@ def audit_resilient(program: Program, observed: ExecutionResult,
                     checkpoint: MachineCheckpoint | None = None,
                     replay_seed: int = 1,
                     max_instructions: int | None = 200_000_000,
-                    obs=None, replay_cache=None) -> AuditOutcome:
+                    obs=None, replay_cache=None,
+                    runstore=None, run_label: str = "") -> AuditOutcome:
     """Audit ``observed`` against a possibly damaged serialized log.
 
     ``log_bytes`` is the log as received (defaults to
@@ -147,6 +150,9 @@ def audit_resilient(program: Program, observed: ExecutionResult,
     :class:`~repro.core.replay_cache.ReplayCache` as ``replay_cache``
     memoizes the clean-path reference replay, so repeated audits of the
     same (or an identically surviving) log skip straight to comparison.
+    A :class:`~repro.obs.runstore.RunStore` as ``runstore`` persists the
+    outcome (classification, coverage, flight record, metrics) and sets
+    :attr:`AuditOutcome.run_id`.
 
     Never raises: every failure mode becomes an :class:`AuditOutcome`.
     """
@@ -185,7 +191,41 @@ def audit_resilient(program: Program, observed: ExecutionResult,
                 "tdr_audit_coverage", "Fraction of the trace audited",
                 buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)).observe(
                 outcome.coverage)
+    if runstore is not None:
+        outcome.run_id = persist_audit_outcome(runstore, outcome, obs=obs,
+                                               label=run_label)
     return outcome
+
+
+def persist_audit_outcome(runstore, outcome: AuditOutcome, obs=None,
+                          label: str = "") -> str:
+    """Save one resilient-audit outcome (kind ``audit``) to a run store.
+
+    The verdict set mirrors the chaos matrix's stdout columns; the flight
+    record (when a divergence was captured) rides along as a JSON dict so
+    the per-source cycle deltas survive persistence intact.
+    """
+    from repro.obs.runstore import RunRecord
+
+    verdicts = {"classification": outcome.classification.value,
+                "degradation": int(outcome.degradation),
+                "coverage": outcome.coverage,
+                "consistent": outcome.consistent,
+                "trustworthy": outcome.trustworthy,
+                "salvaged_packets": outcome.salvaged_packets,
+                "detail": outcome.detail}
+    if outcome.attestation_ok is not None:
+        verdicts["attestation_ok"] = outcome.attestation_ok
+    record = RunRecord(
+        kind="audit", label=label,
+        metrics=obs.registry.snapshot() if obs is not None else {},
+        verdicts=verdicts,
+        flights=([outcome.flight.to_json_dict()]
+                 if outcome.flight is not None else []),
+        trace_ndjson=(obs.tracer.to_ndjson()
+                      if obs is not None and obs.tracer is not None
+                      else ""))
+    return runstore.save(record)
 
 
 def _audit_resilient(program, observed, log_bytes, *, config, transfer,

@@ -68,6 +68,53 @@ class TdrResult:
     play: ExecutionResult
     replay: ExecutionResult
     audit: AuditReport
+    #: Run-store id of the persisted round trip, when one was requested.
+    run_id: str | None = None
+
+
+def persist_round_trip(runstore, outcome: TdrResult, obs=None,
+                       label: str = "", kind: str = "roundtrip") -> str:
+    """Save one round trip's full evidence to a run store.
+
+    Persists both sides' cycle-attribution ledgers (with Table-1 render
+    specs so a report reproduces the run-time tables verbatim), the audit
+    verdicts, the divergence flight record if the audit captured one, and
+    — when an observability bundle is passed — its metrics snapshot and
+    span-trace NDJSON.  Returns the content-addressed run id.
+    """
+    from repro.obs.runstore import RunRecord
+
+    ledgers: dict = {}
+    tables = []
+    for side, result in (("play", outcome.play),
+                         ("replay", outcome.replay)):
+        if result.ledger:
+            ledgers[side] = dict(result.ledger)
+            tables.append({"ledger": side,
+                           "total_cycles": result.total_cycles,
+                           "title": f"{side} ({result.config_name}, "
+                                    f"{result.total_cycles:,} cycles)"})
+    audit = outcome.audit
+    verdicts = {"payloads_match": audit.payloads_match,
+                "consistent": audit.is_consistent(),
+                "num_packets": audit.num_packets,
+                "total_time_error": audit.total_time_error,
+                "max_rel_ipd_diff": audit.max_rel_ipd_diff}
+    record = RunRecord(
+        kind=kind, label=label,
+        config={"name": outcome.play.config_name},
+        program=f"entry:{getattr(outcome.play, 'mode', 'play')}",
+        seeds=[outcome.play.seed, outcome.replay.seed],
+        metrics=obs.registry.snapshot() if obs is not None else {},
+        ledgers=ledgers,
+        verdicts=verdicts,
+        figures={"table1": {"tables": tables}} if tables else {},
+        flights=([audit.flight.to_json_dict()]
+                 if audit.flight is not None else []),
+        trace_ndjson=(obs.tracer.to_ndjson()
+                      if obs is not None and obs.tracer is not None
+                      else ""))
+    return runstore.save(record)
 
 
 def round_trip(program: Program, config: MachineConfig | None = None,
@@ -76,7 +123,8 @@ def round_trip(program: Program, config: MachineConfig | None = None,
                covert_schedule: list[int] | None = None,
                replay_config: MachineConfig | None = None,
                max_instructions: int | None = 200_000_000,
-               obs=None, replay_cache=None) -> TdrResult:
+               obs=None, replay_cache=None, runstore=None,
+               run_label: str = "") -> TdrResult:
     """Play, replay, and audit in one call.
 
     ``replay_config`` defaults to ``config`` (same machine type T); pass a
@@ -87,6 +135,9 @@ def round_trip(program: Program, config: MachineConfig | None = None,
     :class:`~repro.core.replay_cache.ReplayCache` as ``replay_cache`` to
     memoize the reference replay across round trips that share a log —
     replay is deterministic, so a hit is bit-identical to re-execution.
+    Pass a :class:`~repro.obs.runstore.RunStore` as ``runstore`` to
+    persist the round trip's ledgers, verdicts, and (with ``obs``) trace;
+    the saved id comes back on :attr:`TdrResult.run_id`.
     """
     play_result = play(program, config, workload, seed=play_seed,
                        covert_enabled=covert_enabled,
@@ -103,4 +154,8 @@ def round_trip(program: Program, config: MachineConfig | None = None,
                               replay_config or config, seed=replay_seed,
                               max_instructions=max_instructions, obs=obs)
     report = compare_traces(play_result, replay_result)
-    return TdrResult(play_result, replay_result, report)
+    result = TdrResult(play_result, replay_result, report)
+    if runstore is not None:
+        result.run_id = persist_round_trip(runstore, result, obs=obs,
+                                           label=run_label)
+    return result

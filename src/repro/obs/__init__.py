@@ -14,7 +14,13 @@ inspectable accounting system:
 * :mod:`repro.obs.sampling` — sampled opcode histograms from the
   interpreter hot loop;
 * :mod:`repro.obs.flight` — the divergence flight recorder: last-N events
-  and per-source cycle deltas when play and replay disagree.
+  and per-source cycle deltas when play and replay disagree;
+* :mod:`repro.obs.snapshot` — picklable :class:`ObsSnapshot` images of a
+  worker's observability and their order-deterministic fleet merge;
+* :mod:`repro.obs.runstore` — the persistent, content-addressed run
+  store (one directory of JSON artifacts per experiment run);
+* :mod:`repro.obs.report` — text and zero-dependency HTML/SVG rendering
+  of stored runs.
 
 Everything here observes and never perturbs: enabling any collector
 leaves cycle counts bit-identical to an uninstrumented run, and with
@@ -35,21 +41,28 @@ Usage::
 
 from __future__ import annotations
 
-from repro.obs.flight import DivergenceRecord, capture_divergence
+from repro.obs.flight import (DivergenceRecord, capture_divergence,
+                              flights_from_ndjson, flights_to_ndjson)
 from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
                               Source, format_attribution_table)
 from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
                                MetricsRegistry, NullRegistry, enable_metrics,
                                get_registry, set_registry)
 from repro.obs.sampling import OpcodeSampler
+from repro.obs.snapshot import (EMPTY_OBS_SNAPSHOT, FleetObservations,
+                                ObsSnapshot, TraceSummary, summarize_tracer)
+from repro.obs.runstore import RunRecord, RunStore, SCHEMA_VERSION
 from repro.obs.tracer import SpanTracer
 
 __all__ = [
-    "Counter", "CycleLedger", "DivergenceRecord", "Gauge", "Histogram",
-    "KNOWN_SOURCES", "MITIGATED_SOURCES", "MetricsRegistry", "NULL_REGISTRY",
-    "NullRegistry", "Observability", "OpcodeSampler", "Source", "SpanTracer",
+    "Counter", "CycleLedger", "DivergenceRecord", "EMPTY_OBS_SNAPSHOT",
+    "FleetObservations", "Gauge", "Histogram", "KNOWN_SOURCES",
+    "MITIGATED_SOURCES", "MetricsRegistry", "NULL_REGISTRY", "NullRegistry",
+    "ObsSnapshot", "Observability", "OpcodeSampler", "RunRecord", "RunStore",
+    "SCHEMA_VERSION", "Source", "SpanTracer", "TraceSummary",
     "capture_divergence", "default_observability", "enable_metrics",
-    "format_attribution_table", "get_registry", "set_registry",
+    "flights_from_ndjson", "flights_to_ndjson", "format_attribution_table",
+    "get_registry", "set_registry", "summarize_tracer",
 ]
 
 

@@ -16,6 +16,7 @@ timing during replay is what the timing *ought* to have been".
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -73,6 +74,48 @@ class DivergenceRecord:
         if self.replay_tail:
             lines.append(f"  last replay tx: {self.replay_tail[-1]}")
         return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict (tuples become lists; keys stay strings)."""
+        return {"reason": self.reason,
+                "play_tail": [list(pair) for pair in self.play_tail],
+                "replay_tail": [list(pair) for pair in self.replay_tail],
+                "source_deltas": dict(self.source_deltas),
+                "first_payload_mismatch": self.first_payload_mismatch,
+                "play_cycles": self.play_cycles,
+                "replay_cycles": self.replay_cycles}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "DivergenceRecord":
+        """Inverse of :meth:`to_json_dict` — tail pairs become tuples
+        again, so a persisted record compares equal to the original."""
+        return cls(
+            reason=data["reason"],
+            play_tail=[(int(c), str(p)) for c, p in data.get("play_tail",
+                                                             [])],
+            replay_tail=[(int(c), str(p))
+                         for c, p in data.get("replay_tail", [])],
+            source_deltas={str(s): int(d)
+                           for s, d in data.get("source_deltas",
+                                                {}).items()},
+            first_payload_mismatch=data.get("first_payload_mismatch"),
+            play_cycles=int(data.get("play_cycles", 0)),
+            replay_cycles=int(data.get("replay_cycles", 0)))
+
+
+def flights_to_ndjson(records: "list[DivergenceRecord]") -> str:
+    """One sorted-key JSON object per line; '' for no records."""
+    return "\n".join(json.dumps(record.to_json_dict(), sort_keys=True)
+                     for record in records) + ("\n" if records else "")
+
+
+def flights_from_ndjson(text: str) -> "list[DivergenceRecord]":
+    """Inverse of :func:`flights_to_ndjson`; the round trip re-exports
+    byte-identically (sorted-key serialization is canonical)."""
+    return [DivergenceRecord.from_json_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]
 
 
 def capture_divergence(play_result, replay_result, last_n: int = 16,

@@ -134,6 +134,24 @@ class Histogram:
         """Cumulative count per upper bound (``le`` buckets)."""
         return dict(zip(self.buckets, self._bucket_counts))
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's :meth:`MetricsRegistry.snapshot` entry
+        into this one (bucket layouts must match)."""
+        if tuple(snap["buckets"]) != self.buckets:
+            raise ObservabilityError(
+                f"histogram '{self.name}' bucket mismatch on merge: "
+                f"{self.buckets} vs {tuple(snap['buckets'])}")
+        for i, count in enumerate(snap["bucket_counts"]):
+            self._bucket_counts[i] += count
+        self._count += snap["count"]
+        self._sum += snap["sum"]
+        if snap["min"] is not None:
+            self._min = snap["min"] if self._min is None \
+                else min(self._min, snap["min"])
+        if snap["max"] is not None:
+            self._max = snap["max"] if self._max is None \
+                else max(self._max, snap["max"])
+
 
 class _NullInstrument:
     """Shared no-op instrument returned by the :class:`NullRegistry`.
@@ -169,6 +187,10 @@ class _NullInstrument:
 
 
 NULL_INSTRUMENT = _NullInstrument()
+
+#: Shared empty snapshot handed out by :class:`NullRegistry` — a module
+#: singleton so the disabled fast path allocates nothing per call.
+EMPTY_SNAPSHOT: dict = {}
 
 
 class MetricsRegistry:
@@ -222,6 +244,55 @@ class MetricsRegistry:
                 out[name] = inst.value
         return out
 
+    def snapshot(self) -> dict[str, dict]:
+        """Full picklable/JSON-able state of every instrument.
+
+        Unlike :meth:`collect` (a flat numeric view) this preserves
+        instrument kind, help text, and histogram bucket layout, so a
+        registry rebuilt via :meth:`merge_snapshot` renders the same
+        exposition.  The order is the sorted instrument-name order, which
+        makes snapshots directly comparable across processes.
+        """
+        out: dict[str, dict] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out[name] = {"kind": "counter", "help": inst.help,
+                             "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"kind": "gauge", "help": inst.help,
+                             "value": inst.value}
+            else:
+                out[name] = {"kind": "histogram", "help": inst.help,
+                             "buckets": list(inst.buckets),
+                             "bucket_counts": list(inst._bucket_counts),
+                             "count": inst.count, "sum": inst.sum,
+                             "min": inst.min, "max": inst.max}
+        return out
+
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram tallies *add*; gauges take the snapshot's
+        value (last-merge-wins).  Merging worker snapshots in submission
+        order therefore reproduces exactly what a serial run accumulating
+        into one registry would hold — counter increments and the cycle
+        histograms are integer-valued, so even the float sums are
+        bit-identical regardless of how work was split across processes.
+        """
+        for name, snap in snapshot.items():
+            kind = snap["kind"]
+            if kind == "counter":
+                self.counter(name, help=snap["help"]).inc(snap["value"])
+            elif kind == "gauge":
+                self.gauge(name, help=snap["help"]).set(snap["value"])
+            elif kind == "histogram":
+                self.histogram(
+                    name, help=snap["help"],
+                    buckets=tuple(snap["buckets"])).merge_snapshot(snap)
+            else:
+                raise ObservabilityError(
+                    f"unknown instrument kind '{kind}' for '{name}'")
+
     def render(self) -> str:
         """Prometheus-style text exposition of every instrument."""
         lines: list[str] = []
@@ -267,6 +338,13 @@ class NullRegistry(MetricsRegistry):
 
     def collect(self) -> dict[str, float]:
         return {}
+
+    def snapshot(self) -> dict[str, dict]:
+        # The shared singleton keeps the disabled path allocation-free.
+        return EMPTY_SNAPSHOT
+
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        pass
 
     def render(self) -> str:
         return ""

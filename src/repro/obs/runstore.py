@@ -1,0 +1,277 @@
+"""Persistent, content-addressed store of experiment-run artifacts.
+
+The paper's argument is an *accounting* argument: Table 1 attributes
+every cycle of play/replay variance to a named hardware source, and the
+figures show the residual falling below network jitter.  Evidence of that
+kind is only as credible as the auditable record behind it — a stdout
+table that vanishes with the process is not a record.  The run store
+gives every experiment run a durable, re-renderable artifact:
+
+* one directory per run under the store root (``REPRO_RUNSTORE`` or
+  ``.repro-runs``);
+* a JSON **manifest** carrying the schema version, the run kind, config
+  and program fingerprints, seeds, a metrics snapshot, detector/audit
+  verdicts, and the figure data the run printed;
+* sidecar files for the bulkier artifacts: the full cycle-attribution
+  ledger(s) (``ledger.json``), the span-tracer NDJSON
+  (``trace.ndjson``), and flight-recorder divergence records
+  (``flight.json``).
+
+Run ids are **content-addressed**: ``<kind>-<sha256 prefix>`` over the
+canonical JSON of everything except the wall-clock ``created_at`` stamp.
+Re-saving an identical run is a no-op that returns the same id, and a
+loaded record re-serializes to the same id — the store can't silently
+drift from what was measured.
+
+Everything is stdlib-only by design; see :mod:`repro.obs.report` for the
+HTML rendering and ``reproduce runs``/``report`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+__all__ = ["RunRecord", "RunStore", "SCHEMA_VERSION", "config_fingerprint",
+           "default_store_root"]
+
+#: Version of the on-disk layout.  Bump on any incompatible change; the
+#: loader refuses manifests from the future rather than misreading them.
+SCHEMA_VERSION = 1
+
+MANIFEST = "manifest.json"
+LEDGER_FILE = "ledger.json"
+TRACE_FILE = "trace.ndjson"
+FLIGHT_FILE = "flight.json"
+
+
+def default_store_root() -> str:
+    """``REPRO_RUNSTORE`` if set, else ``.repro-runs`` in the cwd."""
+    return os.environ.get("REPRO_RUNSTORE", "") or ".repro-runs"
+
+
+def config_fingerprint(config) -> str:
+    """Stable fingerprint of a :class:`MachineConfig` (same idiom as the
+    replay cache: the frozen dataclass repr covers every timing knob)."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def _canonical(obj):
+    """JSON-normalize ``obj`` (tuples->lists, dict keys->str) so hashing
+    before a save and after a load see identical bytes."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def _compact(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class RunRecord:
+    """Everything one persisted run carries.
+
+    ``figures`` holds the numeric payload each experiment printed at run
+    time (fig6 spreads, fig8 ROC cells, Table-1 totals, phase tables) so
+    a report re-render reproduces the exact run-time numbers; ``ledgers``
+    maps a side name (``play`` / ``replay`` / ``clean`` / ``merged``) to
+    its per-source cycle totals.
+    """
+
+    kind: str
+    label: str = ""
+    config: dict = field(default_factory=dict)
+    program: str = ""
+    seeds: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    ledgers: dict = field(default_factory=dict)
+    verdicts: dict = field(default_factory=dict)
+    figures: dict = field(default_factory=dict)
+    flights: list = field(default_factory=list)
+    trace_ndjson: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def content_payload(self) -> dict:
+        """The canonical content the run id is derived from.
+
+        ``created_at`` is deliberately absent: identity is *what was
+        measured*, not when it was written down.  The trace rides in as
+        its digest so the manifest hash doesn't swallow megabytes.
+        """
+        return _canonical({
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "label": self.label,
+            "config": self.config,
+            "program": self.program,
+            "seeds": self.seeds,
+            "metrics": self.metrics,
+            "ledgers": self.ledgers,
+            "verdicts": self.verdicts,
+            "figures": self.figures,
+            "flights": self.flights,
+            "trace_sha256": hashlib.sha256(
+                self.trace_ndjson.encode()).hexdigest(),
+        })
+
+    def run_id(self) -> str:
+        digest = hashlib.sha256(
+            _compact(self.content_payload()).encode()).hexdigest()
+        return f"{self.kind}-{digest[:12]}"
+
+
+class RunStore:
+    """Directory-per-run artifact store with content-addressed ids."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None \
+            else Path(default_store_root())
+
+    # -- writing -------------------------------------------------------------
+
+    def save(self, record: RunRecord) -> str:
+        """Persist ``record``; returns its run id.
+
+        Idempotent: saving identical content twice leaves one directory
+        and returns the same id.
+        """
+        run_id = record.run_id()
+        run_dir = self.root / run_id
+        if (run_dir / MANIFEST).exists():
+            return run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        payload = record.content_payload()
+        manifest = {
+            "schema_version": record.schema_version,
+            "run_id": run_id,
+            "created_at": time.time(),
+            "kind": record.kind,
+            "label": record.label,
+            "config": payload["config"],
+            "program": record.program,
+            "seeds": payload["seeds"],
+            "metrics": payload["metrics"],
+            "verdicts": payload["verdicts"],
+            "figures": payload["figures"],
+            "trace_sha256": payload["trace_sha256"],
+        }
+        (run_dir / LEDGER_FILE).write_text(
+            json.dumps(payload["ledgers"], sort_keys=True, indent=2) + "\n")
+        if record.trace_ndjson:
+            (run_dir / TRACE_FILE).write_text(record.trace_ndjson)
+        if record.flights:
+            (run_dir / FLIGHT_FILE).write_text(
+                json.dumps(payload["flights"], sort_keys=True, indent=2)
+                + "\n")
+        # Manifest last: a directory with a manifest is a complete run.
+        (run_dir / MANIFEST).write_text(
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+        return run_id
+
+    # -- reading -------------------------------------------------------------
+
+    def manifest(self, run_id: str) -> dict:
+        path = self.root / run_id / MANIFEST
+        if not path.exists():
+            raise ObservabilityError(f"no run '{run_id}' in {self.root}")
+        manifest = json.loads(path.read_text())
+        if manifest.get("schema_version", 0) > SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"run '{run_id}' uses schema "
+                f"v{manifest['schema_version']}; this build reads up to "
+                f"v{SCHEMA_VERSION}")
+        return manifest
+
+    def load(self, run_id: str) -> RunRecord:
+        """Rebuild the full :class:`RunRecord` (manifest + sidecars)."""
+        run_id = self.resolve(run_id)
+        manifest = self.manifest(run_id)
+        run_dir = self.root / run_id
+        ledger_path = run_dir / LEDGER_FILE
+        trace_path = run_dir / TRACE_FILE
+        flight_path = run_dir / FLIGHT_FILE
+        record = RunRecord(
+            kind=manifest["kind"],
+            label=manifest.get("label", ""),
+            config=manifest.get("config", {}),
+            program=manifest.get("program", ""),
+            seeds=manifest.get("seeds", []),
+            metrics=manifest.get("metrics", {}),
+            ledgers=(json.loads(ledger_path.read_text())
+                     if ledger_path.exists() else {}),
+            verdicts=manifest.get("verdicts", {}),
+            figures=manifest.get("figures", {}),
+            flights=(json.loads(flight_path.read_text())
+                     if flight_path.exists() else []),
+            trace_ndjson=(trace_path.read_text()
+                          if trace_path.exists() else ""),
+            schema_version=manifest.get("schema_version", SCHEMA_VERSION))
+        if record.run_id() != run_id:
+            raise ObservabilityError(
+                f"run '{run_id}' content digest mismatch — artifacts "
+                f"modified after save (recomputed {record.run_id()})")
+        return record
+
+    def exists(self, run_id: str) -> bool:
+        return (self.root / run_id / MANIFEST).exists()
+
+    def list_runs(self, kind: str | None = None) -> list[dict]:
+        """Manifests of every stored run, oldest first."""
+        if not self.root.exists():
+            return []
+        manifests = []
+        for entry in sorted(self.root.iterdir()):
+            if (entry / MANIFEST).exists():
+                manifest = self.manifest(entry.name)
+                if kind is None or manifest.get("kind") == kind:
+                    manifests.append(manifest)
+        manifests.sort(key=lambda m: (m.get("created_at", 0.0),
+                                      m.get("run_id", "")))
+        return manifests
+
+    def latest(self, kind: str | None = None) -> dict | None:
+        runs = self.list_runs(kind=kind)
+        return runs[-1] if runs else None
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a full id or unique prefix to a stored run id."""
+        if self.exists(ref):
+            return ref
+        if not self.root.exists():
+            raise ObservabilityError(f"no run '{ref}' in {self.root}")
+        matches = [entry.name for entry in self.root.iterdir()
+                   if entry.name.startswith(ref)
+                   and (entry / MANIFEST).exists()]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ObservabilityError(f"no run '{ref}' in {self.root}")
+        raise ObservabilityError(
+            f"ambiguous run prefix '{ref}': {sorted(matches)}")
+
+    # -- maintenance ---------------------------------------------------------
+
+    def delete(self, run_id: str) -> None:
+        run_id = self.resolve(run_id)
+        shutil.rmtree(self.root / run_id)
+
+    def prune(self, keep: int) -> list[str]:
+        """Drop the oldest runs, keeping the ``keep`` most recent;
+        returns the removed ids."""
+        if keep < 0:
+            raise ObservabilityError(f"prune keep must be >= 0, got {keep}")
+        runs = self.list_runs()
+        removed = []
+        for manifest in runs[:max(0, len(runs) - keep)]:
+            shutil.rmtree(self.root / manifest["run_id"])
+            removed.append(manifest["run_id"])
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.list_runs())

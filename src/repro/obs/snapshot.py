@@ -1,0 +1,133 @@
+"""Picklable observability snapshots for cross-process fan-out.
+
+``run_fleet`` executes machine runs in worker processes, and live
+observability objects — registries with locks, tracers with bound clock
+closures, ledgers attached to clocks — must never cross the process
+boundary.  An :class:`ObsSnapshot` is the frozen, picklable image of what
+one worker observed: its metrics registry state, the per-source cycle
+totals of its run(s), and a summary of its span trace.  The parent merges
+snapshots **in submission order** via :class:`FleetObservations`, so the
+aggregate a ``jobs=N`` fleet produces is bit-identical to the serial loop:
+
+* ledger totals are integers and addition is order-independent;
+* counter increments and the cycle histograms carry integer-valued
+  floats, so even the merged float sums match the serial accumulation
+  exactly (within the 2**53 exact-integer range of a double);
+* gauges are last-merge-wins, which in submission order is exactly the
+  serial outcome.
+
+The disabled path stays allocation-free: capturing with no observability
+bundle returns the shared :data:`EMPTY_OBS_SNAPSHOT` singleton, and a
+:class:`~repro.obs.metrics.NullRegistry` snapshot is the shared empty
+dict — no per-call garbage on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.ledger import CycleLedger
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """What a worker's span tracer saw, without shipping every event."""
+
+    events: int = 0
+    tracks: tuple[str, ...] = ()
+    #: (span name, begin count) pairs, sorted by name.
+    spans: tuple[tuple[str, int], ...] = ()
+
+
+_EMPTY_TRACE = TraceSummary()
+
+
+def summarize_tracer(tracer) -> TraceSummary:
+    """Compress a :class:`~repro.obs.tracer.SpanTracer` to its summary."""
+    if tracer is None or not tracer.events:
+        return _EMPTY_TRACE
+    tracks: list[str] = []
+    spans: dict[str, int] = {}
+    for event in tracer.events:
+        ph = event.get("ph")
+        if ph == "M":
+            tracks.append(event["args"]["name"])
+        elif ph == "B":
+            name = event["name"]
+            spans[name] = spans.get(name, 0) + 1
+    return TraceSummary(events=len(tracer.events), tracks=tuple(tracks),
+                        spans=tuple(sorted(spans.items())))
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """Everything one worker observed, in picklable form."""
+
+    #: :meth:`MetricsRegistry.snapshot` of the worker's registry.
+    metrics: dict = field(default_factory=dict)
+    #: Per-source cycle totals (the run's :class:`CycleLedger` image).
+    ledger: dict = field(default_factory=dict)
+    trace: TraceSummary = _EMPTY_TRACE
+
+    @classmethod
+    def capture(cls, obs, result=None) -> "ObsSnapshot":
+        """Snapshot an :class:`~repro.obs.Observability` bundle.
+
+        ``result`` (an :class:`~repro.machine.machine.ExecutionResult`)
+        supplies the ledger totals; the bundle supplies metrics and the
+        trace.  ``obs=None`` returns the shared empty singleton without
+        allocating.
+        """
+        if obs is None:
+            return EMPTY_OBS_SNAPSHOT
+        ledger = getattr(result, "ledger", None) if result is not None \
+            else None
+        metrics = obs.registry.snapshot()
+        trace = summarize_tracer(obs.tracer)
+        if ledger is None and not metrics and trace.events == 0:
+            return EMPTY_OBS_SNAPSHOT
+        return cls(metrics=metrics, ledger=dict(ledger or {}),
+                   trace=trace)
+
+    @property
+    def empty(self) -> bool:
+        return not self.metrics and not self.ledger \
+            and self.trace.events == 0
+
+
+#: Shared "nothing observed" snapshot — the allocation-free fast path.
+EMPTY_OBS_SNAPSHOT = ObsSnapshot()
+
+
+class FleetObservations:
+    """Order-deterministic aggregate of worker snapshots.
+
+    Absorb snapshots in submission order; the result is the registry and
+    ledger a serial loop sharing one bundle would have produced.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.ledger = CycleLedger()
+        self.trace_events = 0
+        self.tracks: list[str] = []
+        self.spans: dict[str, int] = {}
+        self.workers = 0
+
+    def absorb(self, snapshot: ObsSnapshot | None) -> None:
+        """Merge one worker's snapshot (``None`` / empty are no-ops)."""
+        if snapshot is None or snapshot.empty:
+            return
+        self.workers += 1
+        self.registry.merge_snapshot(snapshot.metrics)
+        for source, cycles in snapshot.ledger.items():
+            self.ledger.charge(source, cycles)
+        self.trace_events += snapshot.trace.events
+        self.tracks.extend(snapshot.trace.tracks)
+        for name, count in snapshot.trace.spans:
+            self.spans[name] = self.spans.get(name, 0) + count
+
+    def ledger_totals(self) -> dict[str, int]:
+        """Merged per-source cycle totals, largest first."""
+        return self.ledger.totals()

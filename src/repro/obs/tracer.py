@@ -55,7 +55,8 @@ class SpanTracer:
             tid = len(self._tracks) + 1
             self._tracks[track] = tid
             self.events.append({"ph": "M", "name": "thread_name", "pid": 1,
-                                "tid": tid, "args": {"name": track}})
+                                "tid": tid, "ts": self._time_fn() / 1e3,
+                                "args": {"name": track}})
         self._current_tid = self._tracks[track]
 
     def now_us(self) -> float:
@@ -121,6 +122,27 @@ class SpanTracer:
     def write_ndjson(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_ndjson())
+
+    @classmethod
+    def from_ndjson(cls, text: str) -> "SpanTracer":
+        """Rebuild a tracer from its NDJSON export.
+
+        The round trip is lossless for reporting purposes:
+        ``SpanTracer.from_ndjson(t.to_ndjson()).to_ndjson()`` is
+        byte-identical to ``t.to_ndjson()`` (events are re-serialized
+        with the same sorted-key encoder).  The rebuilt tracer is a
+        *record*, not a live collector — its clock is unbound and its
+        track map is reconstructed from the metadata events.
+        """
+        tracer = cls()
+        tracer.events = [json.loads(line)
+                         for line in text.splitlines() if line.strip()]
+        for event in tracer.events:
+            if event.get("ph") == "M" and event.get("name") == "thread_name":
+                tracer._tracks[event["args"]["name"]] = event["tid"]
+        if tracer._tracks:
+            tracer._current_tid = max(tracer._tracks.values())
+        return tracer
 
     def __len__(self) -> int:
         return len(self.events)

@@ -5,17 +5,28 @@ Usage::
     python -m repro.tools.reproduce --list
     python -m repro.tools.reproduce fig2 fig7
     python -m repro.tools.reproduce all --runs 6 --requests 20
+    python -m repro.tools.reproduce fig6 trace --store
+    python -m repro.tools.reproduce runs list
+    python -m repro.tools.reproduce report --latest 2 --out tdr-report.html
+    python -m repro.tools.reproduce bench-gate --advisory
 
 Each experiment is a quick, parameterizable version of the corresponding
 bench in ``benchmarks/`` (the benches add shape assertions and fixed
-parameters; this tool is for exploration).
+parameters; this tool is for exploration).  With ``--store [DIR]`` the
+store-aware experiments (``fig6``, ``trace``, ``chaos``, ``fleet``)
+persist their full evidence — ledgers, metrics, traces, verdicts — to a
+:class:`~repro.obs.runstore.RunStore`; the ``runs`` / ``report`` /
+``bench-gate`` subcommands list, re-render, and gate on those artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.experiment import (NfsTrafficModel, run_detector_matrix,
                                        matrix_as_table)
@@ -32,6 +43,16 @@ from repro.machine.noise import scenario_config
 from repro.obs import (MITIGATED_SOURCES, Observability,
                        format_attribution_table)
 from repro.obs.metrics import MetricsRegistry, phase_report, time_phase
+
+
+def _store(args):
+    """The :class:`RunStore` selected by ``--store``, or ``None``."""
+    root = getattr(args, "store", None)
+    if root is None:
+        return None
+    from repro.obs.runstore import RunStore, default_store_root
+
+    return RunStore(root or default_store_root())
 
 
 def _print_phase_report(registry) -> None:
@@ -94,16 +115,43 @@ def run_table2(args) -> None:
 
 def run_fig6(args) -> None:
     _banner("Figure 6 — SciMark timing stability")
-    print(f"  {'kernel':8s} {'dirty':>10s} {'clean':>10s} {'sanity':>10s}")
-    for name in ("sor", "smm", "mc", "lu", "fft"):
-        program = build_kernel_program(name)
-        row = f"  {name.upper():8s}"
-        for scenario in ("dirty", "clean", "sanity"):
-            config = scenario_config(scenario)
-            times = [float(play(program, config, seed=s).total_cycles)
-                     for s in range(args.runs)]
-            row += f" {spread_percent(times):>9.3f}%"
-        print(row)
+    from repro.analysis.parallel import MachineSpec, run_fleet_observed
+    from repro.obs.report import fig6_lines
+
+    kernels = ("sor", "smm", "mc", "lu", "fft")
+    scenarios = ("dirty", "clean", "sanity")
+    specs = [MachineSpec(program=f"kernel:{name}",
+                         config=scenario_config(scenario), seed=seed)
+             for name in kernels for scenario in scenarios
+             for seed in range(args.runs)]
+    results, fleet = run_fleet_observed(
+        specs, jobs=args.jobs if args.jobs else 1)
+
+    cursor = iter(results)
+    spreads: dict[str, dict[str, float]] = {}
+    for name in kernels:
+        spreads[name.upper()] = {
+            scenario: spread_percent(
+                [float(next(cursor).total_cycles)
+                 for _ in range(args.runs)])
+            for scenario in scenarios}
+    fig6 = {"kernels": [name.upper() for name in kernels],
+            "scenarios": list(scenarios), "spreads": spreads}
+    for line in fig6_lines(fig6):
+        print(line)
+
+    store = _store(args)
+    if store is not None:
+        from repro.obs.runstore import RunRecord
+
+        run_id = store.save(RunRecord(
+            kind="fig6", label=f"{args.runs} runs per cell",
+            config={"runs": args.runs, "jobs": args.jobs or 1},
+            seeds=list(range(args.runs)),
+            metrics=fleet.registry.snapshot(),
+            ledgers={"merged": fleet.ledger_totals()},
+            figures={"fig6": fig6}))
+        print(f"  [stored {run_id} in {store.root}]")
 
 
 def run_fig7(args) -> None:
@@ -147,6 +195,18 @@ def run_fig8(args) -> None:
     print("  (run `pytest benchmarks/test_fig8_roc.py` for the VM-based "
           "Sanity-detector column)")
 
+    store = _store(args)
+    if store is not None:
+        from repro.analysis.experiment import matrix_to_figures
+        from repro.obs.runstore import RunRecord
+
+        figures = matrix_to_figures(cells)
+        run_id = store.save(RunRecord(
+            kind="fig8", label=f"{len(cells)} matrix cells",
+            config={"num_test": args.runs * 4, "seed": 2014},
+            figures=figures))
+        print(f"  [stored {run_id} in {store.root}]")
+
 
 def run_chaos(args) -> None:
     _banner("Chaos matrix — resilient audit under injected faults")
@@ -170,6 +230,7 @@ def run_chaos(args) -> None:
           f"entries, {len(data)} bytes (seed {seed})")
     print(f"  {'fault':20s} {'sev':>3s} {'classification':18s} "
           f"{'coverage':>8s} {'consistent':>10s}")
+    outcomes = []
     with time_phase("chaos.fault-sweep", registry):
         for severity in range(1, args.severities + 1):
             for plan in standard_fault_kinds(severity):
@@ -180,6 +241,7 @@ def run_chaos(args) -> None:
                                           authenticator=auth,
                                           signing_key=key,
                                           replay_cache=cache)
+                outcomes.append(outcome)
                 verdict = ("-" if outcome.consistent is None
                            else str(outcome.consistent))
                 print(f"  {plan.name:20s} {severity:>3d} "
@@ -193,12 +255,33 @@ def run_chaos(args) -> None:
                                        SplitMix64(seed).fork(f"xfer:{drop}"))
             outcome = audit_resilient(program, observed, transfer=shipped,
                                       replay_cache=cache)
+            outcomes.append(outcome)
             print(f"  transfer drop={drop:.1f}: "
                   f"{'delivered' if shipped.delivered else 'degraded':10s} "
                   f"{shipped.retransmissions:3d} retx -> "
                   f"{outcome.classification.value} "
                   f"(coverage {outcome.coverage:.2f})")
     print(f"\n  replay cache: {cache.hits} hits, {cache.misses} misses")
+
+    store = _store(args)
+    if store is not None:
+        from repro.obs.runstore import RunRecord
+
+        verdicts: dict = {"audits": len(outcomes),
+                          "cache_hits": cache.hits,
+                          "cache_misses": cache.misses}
+        for outcome in outcomes:
+            slug = f"class_{outcome.classification.value}"
+            verdicts[slug] = verdicts.get(slug, 0) + 1
+        run_id = store.save(RunRecord(
+            kind="chaos", label=f"seed {seed}",
+            config={"seed": seed, "severities": args.severities,
+                    "requests": args.requests},
+            metrics=registry.snapshot(),
+            verdicts=verdicts,
+            flights=[o.flight.to_json_dict() for o in outcomes
+                     if o.flight is not None]))
+        print(f"  [stored {run_id} in {store.root}]")
     _print_phase_report(registry)
 
 
@@ -248,13 +331,50 @@ def run_trace(args) -> None:
     obs.tracer.write_chrome_trace(args.trace_out)
     print(f"\n  wrote {len(obs.tracer)} trace events to {args.trace_out} "
           f"(load in chrome://tracing or https://ui.perfetto.dev)")
+
+    store = _store(args)
+    if store is not None:
+        from repro.obs.runstore import RunRecord
+
+        # The table specs carry the exact titles printed above, so
+        # `reproduce report` reproduces this stdout verbatim.
+        tables = [
+            {"ledger": "play",
+             "total_cycles": outcome.play.total_cycles,
+             "title": f"play ({noisy.name}, "
+                      f"{outcome.play.total_cycles:,} cycles)"},
+            {"ledger": "replay",
+             "total_cycles": outcome.replay.total_cycles,
+             "title": f"replay ({noisy.name}, "
+                      f"{outcome.replay.total_cycles:,} cycles)"},
+            {"ledger": "clean",
+             "total_cycles": clean.total_cycles,
+             "title": f"play ({sanity.name}, "
+                      f"{clean.total_cycles:,} cycles)"},
+        ]
+        run_id = store.save(RunRecord(
+            kind="trace", label=f"{args.requests} NFS requests",
+            config={"scenario": noisy.name, "requests": args.requests},
+            seeds=[0, 1],
+            metrics=obs.registry.snapshot(),
+            ledgers={"play": dict(outcome.play.ledger or {}),
+                     "replay": dict(outcome.replay.ledger or {}),
+                     "clean": dict(clean.ledger or {})},
+            verdicts={"consistent": outcome.audit.is_consistent(),
+                      "payloads_match": outcome.audit.payloads_match,
+                      "mitigated_leak_cycles": leaked},
+            figures={"table1": {"tables": tables}},
+            flights=([outcome.audit.flight.to_json_dict()]
+                     if outcome.audit.flight is not None else []),
+            trace_ndjson=obs.tracer.to_ndjson()))
+        print(f"  [stored {run_id} in {store.root}]")
     _print_phase_report(obs.registry)
 
 
 def run_fleet_exp(args) -> None:
     _banner("Fleet — parallel experiment execution")
     from repro.analysis.parallel import (MachineSpec, default_jobs,
-                                         run_fleet)
+                                         run_fleet_observed)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     config = MachineConfig()
@@ -263,24 +383,48 @@ def run_fleet_exp(args) -> None:
              for seed in range(args.runs)]
 
     started = time.time()
-    serial = run_fleet(specs, jobs=1)
+    serial, serial_obs = run_fleet_observed(specs, jobs=1)
     serial_s = time.time() - started
     started = time.time()
-    parallel = run_fleet(specs, jobs=jobs)
+    parallel, fleet_obs = run_fleet_observed(specs, jobs=jobs)
     parallel_s = time.time() - started
 
     identical = all(
         a.total_cycles == b.total_cycles and a.tx == b.tx
         for a, b in zip(serial, parallel))
+    ledger_identical = (serial_obs.ledger_totals()
+                        == fleet_obs.ledger_totals())
+    metrics_identical = (serial_obs.registry.snapshot()
+                         == fleet_obs.registry.snapshot())
     print(f"  {len(specs)} NFS plays x {args.requests} requests")
     print(f"  serial (jobs=1):   {serial_s:7.2f}s")
     print(f"  fleet  (jobs={jobs}):  {parallel_s:7.2f}s  "
           f"speedup {serial_s / parallel_s:.2f}x on "
           f"{default_jobs()} CPUs")
     print(f"  results bit-identical: {identical}")
+    print(f"  merged ledger identical: {ledger_identical}  "
+          f"merged metrics identical: {metrics_identical}  "
+          f"({fleet_obs.workers} worker snapshots)")
     for spec, result in zip(specs[:4], parallel[:4]):
         print(f"    seed {spec.seed}: {result.total_cycles:,} cycles, "
               f"{len(result.tx)} tx")
+
+    store = _store(args)
+    if store is not None:
+        from repro.obs.runstore import RunRecord
+
+        run_id = store.save(RunRecord(
+            kind="fleet", label=f"{len(specs)} NFS plays, jobs={jobs}",
+            config={"runs": args.runs, "requests": args.requests,
+                    "jobs": jobs},
+            seeds=[spec.seed for spec in specs],
+            metrics=fleet_obs.registry.snapshot(),
+            ledgers={"merged": fleet_obs.ledger_totals()},
+            verdicts={"bit_identical": identical,
+                      "ledger_identical": ledger_identical,
+                      "metrics_identical": metrics_identical,
+                      "workers": fleet_obs.workers}))
+        print(f"  [stored {run_id} in {store.root}]")
 
 
 EXPERIMENTS = {
@@ -297,12 +441,199 @@ EXPERIMENTS = {
 }
 
 
+def _open_store(root: str | None):
+    from repro.obs.runstore import RunStore
+
+    return RunStore(root) if root else RunStore()
+
+
+def cmd_runs(argv: list[str]) -> int:
+    """``reproduce runs [list|show|prune]`` — browse the run store."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce runs",
+        description="List, inspect, and prune stored experiment runs.")
+    parser.add_argument("action", nargs="?", default="list",
+                        choices=("list", "show", "prune"))
+    parser.add_argument("ref", nargs="?",
+                        help="run id or unique prefix (for 'show')")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="run store root (default: REPRO_RUNSTORE "
+                             "or .repro-runs)")
+    parser.add_argument("--keep", type=int, default=10,
+                        help="runs kept by 'prune' (default 10)")
+    args = parser.parse_args(argv)
+    from repro.errors import ObservabilityError
+
+    store = _open_store(args.store)
+    try:
+        if args.action == "list":
+            runs = store.list_runs()
+            if not runs:
+                print(f"no runs in {store.root}")
+                return 0
+            print(f"{'run id':24s} {'kind':10s} {'created':19s} label")
+            for manifest in runs:
+                created = time.strftime(
+                    "%Y-%m-%d %H:%M:%S",
+                    time.localtime(manifest.get("created_at", 0)))
+                print(f"{manifest['run_id']:24s} "
+                      f"{manifest['kind']:10s} {created:19s} "
+                      f"{manifest.get('label', '')}")
+            return 0
+        if args.action == "show":
+            if not args.ref:
+                print("runs show needs a run id", file=sys.stderr)
+                return 2
+            from repro.obs.report import render_text
+
+            run_id = store.resolve(args.ref)
+            print(render_text(store.load(run_id), run_id))
+            return 0
+        removed = store.prune(args.keep)
+        print(f"pruned {len(removed)} run(s), kept {len(store)}")
+        for run_id in removed:
+            print(f"  removed {run_id}")
+        return 0
+    except ObservabilityError as exc:
+        print(f"runs: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_report(argv: list[str]) -> int:
+    """``reproduce report`` — re-render stored runs as text + HTML."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce report",
+        description="Render stored runs as a self-contained HTML report "
+                    "(and re-print their run-time numbers).")
+    parser.add_argument("refs", nargs="*",
+                        help="run ids or unique prefixes")
+    parser.add_argument("--latest", type=int, default=0, metavar="N",
+                        help="also render the N most recent runs")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="run store root (default: REPRO_RUNSTORE "
+                             "or .repro-runs)")
+    parser.add_argument("--out", default="tdr-report.html",
+                        help="HTML output path (default tdr-report.html)")
+    parser.add_argument("--title", default="TDR experiment report")
+    args = parser.parse_args(argv)
+    from repro.errors import ObservabilityError
+    from repro.obs.report import render_html, render_text
+
+    store = _open_store(args.store)
+    try:
+        refs = list(args.refs)
+        if args.latest:
+            refs.extend(m["run_id"]
+                        for m in store.list_runs()[-args.latest:])
+        if not refs:
+            print("report needs run ids or --latest N", file=sys.stderr)
+            return 2
+        pairs = []
+        seen: set[str] = set()
+        for ref in refs:
+            run_id = store.resolve(ref)
+            if run_id not in seen:
+                seen.add(run_id)
+                pairs.append((run_id, store.load(run_id)))
+    except ObservabilityError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    for run_id, record in pairs:
+        print(render_text(record, run_id))
+        print()
+    document = render_html(pairs, title=args.title)
+    Path(args.out).write_text(document, encoding="utf-8")
+    print(f"wrote {args.out} ({len(document):,} bytes, "
+          f"{len(pairs)} run(s))")
+    return 0
+
+
+def cmd_bench_gate(argv: list[str]) -> int:
+    """``reproduce bench-gate`` — fail on perf regressions vs history.
+
+    Compares a fresh ``BENCH_perf.json`` (the primary metric is
+    ``machine_run.batched.instr_per_sec``) against the median of the
+    ``bench`` runs already in the store, then records the fresh point.
+    With fewer than two history points the gate is always advisory.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce bench-gate",
+        description="Gate on BENCH_perf.json vs stored bench history.")
+    parser.add_argument("--perf", default="BENCH_perf.json",
+                        help="perf report to check "
+                             "(default BENCH_perf.json)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="run store root (default: REPRO_RUNSTORE "
+                             "or .repro-runs)")
+    parser.add_argument("--max-regression", type=float, default=15.0,
+                        metavar="PCT",
+                        help="largest tolerated instr/s drop vs the "
+                             "history median, percent (default 15)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report the verdict but never fail")
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not add this measurement to history")
+    args = parser.parse_args(argv)
+    from repro.obs.runstore import RunRecord
+
+    perf_path = Path(args.perf)
+    if not perf_path.exists():
+        print(f"bench-gate: no perf report at {perf_path} "
+              f"(run benchmarks/test_perf_baseline.py first)",
+              file=sys.stderr)
+        return 2
+    perf = json.loads(perf_path.read_text())
+    current = perf["machine_run"]["batched"]["instr_per_sec"]
+    store = _open_store(args.store)
+    history = [manifest["figures"]["perf"]["instr_per_sec"]
+               for manifest in store.list_runs(kind="bench")
+               if "perf" in manifest.get("figures", {})]
+    # Record after reading history, so a fresh point never gates itself.
+    if not args.no_record:
+        run_id = store.save(RunRecord(
+            kind="bench", label=f"{current:,} instr/s",
+            figures={"perf": {"instr_per_sec": current,
+                              "report": perf}}))
+        print(f"bench-gate: recorded {run_id} in {store.root}")
+    print(f"bench-gate: current {current:,} instr/s; "
+          f"{len(history)} history point(s)")
+    if len(history) < 2:
+        print("bench-gate: ADVISORY — gating starts once two history "
+              "points exist")
+        return 0
+    baseline = statistics.median(history)
+    drop = (baseline - current) / baseline * 100.0
+    print(f"bench-gate: history median {baseline:,.0f} instr/s; "
+          f"change {-drop:+.1f}%")
+    if drop > args.max_regression:
+        message = (f"bench-gate: REGRESSION {drop:.1f}% exceeds the "
+                   f"{args.max_regression:.1f}% budget")
+        if args.advisory:
+            print(message + " (advisory — not failing)")
+            return 0
+        print(message, file=sys.stderr)
+        return 1
+    print("bench-gate: PASS")
+    return 0
+
+
+SUBCOMMANDS = {
+    "runs": cmd_runs,
+    "report": cmd_report,
+    "bench-gate": cmd_bench_gate,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.tools.reproduce",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (or 'all')")
+                        help="experiment ids (or 'all'), or a "
+                             "subcommand: " + ", ".join(SUBCOMMANDS))
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     parser.add_argument("--runs", type=int, default=6,
@@ -322,6 +653,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default="tdr-trace.json",
                         help="Chrome trace file written by 'trace' "
                              "(default tdr-trace.json)")
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="persist run artifacts to a run store at "
+                             "DIR (default: REPRO_RUNSTORE or "
+                             ".repro-runs)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:

@@ -1,0 +1,200 @@
+"""Export-format correctness: Prometheus exposition, Chrome traces, and
+byte-identical NDJSON round trips for the tracer and flight recorder.
+
+These parse the exported artifacts instead of string-matching fragments:
+a consumer (Prometheus scraper, ``chrome://tracing``, ``jq``) sees the
+same bytes these tests see.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.flight import (DivergenceRecord, capture_divergence,
+                              flights_from_ndjson, flights_to_ndjson)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+from repro.tools.reproduce import main
+
+
+def _parse_exposition(text: str):
+    """Parse a Prometheus text exposition into
+    ``{metric: {"help": str, "type": str, "samples": [(name, labels, value)]}}``.
+    """
+    metrics: dict[str, dict] = {}
+
+    def entry(name: str) -> dict:
+        return metrics.setdefault(name, {"help": None, "type": None,
+                                         "samples": []})
+
+    for line in text.splitlines():
+        assert line == line.strip() and line, f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            entry(name)["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), kind
+            entry(name)["type"] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment: {line!r}"
+            sample, value = line.rsplit(" ", 1)
+            labels = {}
+            if "{" in sample:
+                sample, _, label_part = sample.partition("{")
+                for pair in label_part.rstrip("}").split(","):
+                    key, _, raw = pair.partition("=")
+                    labels[key] = raw.strip('"')
+            base = sample
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample.endswith(suffix):
+                    base = sample[:-len(suffix)]
+                    break
+            entry(base)["samples"].append((sample, labels, float(value)))
+    return metrics
+
+
+class TestPrometheusExposition:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("tdr_runs_total", "Machine executions").inc(3)
+        registry.gauge("tdr_cache_entries", "Cache size").set(7)
+        hist = registry.histogram("tdr_run_cycles", "Cycles per run",
+                                  buckets=(10.0, 100.0, 1000.0))
+        for value in (5, 50, 500, 5000):
+            hist.observe(value)
+        return registry
+
+    def test_every_metric_has_wellformed_help_and_type(self):
+        metrics = _parse_exposition(self._registry().render())
+        assert set(metrics) == {"tdr_runs_total", "tdr_cache_entries",
+                                "tdr_run_cycles"}
+        for name, data in metrics.items():
+            assert data["help"], name
+            assert data["type"], name
+            assert data["samples"], name
+
+    def test_counter_and_gauge_values(self):
+        metrics = _parse_exposition(self._registry().render())
+        assert metrics["tdr_runs_total"]["type"] == "counter"
+        assert metrics["tdr_runs_total"]["samples"] == [
+            ("tdr_runs_total", {}, 3.0)]
+        assert metrics["tdr_cache_entries"]["samples"] == [
+            ("tdr_cache_entries", {}, 7.0)]
+
+    def test_histogram_buckets_cumulative_and_inf_equals_count(self):
+        metrics = _parse_exposition(self._registry().render())
+        hist = metrics["tdr_run_cycles"]
+        assert hist["type"] == "histogram"
+        buckets = [(labels["le"], value) for sample, labels, value
+                   in hist["samples"] if sample.endswith("_bucket")]
+        bounds = [float(le) for le, _ in buckets]
+        counts = [count for _, count in buckets]
+        # le bounds ascend and end at +Inf.
+        assert bounds == sorted(bounds)
+        assert math.isinf(bounds[-1])
+        # Cumulative counts are monotone non-decreasing.
+        assert counts == sorted(counts)
+        # The +Inf bucket equals the observation count, which equals the
+        # _count sample.
+        count_sample = [v for s, _, v in hist["samples"]
+                        if s.endswith("_count")]
+        assert counts[-1] == count_sample[0] == 4.0
+        sum_sample = [v for s, _, v in hist["samples"]
+                      if s.endswith("_sum")]
+        assert sum_sample[0] == 5 + 50 + 500 + 5000
+
+    def test_merged_snapshot_renders_identical_exposition(self):
+        registry = self._registry()
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(registry.snapshot())
+        assert rebuilt.render() == registry.render()
+
+
+class TestChromeTraceSchema:
+    def test_trace_experiment_emits_valid_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--requests", "3",
+                     "--trace-out", str(out_file)]) == 0
+        capsys.readouterr()
+        trace = json.loads(out_file.read_text())    # strict JSON
+        events = trace["traceEvents"]
+        assert events
+        tracks: dict[int, list[float]] = {}
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid"):
+                assert key in event, (key, event)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            tracks.setdefault(event["tid"], []).append(float(event["ts"]))
+        # Timestamps are monotone non-decreasing within each track: each
+        # track is one machine run whose virtual clock only advances.
+        for tid, stamps in tracks.items():
+            assert stamps == sorted(stamps), f"tid {tid} not monotone"
+        # Track names come from "M" metadata events.
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(names) == len(set(names)) == len(tracks)
+
+
+class TestNdjsonRoundTrips:
+    def _tracer(self) -> SpanTracer:
+        clock = iter(range(0, 10_000, 250))
+        tracer = SpanTracer()
+        tracer.bind(lambda: float(next(clock)), track="play:test")
+        with tracer.span("machine.run", mode="play"):
+            with tracer.span("vm.execute"):
+                tracer.instant("net.send", bytes=64)
+        tracer.bind(lambda: float(next(clock)), track="replay:test")
+        with tracer.span("machine.run", mode="replay"):
+            tracer.instant("net.send", bytes=64)
+        return tracer
+
+    def test_tracer_ndjson_reexports_byte_identical(self):
+        exported = self._tracer().to_ndjson()
+        revived = SpanTracer.from_ndjson(exported)
+        assert revived.to_ndjson() == exported
+        assert len(revived) == len(exported.splitlines())
+        assert revived._tracks == {"play:test": 1, "replay:test": 2}
+
+    def test_tracer_chrome_export_survives_round_trip(self):
+        tracer = self._tracer()
+        revived = SpanTracer.from_ndjson(tracer.to_ndjson())
+        assert revived.to_chrome_trace() == tracer.to_chrome_trace()
+
+    def test_empty_tracer_round_trips(self):
+        assert SpanTracer.from_ndjson("").to_ndjson() == ""
+
+    def test_flight_ndjson_reexports_byte_identical(self):
+        records = [
+            DivergenceRecord(reason="payload mismatch",
+                             play_tail=[(5, "aa"), (9, "bb")],
+                             replay_tail=[(5, "aa"), (9, "cc")],
+                             source_deltas={"covert.delay": 64,
+                                            "net.jitter": -3},
+                             first_payload_mismatch=1,
+                             play_cycles=500, replay_cycles=436),
+            DivergenceRecord(reason="truncated"),
+        ]
+        exported = flights_to_ndjson(records)
+        revived = flights_from_ndjson(exported)
+        assert revived == records
+        assert flights_to_ndjson(revived) == exported
+        assert flights_to_ndjson([]) == ""
+        assert flights_from_ndjson("") == []
+
+    def test_captured_divergence_round_trips_through_json(self):
+        class Result:
+            def __init__(self, tx, ledger, cycles):
+                self.tx, self.ledger, self.total_cycles = tx, ledger, cycles
+
+        play = Result([(10, b"abc"), (20, b"xyz1234567890")],
+                      {"cpu.exec": 900, "covert.delay": 100}, 1000)
+        replay = Result([(10, b"abc"), (20, b"different0123")],
+                        {"cpu.exec": 900}, 900)
+        record = capture_divergence(play, replay)
+        assert record.first_payload_mismatch == 1
+        assert record.source_deltas == {"covert.delay": 100}
+        revived = flights_from_ndjson(flights_to_ndjson([record]))[0]
+        assert revived == record

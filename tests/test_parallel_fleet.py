@@ -10,11 +10,15 @@ plus a statistical detector matrix).
 from __future__ import annotations
 
 from repro.analysis.experiment import NfsTrafficModel, run_detector_matrix
-from repro.analysis.parallel import (MachineSpec, _compiled, _workload,
-                                     default_jobs, execute_spec, run_fleet)
+from repro.analysis.parallel import (MachineSpec, ObservedExecution,
+                                     _compiled, _workload, default_jobs,
+                                     execute_spec, run_fleet,
+                                     run_fleet_observed)
 from repro.channels import Ipctc, Trctc
 from repro.detectors import all_statistical_detectors
 from repro.machine import MachineConfig
+from repro.obs.metrics import EMPTY_SNAPSHOT, NullRegistry
+from repro.obs.snapshot import EMPTY_OBS_SNAPSHOT, ObsSnapshot
 
 REQUESTS = 5
 
@@ -82,6 +86,55 @@ def test_detector_matrix_jobs_parity():
                 for c in cells]
 
     assert matrix(jobs=2) == matrix(jobs=1)
+
+
+def test_observed_fleet_merge_bit_identical_to_serial():
+    """The acceptance bar for fleet observability: run_fleet_observed at
+    jobs=4 merges worker snapshots into exactly the ledger totals and
+    metrics counters the serial jobs=1 path produces — bit-identical,
+    not approximately equal."""
+    specs = _specs(4)
+    serial_results, serial_obs = run_fleet_observed(specs, jobs=1)
+    fleet_results, fleet_obs = run_fleet_observed(specs, jobs=4)
+
+    for ser, par in zip(serial_results, fleet_results):
+        assert par.total_cycles == ser.total_cycles
+        assert par.tx == ser.tx
+    assert fleet_obs.ledger_totals() == serial_obs.ledger_totals()
+    assert fleet_obs.ledger_totals()          # non-empty: obs survived
+    assert fleet_obs.registry.snapshot() == serial_obs.registry.snapshot()
+    assert fleet_obs.registry.render() == serial_obs.registry.render()
+    assert fleet_obs.workers == serial_obs.workers == 4
+    assert fleet_obs.spans == serial_obs.spans
+    # Per-run ledgers sum exactly to the merged totals (accounting is
+    # conserved across the process boundary).
+    merged_sum = sum(fleet_obs.ledger_totals().values())
+    assert merged_sum == sum(r.total_cycles for r in fleet_results)
+
+
+def test_observed_specs_return_snapshot_alongside_result():
+    spec = _specs(1)[0]
+    plain = execute_spec(spec)
+    observed = execute_spec(MachineSpec(**{**spec.__dict__, "observe": True}))
+    assert isinstance(observed, ObservedExecution)
+    assert observed.result.total_cycles == plain.total_cycles
+    assert observed.result.tx == plain.tx
+    assert not observed.snapshot.empty
+    assert observed.snapshot.ledger
+    assert sum(observed.snapshot.ledger.values()) == plain.total_cycles
+    assert observed.snapshot.metrics["tdr_runs_total"]["value"] == 1.0
+
+
+def test_null_registry_fast_path_is_allocation_free():
+    """The disabled path hands out shared singletons — no per-call dicts
+    or snapshot objects on the hot path."""
+    registry = NullRegistry()
+    assert registry.snapshot() is EMPTY_SNAPSHOT
+    assert registry.snapshot() is registry.snapshot()
+    registry.merge_snapshot({"x": {"kind": "counter", "value": 1.0}})
+    assert registry.render() == ""
+    assert ObsSnapshot.capture(None) is EMPTY_OBS_SNAPSHOT
+    assert EMPTY_OBS_SNAPSHOT.empty
 
 
 def test_default_jobs_env_override(monkeypatch):

@@ -1,0 +1,148 @@
+"""Text and HTML rendering of stored runs.
+
+The text renderer must reproduce run-time stdout verbatim (same format
+strings, same sort order); the HTML renderer must emit well-formed SVG
+with the palette, table-twin, and dark-mode obligations of the report's
+design rules.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from html.parser import HTMLParser
+
+from repro.obs.ledger import format_attribution_table
+from repro.obs.report import (fig6_lines, phase_rows, render_html,
+                              render_text)
+from repro.obs.runstore import RunRecord
+
+FIG6 = {"kernels": ["SOR", "FFT"], "scenarios": ["dirty", "clean"],
+        "spreads": {"SOR": {"dirty": 131.381, "clean": 0.339},
+                    "FFT": {"dirty": 103.326, "clean": 0.051}}}
+
+
+def _record(**overrides) -> RunRecord:
+    fields = dict(
+        kind="fig6", label="unit",
+        metrics={"phase_bench_seconds": {
+            "kind": "histogram", "help": "t", "buckets": [1.0],
+            "bucket_counts": [2, 1], "count": 3, "sum": 4.5,
+            "min": 0.5, "max": 2.5}},
+        ledgers={"play": {"cpu.exec": 900, "covert.delay": 100}},
+        figures={"fig6": FIG6,
+                 "table1": {"tables": [{"ledger": "play",
+                                        "total_cycles": 1000,
+                                        "title": "play (dirty, "
+                                                 "1,000 cycles)"}]}},
+        verdicts={"consistent": True})
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestTextRendering:
+    def test_fig6_lines_match_runtime_format(self):
+        lines = fig6_lines(FIG6)
+        assert lines[0] == f"  {'kernel':8s} {'dirty':>10s} {'clean':>10s}"
+        assert lines[1] == f"  {'SOR':8s} {131.381:>9.3f}% {0.339:>9.3f}%"
+        assert lines[2] == f"  {'FFT':8s} {103.326:>9.3f}% {0.051:>9.3f}%"
+
+    def test_render_text_reproduces_attribution_table(self):
+        text = render_text(_record(), "fig6-abc")
+        expected = format_attribution_table(
+            {"cpu.exec": 900, "covert.delay": 100}, 1000,
+            title="play (dirty, 1,000 cycles)")
+        assert expected in text
+        assert "accounting exact" in text
+
+    def test_render_text_includes_header_and_verdicts(self):
+        text = render_text(_record(), "fig6-abc")
+        assert text.startswith("run fig6-abc (fig6) — unit")
+        assert "consistent: True" in text
+        for line in fig6_lines(FIG6):
+            assert line in text
+
+    def test_phase_rows_from_snapshot(self):
+        rows = phase_rows(_record().metrics)
+        assert rows == [("bench", 3, 4.5)]
+        assert phase_rows({"other_metric": {"kind": "counter",
+                                            "value": 1.0}}) == []
+
+
+class _Balanced(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "input", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, \
+            f"unbalanced </{tag}> (open: {self.stack[-3:]})"
+        self.stack.pop()
+
+
+def _svgs(document: str) -> list[ET.Element]:
+    return [ET.fromstring(svg)
+            for svg in re.findall(r"<svg.*?</svg>", document, re.S)]
+
+
+class TestHtmlRendering:
+    def test_document_is_balanced_and_self_contained(self):
+        document = render_html([("fig6-abc", _record())])
+        parser = _Balanced()
+        parser.feed(document)
+        assert not parser.stack
+        assert "<script" not in document and "http" not in document.lower()
+        assert "prefers-color-scheme: dark" in document
+
+    def test_every_chart_has_a_table_twin(self):
+        document = render_html([("fig6-abc", _record())])
+        assert document.count("<svg") >= 2          # fig6 + waterfall
+        assert document.count("Data table") >= 2
+
+    def test_svgs_are_well_formed_with_sane_geometry(self):
+        for root in _svgs(render_html([("fig6-abc", _record())])):
+            assert root.get("viewBox")
+            for el in root.iter():
+                for attr in ("x", "y", "width", "height"):
+                    value = el.get(attr)
+                    if value is not None:
+                        assert float(value) >= -0.01
+
+    def test_waterfall_total_label_matches_ledger_sum(self):
+        document = render_html([("fig6-abc", _record())])
+        assert "1,000" in document       # total bar label = ledger sum
+
+    def test_roc_legend_and_series_cap(self):
+        curves = [{"detector": f"d{i}", "auc": 0.5 + i / 100,
+                   "points": [[0.0, 0.0], [0.5, 0.8], [1.0, 1.0]]}
+                  for i in range(10)]
+        record = RunRecord(kind="fig8",
+                           figures={"fig8": {"channel": "ipctc",
+                                             "curves": curves,
+                                             "matrix": []}})
+        document = render_html([("fig8-abc", record)])
+        assert document.count("<polyline") == 8      # categorical cap
+        assert 'class="legend"' in document
+        # labels use text ink, never a series color
+        for match in re.finditer(r"<text[^>]*>", document):
+            assert "--s1" not in match.group(0)
+
+    def test_text_numbers_match_between_renderers(self):
+        record = _record()
+        html_doc = render_html([("fig6-abc", record)])
+        for kernel in FIG6["kernels"]:
+            for scenario in FIG6["scenarios"]:
+                value = FIG6["spreads"][kernel][scenario]
+                assert f"{value:.3f}%" in html_doc
+
+    def test_empty_record_renders(self):
+        document = render_html([("x-1", RunRecord(kind="x"))])
+        parser = _Balanced()
+        parser.feed(document)
+        assert not parser.stack

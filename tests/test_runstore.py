@@ -1,0 +1,163 @@
+"""The persistent run store: content addressing, round trips, pruning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.flight import DivergenceRecord
+from repro.obs.runstore import (SCHEMA_VERSION, RunRecord, RunStore,
+                                default_store_root)
+
+
+def _record(kind="trace", label="unit", **overrides) -> RunRecord:
+    fields = dict(
+        kind=kind, label=label,
+        config={"scenario": "dirty", "requests": 8},
+        program="nfs", seeds=[0, 1],
+        metrics={"tdr_runs_total": {"kind": "counter", "help": "runs",
+                                    "value": 2.0}},
+        ledgers={"play": {"cpu.exec": 1000, "covert.delay": 40},
+                 "replay": {"cpu.exec": 1000}},
+        verdicts={"consistent": True, "payloads_match": True},
+        figures={"table1": {"tables": [
+            {"ledger": "play", "total_cycles": 1040,
+             "title": "play (dirty, 1,040 cycles)"}]}},
+        flights=[DivergenceRecord(
+            reason="unit", play_tail=[(10, "ab")],
+            source_deltas={"covert.delay": 40},
+            play_cycles=1040, replay_cycles=1000).to_json_dict()],
+        trace_ndjson='{"name":"thread_name","ph":"M","tid":1}\n')
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestContentAddressing:
+    def test_run_id_is_kind_plus_digest(self):
+        run_id = _record().run_id()
+        assert run_id.startswith("trace-")
+        assert len(run_id) == len("trace-") + 12
+
+    def test_identical_content_same_id(self):
+        assert _record().run_id() == _record().run_id()
+
+    def test_any_field_changes_the_id(self):
+        base = _record().run_id()
+        assert _record(label="other").run_id() != base
+        assert _record(seeds=[0, 2]).run_id() != base
+        assert _record(trace_ndjson="").run_id() != base
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = store.save(_record())
+        second = store.save(_record())
+        assert first == second
+        assert len(store) == 1
+
+    def test_loaded_record_reserializes_to_same_id(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.save(_record())
+        assert store.load(run_id).run_id() == run_id
+
+
+class TestRoundTrip:
+    def test_all_fields_survive(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = _record()
+        loaded = store.load(store.save(record))
+        assert loaded.kind == record.kind
+        assert loaded.label == record.label
+        assert loaded.config == record.config
+        assert loaded.seeds == record.seeds
+        assert loaded.metrics == record.metrics
+        assert loaded.ledgers == record.ledgers
+        assert loaded.verdicts == record.verdicts
+        assert loaded.figures == record.figures
+        assert loaded.trace_ndjson == record.trace_ndjson
+        assert loaded.schema_version == SCHEMA_VERSION
+
+    def test_flight_deltas_survive_persistence(self, tmp_path):
+        original = DivergenceRecord(
+            reason="covert channel", play_tail=[(7, "dead")],
+            replay_tail=[(7, "beef")], source_deltas={"covert.delay": 512},
+            first_payload_mismatch=3, play_cycles=9000, replay_cycles=8488)
+        store = RunStore(tmp_path)
+        run_id = store.save(_record(flights=[original.to_json_dict()]))
+        revived = DivergenceRecord.from_json_dict(
+            store.load(run_id).flights[0])
+        assert revived == original
+        assert revived.dominant_source == "covert.delay"
+
+    def test_empty_sidecars_are_not_written(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.save(_record(flights=[], trace_ndjson=""))
+        run_dir = tmp_path / run_id
+        assert (run_dir / "manifest.json").exists()
+        assert not (run_dir / "trace.ndjson").exists()
+        assert not (run_dir / "flight.json").exists()
+
+
+class TestIntegrity:
+    def test_future_schema_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.save(_record())
+        path = tmp_path / run_id / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ObservabilityError, match="schema"):
+            store.manifest(run_id)
+
+    def test_modified_artifacts_detected_on_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.save(_record())
+        ledger_path = tmp_path / run_id / "ledger.json"
+        ledgers = json.loads(ledger_path.read_text())
+        ledgers["play"]["cpu.exec"] += 1
+        ledger_path.write_text(json.dumps(ledgers))
+        with pytest.raises(ObservabilityError, match="digest mismatch"):
+            store.load(run_id)
+
+
+class TestBrowsing:
+    def test_resolve_prefix(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = store.save(_record())
+        assert store.resolve(run_id) == run_id
+        assert store.resolve(run_id[:9]) == run_id
+        with pytest.raises(ObservabilityError, match="no run"):
+            store.resolve("nope-123")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save(_record(label="a"))
+        store.save(_record(label="b"))
+        with pytest.raises(ObservabilityError, match="ambiguous"):
+            store.resolve("trace-")
+
+    def test_list_runs_filters_by_kind(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save(_record(kind="fig6"))
+        store.save(_record(kind="trace"))
+        assert [m["kind"] for m in store.list_runs(kind="fig6")] == ["fig6"]
+        assert len(store.list_runs()) == 2
+
+    def test_prune_keeps_most_recent(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        clock = iter(range(1000, 1010))
+        monkeypatch.setattr("repro.obs.runstore.time.time",
+                            lambda: float(next(clock)))
+        ids = [store.save(_record(label=f"run {i}")) for i in range(3)]
+        removed = store.prune(keep=1)
+        assert removed == ids[:2]
+        assert [m["run_id"] for m in store.list_runs()] == [ids[2]]
+        with pytest.raises(ObservabilityError):
+            store.prune(keep=-1)
+
+    def test_default_root_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNSTORE", "/tmp/elsewhere")
+        assert default_store_root() == "/tmp/elsewhere"
+        monkeypatch.delenv("REPRO_RUNSTORE")
+        assert default_store_root() == ".repro-runs"

@@ -1,5 +1,8 @@
 """Tests for the reproduce CLI."""
 
+import json
+import re
+
 import pytest
 
 from repro.tools.reproduce import EXPERIMENTS, main
@@ -71,3 +74,160 @@ class TestReproduceCli:
         phases = {e["ph"] for e in events}
         assert {"B", "E"} <= phases       # balanced spans present
         assert all("ts" in e or e["ph"] == "M" for e in events)
+
+
+class TestRunStoreCli:
+    """--store persistence plus the runs/report subcommands.
+
+    The acceptance bar: a persisted run, re-rendered through ``runs
+    show`` or ``report``, reproduces the exact numbers the experiment
+    printed at run time — same format strings, same values, verbatim.
+    """
+
+    def _fig6(self, tmp_path, capsys):
+        assert main(["fig6", "--runs", "2", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"\[stored (\S+) in ", out)
+        assert match, out
+        return out, match.group(1)
+
+    @staticmethod
+    def _fig6_table(out):
+        return [line for line in out.splitlines()
+                if re.match(r"^  (kernel|SOR|SMM|MC|LU|FFT)\b", line)]
+
+    def test_store_flag_persists_and_lists(self, tmp_path, capsys):
+        _, run_id = self._fig6(tmp_path, capsys)
+        assert (tmp_path / run_id / "manifest.json").exists()
+        assert main(["runs", "list", "--store", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert run_id in listing
+        assert "fig6" in listing
+
+    def test_show_reproduces_runtime_fig6_numbers(self, tmp_path, capsys):
+        out, run_id = self._fig6(tmp_path, capsys)
+        table = self._fig6_table(out)
+        assert len(table) == 6                  # header + five kernels
+        assert main(["runs", "show", run_id,
+                     "--store", str(tmp_path)]) == 0
+        shown = capsys.readouterr().out
+        for line in table:
+            assert line in shown
+
+    def test_show_reproduces_trace_attribution_tables(self, tmp_path,
+                                                      capsys):
+        assert main(["trace", "--requests", "3",
+                     "--store", str(tmp_path),
+                     "--trace-out", str(tmp_path / "t.json")]) == 0
+        out = capsys.readouterr().out
+        run_id = re.search(r"\[stored (\S+) in ", out).group(1)
+        tables = re.findall(
+            r"(?m)^\w[^\n]*\([^\n]*cycles\):\n(?:^  [^\n]*\n)*?"
+            r"^  \(accounting [^\n]*\)$", out)
+        assert len(tables) == 3          # play, replay, clean-room play
+        assert main(["runs", "show", run_id,
+                     "--store", str(tmp_path)]) == 0
+        shown = capsys.readouterr().out
+        for table in tables:
+            assert table in shown
+
+    def test_report_reprints_numbers_and_writes_html(self, tmp_path,
+                                                     capsys):
+        out, run_id = self._fig6(tmp_path, capsys)
+        html_path = tmp_path / "report.html"
+        assert main(["report", run_id, "--store", str(tmp_path),
+                     "--out", str(html_path)]) == 0
+        report_out = capsys.readouterr().out
+        for line in self._fig6_table(out):
+            assert line in report_out
+        assert f"wrote {html_path}" in report_out
+        document = html_path.read_text()
+        for value in re.findall(r"\d+\.\d{3}(?=%)", out):
+            assert f"{value}%" in document
+
+    def test_report_latest_dedups_explicit_ref(self, tmp_path, capsys):
+        _, run_id = self._fig6(tmp_path, capsys)
+        html_path = tmp_path / "report.html"
+        assert main(["report", run_id, "--latest", "3",
+                     "--store", str(tmp_path),
+                     "--out", str(html_path)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_runs_prune_via_cli(self, tmp_path, capsys):
+        from repro.obs.runstore import RunRecord, RunStore
+
+        store = RunStore(tmp_path)
+        for i in range(3):
+            store.save(RunRecord(kind="unit", label=f"run {i}"))
+        assert main(["runs", "prune", "--keep", "1",
+                     "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 run(s), kept 1" in out
+        assert len(store) == 1
+
+    def test_runs_show_unknown_ref(self, tmp_path, capsys):
+        assert main(["runs", "show", "nope-404",
+                     "--store", str(tmp_path)]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_report_without_refs(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path)]) == 2
+        assert "needs run ids" in capsys.readouterr().err
+
+
+class TestBenchGateCli:
+    def _perf(self, tmp_path, value, name="perf.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(
+            {"machine_run": {"batched": {"instr_per_sec": value}}}))
+        return str(path)
+
+    def _seed_history(self, tmp_path):
+        """Two distinct historical points (identical records would
+        content-dedup into one)."""
+        for value in (1000.0, 1010.0):
+            assert main(["bench-gate",
+                         "--perf", self._perf(tmp_path, value),
+                         "--store", str(tmp_path)]) == 0
+
+    def test_missing_perf_report(self, tmp_path, capsys):
+        assert main(["bench-gate", "--perf", str(tmp_path / "no.json"),
+                     "--store", str(tmp_path)]) == 2
+        assert "no perf report" in capsys.readouterr().err
+
+    def test_advisory_until_two_history_points(self, tmp_path, capsys):
+        for value, history in ((1000.0, 0), (1010.0, 1)):
+            assert main(["bench-gate",
+                         "--perf", self._perf(tmp_path, value),
+                         "--store", str(tmp_path)]) == 0
+            out = capsys.readouterr().out
+            assert "ADVISORY" in out
+            assert f"{history} history point(s)" in out
+            assert "recorded bench-" in out
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        self._seed_history(tmp_path)
+        capsys.readouterr()
+        assert main(["bench-gate",
+                     "--perf", self._perf(tmp_path, 500.0),
+                     "--store", str(tmp_path), "--no-record"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "recorded" not in captured.out
+
+    def test_advisory_flag_never_fails(self, tmp_path, capsys):
+        self._seed_history(tmp_path)
+        assert main(["bench-gate",
+                     "--perf", self._perf(tmp_path, 500.0),
+                     "--store", str(tmp_path),
+                     "--advisory", "--no-record"]) == 0
+        assert "advisory — not failing" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path, capsys):
+        self._seed_history(tmp_path)
+        assert main(["bench-gate",
+                     "--perf", self._perf(tmp_path, 1200.0),
+                     "--store", str(tmp_path), "--no-record"]) == 0
+        out = capsys.readouterr().out
+        assert "bench-gate: PASS" in out
+        assert "+" in out                       # change reported signed
