@@ -1,85 +1,93 @@
 #!/usr/bin/env python3
-"""An audited long-running service (extensions from the paper's §3.2/§7).
+"""A continuously-audited multi-tenant service (the paper's §3.2, live).
 
-A key-value service runs under TDR with two production amenities:
+Earlier revisions of this example audited one machine after the fact.
+This one drives ``repro.service`` — the deterministic continuous-audit
+verifier — end to end, on a roster of three tenants:
 
-1. **Accountable logs** — the machine hash-chains its event log and
-   periodically emits signed authenticators, so the auditor can prove a
-   tampered log before wasting a replay on it;
-2. **Segment replay** — the auditor replays only the suffix after a
-   checkpoint instead of the whole (potentially months-long) execution,
-   and still catches a covert channel active inside the segment.
+* **tenant-00** runs an honest key-value store;
+* **tenant-01** runs the same store but leaks a secret through an
+  IPCTC covert timing channel (delays injected during play, *never*
+  logged — the shipped log is perfectly honest-looking);
+* **tenant-02** is honest too, but its segments travel a lossy link.
+
+Each epoch, every tenant plays its workload, hash-chains and signs its
+event log, and ships it in segments over the (simulated) network.  The
+verifier admits segments through a CRC + attestation-chain gate, spot
+checks cheap prefixes, and escalates anomalies to full-prefix replays —
+all on a virtual clock, so the whole story below is bit-identical on
+every run.
 
 Run:  python examples/audited_service.py
 """
 
-from repro.apps.kvstore import build_kvstore_program, build_kvstore_workload
-from repro.core.attestation import LogVerifier, attest_execution
-from repro.core.log import EventKind, LogEntry
-from repro.core.segments import (play_with_checkpoint, replay_segment,
-                                 segment_of)
-from repro.determinism import SplitMix64
-from repro.machine import MachineConfig
+from repro.core.resilience import AuditClassification
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AuditService, default_tenants
 
-SIGNING_KEY = b"kv-service-attestation-key"
-REQUESTS = 30
-CHECKPOINT_AT = 12_000     # instruction count of the checkpoint (~mid-run)
+TENANTS = 3
+EPOCHS = 2
+SEED = 2014
 
 
 def main() -> None:
-    program = build_kvstore_program()
-    config = MachineConfig()
+    roster = default_tenants(TENANTS, covert_channel="ipctc", requests=6)
+    print("tenant roster:")
+    for spec in roster:
+        traits = []
+        if spec.covert_channel:
+            traits.append(f"covert {spec.covert_channel.upper()} channel")
+        if spec.drop_rate:
+            traits.append(f"lossy link (drop {spec.drop_rate:.0%})")
+        print(f"  {spec.tenant_id}: kvstore x {spec.requests} requests, "
+              f"{spec.segments} segments/epoch"
+              + (f" — {', '.join(traits)}" if traits else ""))
 
-    # The service runs with a covert channel toggled on late in the
-    # execution: one 2 ms delay inside the post-checkpoint segment.
-    schedule = [0] * REQUESTS
-    schedule[22] = 6_800_000
-    workload = build_kvstore_workload(SplitMix64(12),
-                                      num_requests=REQUESTS)
-    observed, checkpoint = play_with_checkpoint(
-        program, config, workload, at_instr=CHECKPOINT_AT, seed=0,
-        covert_schedule=schedule)
-    print(f"service run: {len(observed.tx)} responses, "
-          f"{len(observed.log)} log events, checkpoint at instruction "
-          f"{CHECKPOINT_AT} (after {checkpoint.tx_count} responses)")
+    service = AuditService(roster, epochs=EPOCHS, seed=SEED,
+                           registry=MetricsRegistry())
+    report = service.run()
 
-    # --- 1. The machine attests its log. --------------------------------
-    authenticator = attest_execution(observed.log, SIGNING_KEY)
-    verifier = LogVerifier(SIGNING_KEY)
-    print(f"log attested: {authenticator.length} entries, chain head "
-          f"{authenticator.chain_head.hex()[:16]}…")
-    assert verifier.verify(observed.log, authenticator)
-    print("auditor: authenticator verifies against the delivered log")
+    # --- 1. The escalation story, replayed from the ledger. --------------
+    covert = report.ledgers["tenant-01"]
+    print(f"\nhow tenant-01 was caught ({covert.audits} audits):")
+    for event in covert.events:
+        print(f"  epoch {event.epoch} {event.kind:>9s} "
+              f"[{event.cause}] -> {event.classification.value:16s} "
+              f"coverage {event.coverage:.2f}  "
+              f"worst IPD diff {event.max_rel_ipd_diff:.1%}  "
+              f"status {event.tenant_status}")
+    assert covert.flagged and covert.final_status == "flagged-covert"
+    assert any(e.kind == "escalated" for e in covert.events), \
+        "the flag must come from an escalated full-prefix replay"
 
-    # A machine that rewrites history is caught before any replay runs.
-    import copy
+    # The spot check saw the anomaly first; the escalation confirmed it.
+    suspicious = [e for e in covert.events if e.kind == "spot"
+                  and e.classification
+                  is AuditClassification.REPLAY_DIVERGENT]
+    assert suspicious, "a spot check must have raised the suspicion"
+    print(f"  -> a {suspicious[0].coverage:.0%}-coverage spot check "
+          f"raised the alarm; escalation confirmed it")
 
-    tampered = copy.deepcopy(observed.log)
-    victim = next(i for i, e in enumerate(tampered.entries)
-                  if e.kind == EventKind.PACKET)
-    original = tampered.entries[victim]
-    tampered.entries[victim] = LogEntry(EventKind.PACKET,
-                                        original.instr_count,
-                                        payload=b"forged-request")
-    assert not verifier.verify(tampered, authenticator)
-    print("auditor: a forged request in the log is rejected by the chain")
+    # --- 2. The honest tenants, including the lossy one, stay clean. -----
+    print("\nhonest tenants:")
+    for tid in ("tenant-00", "tenant-02"):
+        ledger = report.ledgers[tid]
+        worst = max(e.max_rel_ipd_diff for e in ledger.events)
+        print(f"  {tid}: {ledger.verdict} after {ledger.audits} audits "
+              f"(worst IPD diff {worst:.2%})")
+        assert not ledger.flagged
+        assert worst < 0.0185, "honest replays stay inside the §6.2 bound"
 
-    # --- 2. Segment replay catches the channel. --------------------------
-    segment = replay_segment(program, observed.log, checkpoint, config,
-                             seed=99)
-    suffix = segment_of(observed, checkpoint)
-    print(f"\nsegment replay: {len(segment.tx)} responses reproduced "
-          f"from the checkpoint")
-    assert [p for _, p in segment.tx] == [p for _, p in suffix]
+    # --- 3. The full report the operator would read. ----------------------
+    print()
+    for line in report.render_lines():
+        print(f"  {line}")
+    assert report.exit_code == 1, "a flagged tenant means non-zero exit"
 
-    diffs_ms = [abs(a - b) * 1e3 / config.frequency_hz
-                for (a, _), (b, _) in zip(suffix, segment.tx)]
-    flagged = [i for i, d in enumerate(diffs_ms) if d > 1.0]
-    print(f"per-response deviations: max {max(diffs_ms):.3f} ms; "
-          f"responses over 1 ms: {flagged}")
-    assert flagged, "the covert delay must stand out in the segment"
-    print("\nThe auditor verified log integrity and caught the covert "
-          "channel from a segment — without replaying the whole history.")
+    print("\nThe verifier flagged the covert tenant from streaming "
+          "segments — cheap spot checks first, full replay only on "
+          "suspicion — and the whole run is a pure function of "
+          f"seed={SEED}.")
 
 
 if __name__ == "__main__":

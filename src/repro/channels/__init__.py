@@ -43,3 +43,14 @@ __all__ = [
 def all_channels() -> list[CovertChannel]:
     """Fresh instances of the four channels (paper defaults)."""
     return [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]
+
+
+def channel_by_name(name: str) -> CovertChannel:
+    """A fresh channel instance by its :attr:`CovertChannel.name`."""
+    for channel in all_channels():
+        if channel.name == name:
+            return channel
+    from repro.errors import ChannelError
+
+    known = ", ".join(c.name for c in all_channels())
+    raise ChannelError(f"unknown covert channel '{name}' (known: {known})")

@@ -57,7 +57,7 @@ class ReplayCache:
     def __init__(self, maxsize: int = 128,
                  registry: MetricsRegistry | None = None) -> None:
         self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, ExecutionResult] = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._program_fps: dict[int, tuple[object, str]] = {}
         self.hits = 0
         self.misses = 0
@@ -118,6 +118,46 @@ class ReplayCache:
             self._entries.popitem(last=False)
         self._size_metric.set(len(self._entries))
         return result
+
+    # -- public fetch/store ------------------------------------------------
+    #
+    # The memoized replay() above covers the common case; callers that run
+    # their replays elsewhere (the verifier service batches them over the
+    # experiment fleet) use this pair to share the same content-addressed
+    # LRU.  Values are deep-copied on both edges, so a hit can never leak
+    # mutations between consumers — the isolation tests pin this.
+
+    def fetch_value(self, program, log, config: MachineConfig | None = None,
+                    seed: int = 1,
+                    max_instructions: int | None = 200_000_000,
+                    observed: bool = False):
+        """Look up a previously stored value; None on miss (counted)."""
+        config = config or MachineConfig()
+        key = self._key(program, log, config, seed, max_instructions,
+                        observed)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            self._misses_metric.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._hits_metric.inc()
+        return copy.deepcopy(cached)
+
+    def store_value(self, program, log, value,
+                    config: MachineConfig | None = None, seed: int = 1,
+                    max_instructions: int | None = 200_000_000,
+                    observed: bool = False) -> None:
+        """Insert ``value`` under the replay key (evicting LRU if full)."""
+        config = config or MachineConfig()
+        key = self._key(program, log, config, seed, max_instructions,
+                        observed)
+        self._entries[key] = copy.deepcopy(value)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self._size_metric.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()

@@ -1,0 +1,69 @@
+"""repro.service — a deterministic continuous-audit verifier service.
+
+The §3.2 deployment story made executable: tenants (prover machines)
+stream hash-chained log segments to a verifier daemon that admits,
+queues, schedules, and escalates incremental replay audits — all under a
+seeded discrete-event clock, so an entire multi-tenant service run is a
+pure function of its seed.
+
+Modules
+-------
+``simclock``    virtual-time event queue + worker-pool model
+``session``     prover sessions: play, chain, sign, segment, ship
+``ingest``      admission: CRC + attestation-chain checks, gap discipline
+``queue``       priority job queue with budgets and backpressure
+``scheduler``   escalation state machine + cache-backed fleet dispatch
+``verdicts``    per-tenant ledgers, metrics, the run report
+``daemon``      the epoch loop tying it all together
+"""
+
+from repro.service.daemon import (AuditService, default_tenants,
+                                  persist_service_report)
+from repro.service.ingest import (AdmissionRecord, AdmissionStatus,
+                                  EpochAccumulator, IngestGate)
+from repro.service.queue import (PRIORITY_ESCALATED, PRIORITY_FULL,
+                                 PRIORITY_SPOT, AuditJob, AuditQueue)
+from repro.service.scheduler import (AuditScheduler, EscalationPolicy,
+                                     ReplayTask, TenantState, TenantStatus,
+                                     execute_replay_task)
+from repro.service.session import (EpochShipment, ProverSession,
+                                   SegmentShipment, TenantSpec,
+                                   WireObservation)
+from repro.service.simclock import (ServiceError, SimClock, SimEvent,
+                                    WorkerPool)
+from repro.service.verdicts import (AuditEvent, ServiceReport, TenantLedger,
+                                    VerdictSink)
+
+__all__ = [
+    "AdmissionRecord",
+    "AdmissionStatus",
+    "AuditEvent",
+    "AuditJob",
+    "AuditQueue",
+    "AuditScheduler",
+    "AuditService",
+    "EpochAccumulator",
+    "EpochShipment",
+    "EscalationPolicy",
+    "IngestGate",
+    "PRIORITY_ESCALATED",
+    "PRIORITY_FULL",
+    "PRIORITY_SPOT",
+    "ProverSession",
+    "ReplayTask",
+    "SegmentShipment",
+    "ServiceError",
+    "ServiceReport",
+    "SimClock",
+    "SimEvent",
+    "TenantLedger",
+    "TenantSpec",
+    "TenantState",
+    "TenantStatus",
+    "VerdictSink",
+    "WireObservation",
+    "WorkerPool",
+    "default_tenants",
+    "execute_replay_task",
+    "persist_service_report",
+]

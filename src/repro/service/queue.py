@@ -1,0 +1,194 @@
+"""Priority audit queue: budgets, deadlines, backpressure.
+
+The verifier multiplexes one bounded worker pool over every tenant, so
+the queue is where fairness and urgency are decided:
+
+* **Priority classes** — escalations (a suspect tenant's full-prefix
+  replay) preempt scheduled full audits, which preempt routine spot
+  checks.  Within a class, jobs dispatch in ready-time order with a
+  deterministic sequence tie-break, mirroring the sim clock's rule.
+* **Per-tenant budgets** — a tenant may hold at most ``tenant_budget``
+  queued jobs; beyond that its *spot checks* are refused (counted, not
+  erred), so a noisy or degraded tenant cannot starve the others.
+  Escalated jobs are exempt: a tamper signal must never be shed.
+* **Backpressure** — a global ``max_depth`` bounds the queue.  When full,
+  pushing a higher class evicts the most recently queued spot check
+  (freshest first, so the oldest routine work still gets audited);
+  pushing a spot check while full simply sheds it.
+
+Every shed/refusal is observable (``service_queue_shed_total`` etc.) and
+deterministic — shedding depends only on queue content, never timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.service.simclock import ServiceError
+
+#: Priority classes, lower dispatches first.
+PRIORITY_ESCALATED = 0
+PRIORITY_FULL = 1
+PRIORITY_SPOT = 2
+
+_PRIORITY_NAMES = {PRIORITY_ESCALATED: "escalated",
+                   PRIORITY_FULL: "full",
+                   PRIORITY_SPOT: "spot"}
+
+
+@dataclass
+class AuditJob:
+    """One unit of replay work awaiting a verifier worker."""
+
+    tenant_id: str
+    epoch: int
+    kind: str                     #: "spot" | "full" | "escalated"
+    priority: int
+    ready_ms: float               #: when the job became schedulable
+    deadline_ms: float            #: audit-SLO deadline (report-only)
+    #: Replay budget for the job, in machine instructions (the cost
+    #: model and the worker's ``max_instructions`` both read this).
+    budget_instructions: int
+    #: Audit window: how many accumulated log entries existed when the
+    #: job was created.  Replays use exactly this prefix, so a spot
+    #: check stays incremental even though dispatch happens in batches
+    #: after more segments have landed.
+    log_upto: int = 0
+    #: Reason the job exists ("cadence", "segment", "divergence", ...).
+    cause: str = ""
+    seq: int = -1                 #: assigned by the queue at push time
+    start_ms: float = -1.0        #: stamped at dispatch
+    completion_ms: float = -1.0   #: stamped at completion
+
+    @property
+    def queue_latency_ms(self) -> float:
+        """Time spent waiting between ready and dispatch."""
+        return max(0.0, self.start_ms - self.ready_ms)
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.completion_ms > self.deadline_ms >= 0
+
+
+@dataclass
+class QueueStats:
+    """Counters the verdict report surfaces per run."""
+
+    pushed: int = 0
+    popped: int = 0
+    shed: int = 0                 #: dropped by global backpressure
+    refused: int = 0              #: rejected by a tenant budget
+    peak_depth: int = 0
+    shed_by_tenant: dict[str, int] = field(default_factory=dict)
+
+
+class AuditQueue:
+    """Bounded, tenant-budgeted priority queue of :class:`AuditJob`."""
+
+    def __init__(self, max_depth: int = 64, tenant_budget: int = 8,
+                 registry: MetricsRegistry | None = None) -> None:
+        if max_depth < 1:
+            raise ServiceError(f"queue depth must be >= 1, got {max_depth}")
+        if tenant_budget < 1:
+            raise ServiceError(
+                f"tenant budget must be >= 1, got {tenant_budget}")
+        self.max_depth = max_depth
+        self.tenant_budget = tenant_budget
+        self.registry = registry if registry is not None else get_registry()
+        self._heap: list[tuple[int, float, int, AuditJob]] = []
+        self._seq = 0
+        self._queued_per_tenant: dict[str, int] = {}
+        self.stats = QueueStats()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def depth_for(self, tenant_id: str) -> int:
+        return self._queued_per_tenant.get(tenant_id, 0)
+
+    # -- push / pop --------------------------------------------------------
+
+    def push(self, job: AuditJob) -> bool:
+        """Enqueue ``job``; returns False when budget/backpressure shed it."""
+        if job.priority == PRIORITY_SPOT \
+                and self.depth_for(job.tenant_id) >= self.tenant_budget:
+            self.stats.refused += 1
+            self._count("service_queue_refused_total",
+                        "Jobs refused by a per-tenant budget")
+            return False
+        if len(self._heap) >= self.max_depth:
+            if not self._make_room(job):
+                self.stats.shed += 1
+                self.stats.shed_by_tenant[job.tenant_id] = \
+                    self.stats.shed_by_tenant.get(job.tenant_id, 0) + 1
+                self._count("service_queue_shed_total",
+                            "Jobs dropped by queue backpressure")
+                return False
+        job.seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (job.priority, job.ready_ms, job.seq, job))
+        self._queued_per_tenant[job.tenant_id] = \
+            self.depth_for(job.tenant_id) + 1
+        self.stats.pushed += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._heap))
+        self._count("service_queue_pushed_total", "Jobs enqueued")
+        return True
+
+    def pop(self) -> AuditJob:
+        """Dequeue the most urgent job (priority, ready time, sequence)."""
+        if not self._heap:
+            raise ServiceError("pop from an empty audit queue")
+        _, _, _, job = heapq.heappop(self._heap)
+        self._queued_per_tenant[job.tenant_id] -= 1
+        self.stats.popped += 1
+        return job
+
+    def drain(self) -> list[AuditJob]:
+        """Pop everything, in dispatch order."""
+        jobs = []
+        while self._heap:
+            jobs.append(self.pop())
+        return jobs
+
+    # -- backpressure ------------------------------------------------------
+
+    def _make_room(self, incoming: AuditJob) -> bool:
+        """Evict one spot check to admit a higher class; False = no room."""
+        if incoming.priority >= PRIORITY_SPOT:
+            return False
+        # Evict the *freshest* spot check (largest seq): the oldest
+        # routine work keeps its place, and the evicted check will be
+        # regenerated by the next cadence tick anyway.
+        victim_idx = None
+        for idx, (priority, _, seq, _) in enumerate(self._heap):
+            if priority == PRIORITY_SPOT and (
+                    victim_idx is None
+                    or seq > self._heap[victim_idx][2]):
+                victim_idx = idx
+        if victim_idx is None:
+            return False
+        _, _, _, victim = self._heap.pop(victim_idx)
+        heapq.heapify(self._heap)
+        self._queued_per_tenant[victim.tenant_id] -= 1
+        self.stats.shed += 1
+        self.stats.shed_by_tenant[victim.tenant_id] = \
+            self.stats.shed_by_tenant.get(victim.tenant_id, 0) + 1
+        self._count("service_queue_shed_total",
+                    "Jobs dropped by queue backpressure")
+        return True
+
+    def _count(self, name: str, help_text: str) -> None:
+        if self.registry.enabled:
+            self.registry.counter(name, help_text).inc()
+
+
+def priority_name(priority: int) -> str:
+    return _PRIORITY_NAMES.get(priority, str(priority))

@@ -1,0 +1,129 @@
+"""Seeded discrete-event clock for the verifier service simulation.
+
+The continuous-audit verifier (§3.2 deployment story) is a long-running
+daemon: segments arrive over lossy links at irregular times, audit jobs
+queue behind a bounded worker pool, and escalations race deadlines.  A
+real daemon would order all of that by wall-clock time — which would make
+every run unrepeatable.  The service instead runs on a *simulated*
+millisecond clock:
+
+* every event (segment arrival, job dispatch, job completion) carries an
+  explicit virtual timestamp derived only from seeded models (transfer
+  elapsed time, the audit cost model), never from the host clock;
+* ties are broken by a monotonically increasing sequence number assigned
+  at push time, so two events at the same virtual instant always pop in
+  the order they were scheduled.
+
+The result is the property the determinism tests pin down: a service run
+is a pure function of its seed and tenant roster — bit-identical across
+hosts, runs, and ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A verifier-service invariant was violated."""
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One scheduled occurrence on the virtual timeline."""
+
+    time_ms: float
+    seq: int
+    kind: str
+    payload: object = None
+
+
+class SimClock:
+    """Virtual-time event queue with deterministic tie-breaking.
+
+    ``now_ms`` only moves forward, and only by popping events — the
+    service never reads the host clock on any code path that feeds a
+    verdict or a metric.
+    """
+
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, SimEvent]] = []
+
+    def schedule(self, time_ms: float, kind: str,
+                 payload: object = None) -> SimEvent:
+        """Add an event at ``time_ms`` (>= now); returns it."""
+        if time_ms < self.now_ms:
+            raise ServiceError(
+                f"cannot schedule '{kind}' at {time_ms:.3f} ms; the "
+                f"clock already reads {self.now_ms:.3f} ms")
+        event = SimEvent(time_ms, self._seq, kind, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ms, event.seq, event))
+        return event
+
+    def pop(self) -> SimEvent:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise ServiceError("pop from an empty event queue")
+        _, _, event = heapq.heappop(self._heap)
+        self.now_ms = event.time_ms
+        return event
+
+    def advance_to(self, time_ms: float) -> None:
+        """Move the clock forward to ``time_ms`` without an event."""
+        if time_ms < self.now_ms:
+            raise ServiceError(
+                f"clock cannot run backwards: {time_ms:.3f} < "
+                f"{self.now_ms:.3f}")
+        self.now_ms = time_ms
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class WorkerPool:
+    """Virtual-time model of ``num_workers`` audit workers.
+
+    Assignment is deterministic: a job goes to the worker that frees up
+    earliest, ties broken by the lowest worker index.  Busy time is
+    accumulated per worker so the report can state utilization.
+    """
+
+    num_workers: int
+    free_at_ms: list[float] = field(default_factory=list)
+    busy_ms: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ServiceError(
+                f"worker pool needs >= 1 worker, got {self.num_workers}")
+        if not self.free_at_ms:
+            self.free_at_ms = [0.0] * self.num_workers
+            self.busy_ms = [0.0] * self.num_workers
+
+    def assign(self, ready_ms: float, service_ms: float
+               ) -> tuple[int, float, float]:
+        """Place one job; returns ``(worker, start_ms, completion_ms)``."""
+        worker = min(range(self.num_workers),
+                     key=lambda w: (self.free_at_ms[w], w))
+        start = max(ready_ms, self.free_at_ms[worker])
+        completion = start + service_ms
+        self.free_at_ms[worker] = completion
+        self.busy_ms[worker] += service_ms
+        return worker, start, completion
+
+    def utilization(self, horizon_ms: float) -> float:
+        """Fraction of worker-time busy over ``[0, horizon_ms]``."""
+        if horizon_ms <= 0:
+            return 0.0
+        total = self.num_workers * horizon_ms
+        return min(1.0, sum(self.busy_ms) / total)

@@ -1,0 +1,271 @@
+"""Per-tenant verdict ledgers and the service run report.
+
+Every audit the scheduler completes lands here as an immutable
+:class:`AuditEvent`.  The :class:`VerdictSink` folds events into
+per-tenant :class:`TenantLedger` rows and the service-level metrics
+(queue latency, audits by kind, deadline misses); the
+:class:`ServiceReport` renders the CLI tables and carries the exact
+dictionary the determinism tests compare across runs and ``--jobs``
+settings — so everything in it is derived from virtual time and seeded
+replay, never the host clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.resilience import AuditClassification
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+_FLAGGED = ("flagged-covert", "flagged-tamper", "flagged-divergent")
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One completed audit job, fully judged."""
+
+    tenant_id: str
+    epoch: int
+    kind: str                     #: "spot" | "full" | "escalated"
+    cause: str
+    classification: AuditClassification
+    consistent: bool | None
+    coverage: float               #: fraction of wire tx the audit checked
+    matched_tx: int
+    total_tx: int
+    tenant_status: str            #: state-machine status after this audit
+    queue_latency_ms: float
+    service_ms: float
+    worker: int
+    start_ms: float
+    completion_ms: float
+    missed_deadline: bool
+    cache_hit: bool
+    max_rel_ipd_diff: float
+    detail: str = ""
+
+    def to_json_dict(self) -> dict:
+        data = asdict(self)
+        data["classification"] = self.classification.value
+        return data
+
+
+@dataclass
+class TenantLedger:
+    """Everything the service concluded about one tenant."""
+
+    tenant_id: str
+    events: list[AuditEvent] = field(default_factory=list)
+    final_status: str = "normal"
+
+    def add(self, event: AuditEvent) -> None:
+        self.events.append(event)
+        self.final_status = event.tenant_status
+
+    # -- derived counts ----------------------------------------------------
+
+    def _count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def audits(self) -> int:
+        return len(self.events)
+
+    @property
+    def spot_checks(self) -> int:
+        return self._count("spot")
+
+    @property
+    def full_audits(self) -> int:
+        return self._count("full")
+
+    @property
+    def escalations(self) -> int:
+        return self._count("escalated")
+
+    @property
+    def anomalies(self) -> int:
+        return sum(1 for e in self.events if e.classification in
+                   (AuditClassification.REPLAY_DIVERGENT,
+                    AuditClassification.TAMPER_DETECTED))
+
+    @property
+    def degraded_audits(self) -> int:
+        return sum(1 for e in self.events if e.classification
+                   == AuditClassification.TRANSFER_DEGRADED)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.cache_hit)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for e in self.events if e.missed_deadline)
+
+    @property
+    def mean_queue_latency_ms(self) -> float:
+        if not self.events:
+            return 0.0
+        return sum(e.queue_latency_ms for e in self.events) / len(self.events)
+
+    @property
+    def max_queue_latency_ms(self) -> float:
+        return max((e.queue_latency_ms for e in self.events), default=0.0)
+
+    @property
+    def flagged(self) -> bool:
+        return self.final_status in _FLAGGED
+
+    @property
+    def verdict(self) -> str:
+        """The one-word answer the report table prints."""
+        if self.final_status == "flagged-covert":
+            return "FLAGGED covert-timing"
+        if self.final_status == "flagged-tamper":
+            return "FLAGGED tamper"
+        if self.final_status == "flagged-divergent":
+            return "FLAGGED divergent"
+        if self.final_status == "suspect":
+            return "suspect"
+        if self.degraded_audits:
+            return "clean (degraded link)"
+        return "clean"
+
+    def to_json_dict(self) -> dict:
+        return {"tenant_id": self.tenant_id,
+                "verdict": self.verdict,
+                "final_status": self.final_status,
+                "audits": self.audits,
+                "spot_checks": self.spot_checks,
+                "full_audits": self.full_audits,
+                "escalations": self.escalations,
+                "anomalies": self.anomalies,
+                "degraded_audits": self.degraded_audits,
+                "cache_hits": self.cache_hits,
+                "deadline_misses": self.deadline_misses,
+                "mean_queue_latency_ms": round(self.mean_queue_latency_ms, 3),
+                "max_queue_latency_ms": round(self.max_queue_latency_ms, 3),
+                "events": [e.to_json_dict() for e in self.events]}
+
+
+class VerdictSink:
+    """Collects audit events into ledgers and service metrics."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.ledgers: dict[str, TenantLedger] = {}
+        self.events: list[AuditEvent] = []
+
+    def record(self, event: AuditEvent) -> None:
+        self.events.append(event)
+        ledger = self.ledgers.get(event.tenant_id)
+        if ledger is None:
+            ledger = TenantLedger(tenant_id=event.tenant_id)
+            self.ledgers[event.tenant_id] = ledger
+        ledger.add(event)
+        registry = self.registry
+        if not registry.enabled:
+            return
+        registry.counter("service_audits_total",
+                         "Audit jobs completed by the verifier").inc()
+        registry.counter(f"service_audits_{event.kind}_total",
+                         f"{event.kind} audits completed").inc()
+        registry.histogram(
+            "service_queue_latency_ms",
+            "Job wait between ready and dispatch (virtual ms)",
+            buckets=(1.0, 5.0, 20.0, 50.0, 200.0, 1000.0)).observe(
+            event.queue_latency_ms)
+        registry.histogram(
+            "service_audit_service_ms",
+            "Audit service time under the virtual cost model (ms)",
+            buckets=(2.0, 10.0, 50.0, 200.0, 1000.0, 5000.0)).observe(
+            event.service_ms)
+        if event.missed_deadline:
+            registry.counter("service_deadline_misses_total",
+                             "Audits completed after their SLO deadline"
+                             ).inc()
+
+
+@dataclass
+class ServiceReport:
+    """The complete, deterministic outcome of one service run."""
+
+    seed: int
+    epochs: int
+    ledgers: dict[str, TenantLedger]
+    queue_stats: dict
+    utilization: float
+    num_workers: int
+    cache_hits: int
+    cache_misses: int
+    horizon_ms: float             #: virtual time at which the run ended
+    segments_shipped: int = 0
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def flagged_tenants(self) -> list[str]:
+        return sorted(t for t, l in self.ledgers.items() if l.flagged)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when any tenant ended flagged — the CLI contract."""
+        return 1 if self.flagged_tenants else 0
+
+    def verdicts_dict(self) -> dict:
+        """The canonical comparison payload for the determinism tests."""
+        return {"seed": self.seed,
+                "epochs": self.epochs,
+                "horizon_ms": round(self.horizon_ms, 3),
+                "utilization": round(self.utilization, 4),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "segments_shipped": self.segments_shipped,
+                "queue": dict(self.queue_stats),
+                "flagged": self.flagged_tenants,
+                "tenants": {tid: ledger.to_json_dict()
+                            for tid, ledger in sorted(self.ledgers.items())}}
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_lines(self) -> list[str]:
+        lines = [
+            f"service run: seed={self.seed} epochs={self.epochs} "
+            f"tenants={len(self.ledgers)} workers={self.num_workers}",
+            f"virtual horizon {self.horizon_ms:.1f} ms; worker utilization "
+            f"{self.utilization:.1%}; replay cache {self.cache_hits} hits / "
+            f"{self.cache_misses} misses",
+            "",
+            f"{'tenant':<12} {'verdict':<22} {'audits':>6} {'spot':>5} "
+            f"{'full':>5} {'escal':>6} {'anom':>5} {'degr':>5}",
+        ]
+        for tid in sorted(self.ledgers):
+            ledger = self.ledgers[tid]
+            lines.append(
+                f"{tid:<12} {ledger.verdict:<22} {ledger.audits:>6} "
+                f"{ledger.spot_checks:>5} {ledger.full_audits:>5} "
+                f"{ledger.escalations:>6} {ledger.anomalies:>5} "
+                f"{ledger.degraded_audits:>5}")
+        queue = self.queue_stats
+        lines += [
+            "",
+            f"{'tenant':<12} {'mean wait ms':>12} {'max wait ms':>12} "
+            f"{'cache hits':>10} {'SLO miss':>8}",
+        ]
+        for tid in sorted(self.ledgers):
+            ledger = self.ledgers[tid]
+            lines.append(
+                f"{tid:<12} {ledger.mean_queue_latency_ms:>12.3f} "
+                f"{ledger.max_queue_latency_ms:>12.3f} "
+                f"{ledger.cache_hits:>10} {ledger.deadline_misses:>8}")
+        lines += [
+            "",
+            f"queue: pushed={queue.get('pushed', 0)} "
+            f"popped={queue.get('popped', 0)} shed={queue.get('shed', 0)} "
+            f"refused={queue.get('refused', 0)} "
+            f"peak_depth={queue.get('peak_depth', 0)}",
+        ]
+        if self.flagged_tenants:
+            lines.append("flagged: " + ", ".join(self.flagged_tenants))
+        else:
+            lines.append("flagged: none")
+        return lines

@@ -6,6 +6,8 @@ Usage::
     python -m repro.tools.reproduce fig2 fig7
     python -m repro.tools.reproduce all --runs 6 --requests 20
     python -m repro.tools.reproduce fig6 trace --store
+    python -m repro.tools.reproduce serve --tenants 4 --epochs 3 --store
+    python -m repro.tools.reproduce audit --covert ipctc
     python -m repro.tools.reproduce runs list
     python -m repro.tools.reproduce report --latest 2 --out tdr-report.html
     python -m repro.tools.reproduce bench-gate --advisory
@@ -13,10 +15,16 @@ Usage::
 Each experiment is a quick, parameterizable version of the corresponding
 bench in ``benchmarks/`` (the benches add shape assertions and fixed
 parameters; this tool is for exploration).  With ``--store [DIR]`` the
-store-aware experiments (``fig6``, ``trace``, ``chaos``, ``fleet``)
-persist their full evidence — ledgers, metrics, traces, verdicts — to a
-:class:`~repro.obs.runstore.RunStore`; the ``runs`` / ``report`` /
-``bench-gate`` subcommands list, re-render, and gate on those artifacts.
+store-aware experiments (``fig6``, ``trace``, ``chaos``, ``fleet``,
+``serve``, ``audit``) persist their full evidence — ledgers, metrics,
+traces, verdicts — to a :class:`~repro.obs.runstore.RunStore`; the
+``runs`` / ``report`` / ``bench-gate`` subcommands list, re-render, and
+gate on those artifacts.
+
+Exit codes are part of the contract: every experiment returns a status,
+and the process exits non-zero when any audit-style experiment
+(``audit``, ``chaos``, ``serve``) found a tamper, divergence, or covert
+timing deviation — so CI and scripts can gate directly on the verdict.
 """
 
 from __future__ import annotations
@@ -208,11 +216,11 @@ def run_fig8(args) -> None:
         print(f"  [stored {run_id} in {store.root}]")
 
 
-def run_chaos(args) -> None:
+def run_chaos(args) -> int:
     _banner("Chaos matrix — resilient audit under injected faults")
     from repro.core.attestation import attest_execution
     from repro.core.replay_cache import ReplayCache
-    from repro.core.resilience import audit_resilient
+    from repro.core.resilience import AuditClassification, audit_resilient
     from repro.faults import LogTransferChannel, standard_fault_kinds
 
     registry = MetricsRegistry()
@@ -262,6 +270,13 @@ def run_chaos(args) -> None:
                   f"{outcome.classification.value} "
                   f"(coverage {outcome.coverage:.2f})")
     print(f"\n  replay cache: {cache.hits} hits, {cache.misses} misses")
+    flagged = [o for o in outcomes
+               if o.classification in (AuditClassification.TAMPER_DETECTED,
+                                       AuditClassification.REPLAY_DIVERGENT)
+               or o.consistent is False]
+    print(f"  {len(flagged)}/{len(outcomes)} audits raised a "
+          f"tamper/divergence verdict"
+          + (" -> non-zero exit" if flagged else ""))
 
     store = _store(args)
     if store is not None:
@@ -283,6 +298,7 @@ def run_chaos(args) -> None:
                      if o.flight is not None]))
         print(f"  [stored {run_id} in {store.root}]")
     _print_phase_report(registry)
+    return 1 if flagged else 0
 
 
 def run_trace(args) -> None:
@@ -427,6 +443,101 @@ def run_fleet_exp(args) -> None:
         print(f"  [stored {run_id} in {store.root}]")
 
 
+def run_audit(args) -> int:
+    _banner("Audit — one attested machine, end to end")
+    from repro.analysis.experiment import vm_covert_schedule
+    from repro.apps import build_kvstore_program, build_kvstore_workload
+    from repro.channels import channel_by_name
+    from repro.core.attestation import attest_execution
+    from repro.core.log import EventKind, EventLog, LogEntry
+    from repro.core.resilience import AuditClassification, audit_resilient
+
+    config = MachineConfig()
+    program = build_kvstore_program()
+    workload = build_kvstore_workload(SplitMix64(args.chaos_seed),
+                                      num_requests=args.requests)
+    schedule = None
+    if args.covert:
+        rng = SplitMix64(args.chaos_seed).fork("audit-covert")
+        channel = channel_by_name(args.covert)
+        model = NfsTrafficModel()
+        channel.fit(model.ipds(240, rng.fork("adversary")), rng.fork("fit"))
+        schedule = vm_covert_schedule(
+            channel, model.ipds(args.requests, rng.fork("natural")),
+            [1, 0, 1, 1], rng.fork("encode"),
+            frequency_hz=config.frequency_hz)
+    observed = play(program, config, workload=workload, seed=0,
+                    covert_schedule=schedule)
+    key = b"reproduce-audit-key"
+    auth = attest_execution(observed.log, key)
+    if args.tamper:
+        # Rewrite one committed packet after attesting — valid framing,
+        # broken chain: exactly what the admission check must catch.
+        entries = list(observed.log.entries)
+        victim = next(i for i, e in enumerate(entries)
+                      if e.kind == EventKind.PACKET and e.payload)
+        original = entries[victim]
+        entries[victim] = LogEntry(
+            original.kind, original.instr_count,
+            payload=bytes([original.payload[0] ^ 0x01])
+            + original.payload[1:], value=original.value)
+        shipped = EventLog()
+        shipped.entries = entries
+        data = shipped.to_bytes()
+    else:
+        data = observed.log.to_bytes()
+
+    outcome = audit_resilient(program, observed, data, config=config,
+                              authenticator=auth, signing_key=key,
+                              runstore=_store(args),
+                              run_label="reproduce audit")
+    verdict = ("-" if outcome.consistent is None
+               else str(outcome.consistent))
+    print(f"  {len(observed.tx)} tx, {len(observed.log)} log entries"
+          + (f", covert channel '{args.covert}' active" if args.covert
+             else "") + (", log tampered in transit" if args.tamper
+                         else ""))
+    print(f"  classification: {outcome.classification.value}  "
+          f"coverage {outcome.coverage:.2f}  timing-consistent {verdict}")
+    print(f"  {outcome.detail}")
+    if outcome.run_id:
+        print(f"  [stored {outcome.run_id}]")
+    flagged = (outcome.classification in
+               (AuditClassification.TAMPER_DETECTED,
+                AuditClassification.REPLAY_DIVERGENT)
+               or outcome.consistent is False)
+    print(f"  verdict: {'FLAGGED -> non-zero exit' if flagged else 'clean'}")
+    return 1 if flagged else 0
+
+
+def run_serve(args) -> int:
+    _banner("Serve — continuous-audit verifier service (virtual time)")
+    from repro.service import (AuditService, default_tenants,
+                               persist_service_report)
+
+    registry = MetricsRegistry()
+    tenants = default_tenants(args.tenants, covert_channel=args.covert
+                              or "ipctc", requests=args.requests)
+    service = AuditService(tenants, epochs=args.epochs,
+                           seed=args.serve_seed, num_workers=args.workers,
+                           registry=registry)
+    with time_phase("serve.run", registry):
+        report = service.run(jobs=args.jobs)
+    for line in report.render_lines():
+        print(f"  {line}")
+
+    store = _store(args)
+    if store is not None:
+        run_id = persist_service_report(
+            store, report,
+            label=f"{args.tenants} tenants x {args.epochs} epochs")
+        print(f"  [stored {run_id} in {store.root}]")
+    _print_phase_report(registry)
+    if report.exit_code:
+        print("  flagged tenants -> non-zero exit")
+    return report.exit_code
+
+
 EXPERIMENTS = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -438,6 +549,8 @@ EXPERIMENTS = {
     "chaos": run_chaos,
     "trace": run_trace,
     "fleet": run_fleet_exp,
+    "audit": run_audit,
+    "serve": run_serve,
 }
 
 
@@ -583,7 +696,13 @@ def cmd_bench_gate(argv: list[str]) -> int:
               file=sys.stderr)
         return 2
     perf = json.loads(perf_path.read_text())
-    current = perf["machine_run"]["batched"]["instr_per_sec"]
+    try:
+        current = perf["machine_run"]["batched"]["instr_per_sec"]
+    except (KeyError, TypeError):
+        print(f"bench-gate: {perf_path} has no "
+              f"machine_run.batched.instr_per_sec (partial perf report — "
+              f"run benchmarks/test_perf_baseline.py)", file=sys.stderr)
+        return 2
     store = _open_store(args.store)
     history = [manifest["figures"]["perf"]["instr_per_sec"]
                for manifest in store.list_runs(kind="bench")
@@ -653,6 +772,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default="tdr-trace.json",
                         help="Chrome trace file written by 'trace' "
                              "(default tdr-trace.json)")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="tenants simulated by 'serve' (default 4)")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="epochs simulated by 'serve' (default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="virtual verifier workers for 'serve' "
+                             "(default 2)")
+    parser.add_argument("--serve-seed", type=int, default=2014,
+                        help="service seed for 'serve' (default 2014)")
+    parser.add_argument("--covert", default=None, metavar="CHANNEL",
+                        help="covert channel for 'audit' (and the "
+                             "covert tenant of 'serve'; default ipctc "
+                             "there, none for 'audit')")
+    parser.add_argument("--tamper", action="store_true",
+                        help="'audit' only: rewrite a committed log "
+                             "entry after attestation")
     parser.add_argument("--store", nargs="?", const="", default=None,
                         metavar="DIR",
                         help="persist run artifacts to a run store at "
@@ -671,11 +806,13 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         print("available:", ", ".join(EXPERIMENTS), file=sys.stderr)
         return 2
+    status = 0
     for name in selected:
         started = time.time()
-        EXPERIMENTS[name](args)
+        result = EXPERIMENTS[name](args)
         print(f"  [{name}: {time.time() - started:.1f}s]")
-    return 0
+        status = max(status, int(result or 0))
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,116 @@
+"""Audit queue: priority classes, tenant budgets, backpressure."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    PRIORITY_ESCALATED,
+    PRIORITY_FULL,
+    PRIORITY_SPOT,
+    AuditJob,
+    AuditQueue,
+    ServiceError,
+)
+from repro.service.queue import priority_name
+
+
+def _job(tenant="t0", priority=PRIORITY_SPOT, ready=0.0, epoch=0,
+         deadline=1_000.0):
+    kind = priority_name(priority)
+    return AuditJob(tenant_id=tenant, epoch=epoch, kind=kind,
+                    priority=priority, ready_ms=ready, deadline_ms=deadline,
+                    budget_instructions=1_000)
+
+
+def _queue(**kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return AuditQueue(**kwargs)
+
+
+def test_escalations_preempt_fulls_preempt_spots():
+    queue = _queue()
+    queue.push(_job(priority=PRIORITY_SPOT, ready=0.0))
+    queue.push(_job(priority=PRIORITY_FULL, ready=5.0))
+    queue.push(_job(priority=PRIORITY_ESCALATED, ready=9.0))
+    kinds = [job.kind for job in queue.drain()]
+    assert kinds == ["escalated", "full", "spot"]
+
+
+def test_fifo_within_a_class_on_ready_time_ties():
+    queue = _queue()
+    first = _job(tenant="a", ready=3.0)
+    second = _job(tenant="b", ready=3.0)
+    queue.push(first)
+    queue.push(second)
+    assert [job.tenant_id for job in queue.drain()] == ["a", "b"]
+
+
+def test_tenant_budget_refuses_excess_spot_checks():
+    queue = _queue(tenant_budget=2)
+    assert queue.push(_job(tenant="noisy"))
+    assert queue.push(_job(tenant="noisy"))
+    assert not queue.push(_job(tenant="noisy"))
+    assert queue.push(_job(tenant="quiet"))           # others unaffected
+    assert queue.stats.refused == 1
+
+
+def test_escalations_are_exempt_from_tenant_budgets():
+    queue = _queue(tenant_budget=1)
+    queue.push(_job(tenant="t0"))
+    assert queue.push(_job(tenant="t0", priority=PRIORITY_ESCALATED))
+    assert queue.stats.refused == 0
+
+
+def test_backpressure_evicts_the_freshest_spot_check():
+    queue = _queue(max_depth=3)
+    old = _job(tenant="a", ready=0.0)
+    mid = _job(tenant="b", ready=1.0)
+    fresh = _job(tenant="c", ready=2.0)
+    for job in (old, mid, fresh):
+        assert queue.push(job)
+    assert queue.push(_job(tenant="urgent", priority=PRIORITY_ESCALATED))
+    tenants = [job.tenant_id for job in queue.drain()]
+    assert tenants == ["urgent", "a", "b"]            # "c" was shed
+    assert queue.stats.shed == 1
+    assert queue.stats.shed_by_tenant == {"c": 1}
+
+
+def test_spot_check_is_shed_when_the_queue_is_full():
+    queue = _queue(max_depth=2)
+    queue.push(_job(tenant="a", priority=PRIORITY_FULL))
+    queue.push(_job(tenant="b", priority=PRIORITY_FULL))
+    assert not queue.push(_job(tenant="c"))
+    assert queue.stats.shed == 1
+    assert len(queue) == 2
+
+
+def test_higher_class_with_no_spot_victim_is_shed():
+    queue = _queue(max_depth=2)
+    queue.push(_job(tenant="a", priority=PRIORITY_ESCALATED))
+    queue.push(_job(tenant="b", priority=PRIORITY_ESCALATED))
+    assert not queue.push(_job(tenant="c", priority=PRIORITY_FULL))
+    assert queue.stats.shed == 1
+
+
+def test_stats_track_depth_and_throughput():
+    queue = _queue()
+    for i in range(4):
+        queue.push(_job(tenant=f"t{i}"))
+    assert queue.stats.peak_depth == 4
+    queue.pop()
+    assert queue.depth_for("t0") == 0 and len(queue) == 3
+    assert queue.stats.pushed == 4 and queue.stats.popped == 1
+
+
+def test_pop_from_empty_queue_raises():
+    with pytest.raises(ServiceError):
+        _queue().pop()
+
+
+def test_job_latency_and_deadline_accounting():
+    job = _job(ready=10.0, deadline=50.0)
+    job.start_ms, job.completion_ms = 30.0, 60.0
+    assert job.queue_latency_ms == 20.0
+    assert job.missed_deadline
+    job.completion_ms = 45.0
+    assert not job.missed_deadline

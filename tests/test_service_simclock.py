@@ -1,0 +1,71 @@
+"""Discrete-event clock and virtual worker pool."""
+
+import pytest
+
+from repro.service import ServiceError, SimClock, WorkerPool
+
+
+class TestSimClock:
+    def test_pop_orders_by_time_then_sequence(self):
+        clock = SimClock()
+        clock.schedule(5.0, "b")
+        clock.schedule(1.0, "a")
+        clock.schedule(5.0, "c")       # same time as "b", scheduled later
+        kinds = [clock.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_pop_advances_now(self):
+        clock = SimClock()
+        clock.schedule(3.5, "x")
+        assert clock.now_ms == 0.0
+        event = clock.pop()
+        assert event.time_ms == 3.5
+        assert clock.now_ms == 3.5
+
+    def test_scheduling_in_the_past_raises(self):
+        clock = SimClock()
+        clock.schedule(10.0, "x")
+        clock.pop()
+        with pytest.raises(ServiceError):
+            clock.schedule(9.0, "late")
+
+    def test_advance_to_never_goes_backward(self):
+        clock = SimClock()
+        clock.advance_to(7.0)
+        assert clock.now_ms == 7.0
+        with pytest.raises(ServiceError):
+            clock.advance_to(2.0)
+        assert clock.now_ms == 7.0
+
+    def test_len_and_bool_reflect_pending_events(self):
+        clock = SimClock()
+        assert not clock and len(clock) == 0
+        clock.schedule(1.0, "x")
+        assert clock and len(clock) == 1
+
+
+class TestWorkerPool:
+    def test_assign_picks_earliest_free_lowest_index(self):
+        pool = WorkerPool(2)
+        w0, start0, end0 = pool.assign(0.0, 10.0)
+        w1, start1, end1 = pool.assign(0.0, 10.0)
+        assert (w0, start0, end0) == (0, 0.0, 10.0)
+        assert (w1, start1, end1) == (1, 0.0, 10.0)
+        # Both busy until 10.0 — the next job waits on worker 0.
+        w2, start2, end2 = pool.assign(2.0, 5.0)
+        assert (w2, start2, end2) == (0, 10.0, 15.0)
+
+    def test_assign_starts_at_ready_time_when_idle(self):
+        pool = WorkerPool(1)
+        worker, start, end = pool.assign(4.0, 3.0)
+        assert (worker, start, end) == (0, 4.0, 7.0)
+
+    def test_utilization_is_busy_share_of_horizon(self):
+        pool = WorkerPool(2)
+        pool.assign(0.0, 10.0)
+        assert pool.utilization(100.0) == pytest.approx(0.05)
+        assert pool.utilization(0.0) == 0.0
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(0)

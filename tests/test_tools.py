@@ -37,11 +37,13 @@ class TestReproduceCli:
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
                                     "fig7", "sec65", "fig8", "chaos",
-                                    "trace", "fleet"}
+                                    "trace", "fleet", "audit", "serve"}
 
     def test_chaos_quick(self, capsys):
+        # Severity 1 injects tamper/corruption faults, so the exit-code
+        # contract requires a non-zero status alongside the matrix.
         assert main(["chaos", "--requests", "4", "--severities", "1",
-                     "--chaos-seed", "7"]) == 0
+                     "--chaos-seed", "7"]) == 1
         out = capsys.readouterr().out
         assert "Chaos matrix" in out
         assert "tamper-detected" in out
@@ -74,6 +76,59 @@ class TestReproduceCli:
         phases = {e["ph"] for e in events}
         assert {"B", "E"} <= phases       # balanced spans present
         assert all("ts" in e or e["ph"] == "M" for e in events)
+
+
+class TestExitCodeContract:
+    """Every verdict-bearing subcommand: zero iff nothing was flagged."""
+
+    def test_audit_clean_exits_zero(self, capsys):
+        assert main(["audit", "--requests", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "classification: clean" in out
+        assert "verdict: clean" in out
+
+    def test_audit_covert_exits_nonzero(self, capsys):
+        assert main(["audit", "--requests", "4",
+                     "--covert", "ipctc"]) == 1
+        out = capsys.readouterr().out
+        assert "covert channel 'ipctc' active" in out
+        assert "FLAGGED -> non-zero exit" in out
+
+    def test_audit_tamper_exits_nonzero(self, capsys):
+        assert main(["audit", "--requests", "4", "--tamper"]) == 1
+        out = capsys.readouterr().out
+        assert "log tampered in transit" in out
+        assert "classification: tamper-detected" in out
+
+    def test_chaos_severity_zero_exits_zero(self, capsys):
+        assert main(["chaos", "--requests", "4", "--severities", "0",
+                     "--chaos-seed", "7"]) == 0
+        assert "0/" in capsys.readouterr().out
+
+    def test_serve_flags_the_covert_tenant(self, capsys):
+        assert main(["serve", "--tenants", "3", "--epochs", "2",
+                     "--requests", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "FLAGGED covert-timing" in out
+        assert "tenant-01" in out
+        assert "flagged tenants -> non-zero exit" in out
+
+    def test_serve_all_clean_exits_zero(self, capsys):
+        # A single-tenant roster has no covert slot.
+        assert main(["serve", "--tenants", "1", "--epochs", "1",
+                     "--requests", "4"]) == 0
+        assert "flagged: none" in capsys.readouterr().out
+
+    def test_serve_store_persists_a_service_run(self, tmp_path, capsys):
+        assert main(["serve", "--tenants", "3", "--epochs", "1",
+                     "--requests", "4", "--store", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        match = re.search(r"\[stored (\S+) in ", out)
+        assert match, out
+        assert main(["runs", "list", "--store", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert match.group(1) in listing
+        assert "service" in listing
 
 
 class TestRunStoreCli:
