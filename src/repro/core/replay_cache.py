@@ -25,7 +25,14 @@ mutate their result (annotating stats, say) cannot poison later hits.
 
 Hit/miss counts land on the metrics registry as
 ``tdr_replay_cache_hits_total`` / ``tdr_replay_cache_misses_total``,
-with ``tdr_replay_cache_entries`` tracking occupancy.
+with ``tdr_replay_cache_entries`` tracking occupancy.  A cache owned by
+one verifier node can namespace its series per node
+(``tdr_replay_cache_hits_total{node="node-03"}``) by passing ``node=``;
+a shared tier hands out :meth:`ReplayCache.view` handles so several
+nodes can share one content-addressed store while hits and misses stay
+attributable to the node that made them.  The unlabelled series remains
+the cross-node aggregate, so single-node callers see exactly the
+pre-fleet behaviour.
 """
 
 from __future__ import annotations
@@ -37,9 +44,9 @@ from collections import OrderedDict
 
 from repro.machine.config import MachineConfig
 from repro.machine.machine import ExecutionResult
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import MetricsRegistry, get_registry, labeled
 
-__all__ = ["ReplayCache"]
+__all__ = ["ReplayCache", "ReplayCacheView"]
 
 
 def _digest(data: bytes) -> str:
@@ -55,21 +62,25 @@ class ReplayCache:
     """
 
     def __init__(self, maxsize: int = 128,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 node: str | None = None) -> None:
         self.maxsize = maxsize
+        self.node = node
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._program_fps: dict[int, tuple[object, str]] = {}
         self.hits = 0
         self.misses = 0
         registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        suffix = {} if node is None else {"node": node}
         self._hits_metric = registry.counter(
-            "tdr_replay_cache_hits_total",
+            labeled("tdr_replay_cache_hits_total", **suffix),
             help="replay executions skipped via the memoization cache")
         self._misses_metric = registry.counter(
-            "tdr_replay_cache_misses_total",
+            labeled("tdr_replay_cache_misses_total", **suffix),
             help="replay executions that had to run the simulator")
         self._size_metric = registry.gauge(
-            "tdr_replay_cache_entries",
+            labeled("tdr_replay_cache_entries", **suffix),
             help="entries currently held by the replay cache")
 
     def _program_fp(self, program) -> str:
@@ -103,20 +114,14 @@ class ReplayCache:
         config = config or MachineConfig()
         key = self._key(program, log, config, seed, max_instructions,
                         obs is not None)
-        cached = self._entries.get(key)
+        cached = self._lookup(key)
         if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._hits_metric.inc()
+            self._count(hit=True)
             return copy.deepcopy(cached)
-        self.misses += 1
-        self._misses_metric.inc()
+        self._count(hit=False)
         result = tdr_replay(program, log, config, seed=seed,
                             max_instructions=max_instructions, obs=obs)
-        self._entries[key] = copy.deepcopy(result)
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        self._size_metric.set(len(self._entries))
+        self._insert(key, result)
         return result
 
     # -- public fetch/store ------------------------------------------------
@@ -135,14 +140,11 @@ class ReplayCache:
         config = config or MachineConfig()
         key = self._key(program, log, config, seed, max_instructions,
                         observed)
-        cached = self._entries.get(key)
+        cached = self._lookup(key)
         if cached is None:
-            self.misses += 1
-            self._misses_metric.inc()
+            self._count(hit=False)
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._hits_metric.inc()
+        self._count(hit=True)
         return copy.deepcopy(cached)
 
     def store_value(self, program, log, value,
@@ -153,11 +155,44 @@ class ReplayCache:
         config = config or MachineConfig()
         key = self._key(program, log, config, seed, max_instructions,
                         observed)
+        self._insert(key, value)
+
+    # -- storage internals (shared with per-node views) --------------------
+
+    def _lookup(self, key: tuple):
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+        return cached
+
+    def _insert(self, key: tuple, value) -> None:
         self._entries[key] = copy.deepcopy(value)
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         self._size_metric.set(len(self._entries))
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self._hits_metric.inc()
+        else:
+            self.misses += 1
+            self._misses_metric.inc()
+
+    def view(self, node: str,
+             registry: MetricsRegistry | None = None) -> "ReplayCacheView":
+        """A per-node handle onto this cache as a shared tier.
+
+        Views share the one content-addressed store (a value stored
+        through any handle is a hit through every other), but hits and
+        misses are counted per view under ``...{node="..."}`` series —
+        and folded into this tier's plain aggregate, which stays the
+        single-node fallback.
+        """
+        return ReplayCacheView(self, node,
+                               registry if registry is not None
+                               else self._registry)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -166,3 +201,62 @@ class ReplayCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class ReplayCacheView:
+    """One node's attribution window onto a shared :class:`ReplayCache`.
+
+    Implements the same public ``fetch_value``/``store_value``/``hits``/
+    ``misses`` surface as the tier itself, so schedulers take either
+    interchangeably.
+    """
+
+    def __init__(self, tier: ReplayCache, node: str,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.tier = tier
+        self.node = node
+        self.hits = 0
+        self.misses = 0
+        registry = registry if registry is not None else get_registry()
+        self._hits_metric = registry.counter(
+            labeled("tdr_replay_cache_hits_total", node=node),
+            help="replay cache hits attributed to this verifier node")
+        self._misses_metric = registry.counter(
+            labeled("tdr_replay_cache_misses_total", node=node),
+            help="replay cache misses attributed to this verifier node")
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self._hits_metric.inc()
+        else:
+            self.misses += 1
+            self._misses_metric.inc()
+        self.tier._count(hit)          # keep the aggregate series honest
+
+    def fetch_value(self, program, log, config: MachineConfig | None = None,
+                    seed: int = 1,
+                    max_instructions: int | None = 200_000_000,
+                    observed: bool = False):
+        """Tier lookup, with the hit/miss attributed to this node."""
+        config = config or MachineConfig()
+        key = self.tier._key(program, log, config, seed, max_instructions,
+                             observed)
+        cached = self.tier._lookup(key)
+        if cached is None:
+            self._count(hit=False)
+            return None
+        self._count(hit=True)
+        return copy.deepcopy(cached)
+
+    def store_value(self, program, log, value,
+                    config: MachineConfig | None = None, seed: int = 1,
+                    max_instructions: int | None = 200_000_000,
+                    observed: bool = False) -> None:
+        """Insert into the shared tier (visible to every peer view)."""
+        self.tier.store_value(program, log, value, config=config, seed=seed,
+                              max_instructions=max_instructions,
+                              observed=observed)
+
+    def __len__(self) -> int:
+        return len(self.tier)

@@ -7,7 +7,8 @@ of that hardening:
 
 * :mod:`repro.faults.plans` — composable, seeded :class:`FaultPlan`
   damage models (bit flips, truncation, entry drop/duplication/reorder,
-  header fuzzing);
+  header fuzzing) plus node-level failure schedules
+  (:class:`NodeChaosPlan`: crash/stall/slow) for verifier-fleet chaos;
 * :mod:`repro.faults.channel` — a lossy simulated log-transfer channel
   with bounded retransmission and exponential backoff.
 
@@ -18,7 +19,8 @@ a chaos run is reproducible from its seed.
 from repro.faults.channel import LogTransferChannel, TransferOutcome
 from repro.faults.plans import (BitFlip, ComposedPlan, DropEntries,
                                 DuplicateEntries, FaultPlan, HeaderFuzz,
-                                ReorderEntries, Truncate,
+                                NodeChaosPlan, NodeCrash, NodeSlow,
+                                NodeStall, ReorderEntries, Truncate,
                                 standard_fault_kinds)
 
 __all__ = [
@@ -29,6 +31,10 @@ __all__ = [
     "FaultPlan",
     "HeaderFuzz",
     "LogTransferChannel",
+    "NodeChaosPlan",
+    "NodeCrash",
+    "NodeSlow",
+    "NodeStall",
     "ReorderEntries",
     "TransferOutcome",
     "Truncate",

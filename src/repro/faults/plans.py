@@ -221,6 +221,159 @@ class ReorderEntries(FaultPlan):
         return log.to_bytes(version)
 
 
+# -- node-level failure plans (verifier-fleet chaos) ------------------------
+#
+# Where the plans above damage the *data* in flight, these damage the
+# *infrastructure*: one verifier node of a sharded fleet crashes, stalls,
+# or slows at a known virtual time.  They carry no randomness of their
+# own — a plan is a literal schedule, so a fleet run that includes one
+# stays a pure function of (seed, roster, policy, topology, plan).  The
+# seeded constructor derives such a schedule from a SplitMix64 stream
+# for chaos sweeps.
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fails permanently at virtual time ``at_ms``."""
+
+    node: int
+    at_ms: float
+    kind: str = field(default="crash", init=False)
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Node ``node`` stops heartbeating and dispatching for a while.
+
+    In-flight audits still complete (the worker model keeps running);
+    only new dispatch and the heartbeat stream pause for
+    ``duration_ms``.
+    """
+
+    node: int
+    at_ms: float
+    duration_ms: float = 300.0
+    kind: str = field(default="stall", init=False)
+
+
+@dataclass(frozen=True)
+class NodeSlow:
+    """Node ``node`` serves audits ``factor``× slower from ``at_ms`` on."""
+
+    node: int
+    at_ms: float
+    factor: float = 4.0
+    kind: str = field(default="slow", init=False)
+
+
+NodeFault = NodeCrash | NodeStall | NodeSlow
+
+
+@dataclass(frozen=True)
+class NodeChaosPlan:
+    """A literal schedule of node-level failures for one fleet run."""
+
+    faults: tuple = ()
+    name: str = "node-chaos"
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if fault.at_ms < 0:
+                raise FaultPlanError(
+                    f"fault time must be >= 0 ms: {fault}")
+            if fault.node < 0:
+                raise FaultPlanError(f"node index must be >= 0: {fault}")
+
+    def ordered(self) -> "list[NodeFault]":
+        """Faults in activation order (time, node, kind) — deterministic."""
+        return sorted(self.faults,
+                      key=lambda f: (f.at_ms, f.node, f.kind))
+
+    def for_fleet(self, num_nodes: int) -> "list[NodeFault]":
+        """The ordered faults that target nodes this fleet actually has.
+
+        Out-of-range targets are skipped rather than rejected so one
+        plan string can drive a 1→N node sweep.
+        """
+        return [f for f in self.ordered() if f.node < num_nodes]
+
+    @property
+    def spec(self) -> str:
+        """The parseable spelling of this plan (inverse of :meth:`parse`)."""
+        parts = []
+        for fault in self.ordered():
+            if fault.kind == "crash":
+                parts.append(f"crash:{fault.node}@{fault.at_ms:g}")
+            elif fault.kind == "stall":
+                parts.append(f"stall:{fault.node}@{fault.at_ms:g}"
+                             f"+{fault.duration_ms:g}")
+            else:
+                parts.append(f"slow:{fault.node}@{fault.at_ms:g}"
+                             f"x{fault.factor:g}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, spec: str) -> "NodeChaosPlan":
+        """Parse a CLI chaos spec.
+
+        Grammar (comma-separated):
+        ``crash:NODE@MS`` | ``stall:NODE@MS+DURATION`` |
+        ``slow:NODE@MS xFACTOR`` (no space) — e.g.
+        ``crash:1@800,stall:2@400+300,slow:0@200x4``.
+        """
+        faults = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            try:
+                kind, rest = part.split(":", 1)
+                node_text, timing = rest.split("@", 1)
+                node = int(node_text)
+                if kind == "crash":
+                    faults.append(NodeCrash(node, float(timing)))
+                elif kind == "stall":
+                    at_text, duration = timing.split("+", 1)
+                    faults.append(NodeStall(node, float(at_text),
+                                            duration_ms=float(duration)))
+                elif kind == "slow":
+                    at_text, factor = timing.split("x", 1)
+                    faults.append(NodeSlow(node, float(at_text),
+                                           factor=float(factor)))
+                else:
+                    raise ValueError(f"unknown node fault kind '{kind}'")
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"bad node chaos spec '{part}': {exc} (expected "
+                    "crash:N@MS, stall:N@MS+DUR, or slow:N@MSxFACTOR"
+                    ")") from exc
+        return cls(faults=tuple(faults), name=f"parsed:{spec}")
+
+    @classmethod
+    def seeded(cls, seed: int, num_nodes: int, horizon_ms: float,
+               events: int = 2) -> "NodeChaosPlan":
+        """Derive a reproducible plan from a seed (chaos-sweep axis)."""
+        if num_nodes < 1:
+            raise FaultPlanError(f"need >= 1 node, got {num_nodes}")
+        if events < 0:
+            raise FaultPlanError(f"negative event count {events}")
+        rng = SplitMix64(seed).fork("node-chaos")
+        kinds = ("crash", "stall", "slow")
+        faults = []
+        for index in range(events):
+            stream = rng.fork(f"event:{index}")
+            kind = kinds[stream.randint(0, len(kinds) - 1)]
+            node = stream.randint(0, num_nodes - 1)
+            at_ms = round(stream.random() * max(1.0, horizon_ms), 1)
+            if kind == "crash":
+                faults.append(NodeCrash(node, at_ms))
+            elif kind == "stall":
+                faults.append(NodeStall(
+                    node, at_ms,
+                    duration_ms=50.0 * stream.randint(2, 8)))
+            else:
+                faults.append(NodeSlow(
+                    node, at_ms, factor=float(stream.randint(2, 6))))
+        return cls(faults=tuple(faults), name=f"seeded:{seed}")
+
+
 def standard_fault_kinds(severity: int) -> "list[FaultPlan]":
     """One plan of each kind at the given severity (chaos-matrix axis)."""
     if severity < 1:

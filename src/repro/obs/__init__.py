@@ -47,7 +47,7 @@ from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
                               Source, format_attribution_table)
 from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
                                MetricsRegistry, NullRegistry, enable_metrics,
-                               get_registry, set_registry)
+                               get_registry, labeled, set_registry)
 from repro.obs.sampling import OpcodeSampler
 from repro.obs.snapshot import (EMPTY_OBS_SNAPSHOT, FleetObservations,
                                 ObsSnapshot, TraceSummary, summarize_tracer)
@@ -62,7 +62,7 @@ __all__ = [
     "SCHEMA_VERSION", "Source", "SpanTracer", "TraceSummary",
     "capture_divergence", "default_observability", "enable_metrics",
     "flights_from_ndjson", "flights_to_ndjson", "format_attribution_table",
-    "get_registry", "set_registry", "summarize_tracer",
+    "get_registry", "labeled", "set_registry", "summarize_tracer",
 ]
 
 

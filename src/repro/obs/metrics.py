@@ -378,6 +378,22 @@ def enable_metrics() -> MetricsRegistry:
     return _default_registry
 
 
+def labeled(name: str, **labels: object) -> str:
+    """Render a Prometheus-style series name with sorted label pairs.
+
+    The registry keys instruments by their full name string, so labelled
+    series are just distinct names — ``labeled("cache_hits_total",
+    node="node-03")`` yields ``cache_hits_total{node="node-03"}``.
+    Labels are sorted for a canonical spelling; values are rendered with
+    ``str()`` and must not contain quotes.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"'
+                     for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
 class time_phase:
     """Record the wall-clock duration of a named pipeline phase.
 

@@ -14,25 +14,33 @@ Modules
 ``queue``       priority job queue with budgets and backpressure
 ``scheduler``   escalation state machine + cache-backed fleet dispatch
 ``verdicts``    per-tenant ledgers, metrics, the run report
-``daemon``      the epoch loop tying it all together
+``daemon``      the epoch loop tying it all together (one node)
+``ring``        consistent-hash tenant placement for the sharded fleet
+``failure``     heartbeat failure detection over virtual time
+``fleet``       N-node sharded deployment: chaos, rebalance, degradation
 """
 
 from repro.service.daemon import (AuditService, default_tenants,
-                                  persist_service_report)
+                                  persist_service_report, play_and_ship)
+from repro.service.failure import FailureDetector, NodeHealth
+from repro.service.fleet import (FleetNode, FleetReport, FleetService,
+                                 FleetTopology, RebalanceEvent,
+                                 persist_fleet_report)
 from repro.service.ingest import (AdmissionRecord, AdmissionStatus,
                                   EpochAccumulator, IngestGate)
 from repro.service.queue import (PRIORITY_ESCALATED, PRIORITY_FULL,
                                  PRIORITY_SPOT, AuditJob, AuditQueue)
+from repro.service.ring import HashRing
 from repro.service.scheduler import (AuditScheduler, EscalationPolicy,
                                      ReplayTask, TenantState, TenantStatus,
-                                     execute_replay_task)
+                                     execute_replay_task, resolve_replays)
 from repro.service.session import (EpochShipment, ProverSession,
                                    SegmentShipment, TenantSpec,
                                    WireObservation)
 from repro.service.simclock import (ServiceError, SimClock, SimEvent,
                                     WorkerPool)
 from repro.service.verdicts import (AuditEvent, ServiceReport, TenantLedger,
-                                    VerdictSink)
+                                    UnauditedRecord, VerdictSink)
 
 __all__ = [
     "AdmissionRecord",
@@ -45,11 +53,19 @@ __all__ = [
     "EpochAccumulator",
     "EpochShipment",
     "EscalationPolicy",
+    "FailureDetector",
+    "FleetNode",
+    "FleetReport",
+    "FleetService",
+    "FleetTopology",
+    "HashRing",
     "IngestGate",
+    "NodeHealth",
     "PRIORITY_ESCALATED",
     "PRIORITY_FULL",
     "PRIORITY_SPOT",
     "ProverSession",
+    "RebalanceEvent",
     "ReplayTask",
     "SegmentShipment",
     "ServiceError",
@@ -60,10 +76,14 @@ __all__ = [
     "TenantSpec",
     "TenantState",
     "TenantStatus",
+    "UnauditedRecord",
     "VerdictSink",
     "WireObservation",
     "WorkerPool",
     "default_tenants",
     "execute_replay_task",
+    "persist_fleet_report",
     "persist_service_report",
+    "play_and_ship",
+    "resolve_replays",
 ]

@@ -60,6 +60,25 @@ def default_tenants(num_tenants: int, covert_channel: str = "ipctc",
     return tenants
 
 
+def play_and_ship(sessions: dict, epoch: int, epoch_start: float,
+                  jobs: int | None = None) -> list:
+    """Play every tenant's epoch in one fleet batch and ship the logs.
+
+    The prover side of the pipeline, shared by the single-node
+    :class:`AuditService` and the sharded
+    :class:`~repro.service.fleet.FleetService` — tenants' machines run
+    regardless of which verifier node will audit them (or whether that
+    node survives).  Returns ``[(tenant_id, EpochShipment), ...]`` in
+    sorted-tenant order; replays stay submission-ordered so ``jobs``
+    changes wall-clock only.
+    """
+    order = sorted(sessions)
+    specs = [sessions[tid].play_spec(epoch) for tid in order]
+    results = run_fleet(specs, jobs=jobs)
+    return [(tid, sessions[tid].ship(epoch, result, epoch_start))
+            for tid, result in zip(order, results)]
+
+
 class AuditService:
     """A multi-tenant verifier daemon over virtual time."""
 
@@ -106,12 +125,8 @@ class AuditService:
     def run_epoch(self, epoch: int, jobs: int | None = None) -> None:
         """Play, ship, ingest, and audit one epoch for every tenant."""
         epoch_start = max(self.clock.now_ms, epoch * self.epoch_interval_ms)
-        order = sorted(self.sessions)
-        specs = [self.sessions[tid].play_spec(epoch) for tid in order]
-        results = run_fleet(specs, jobs=jobs)
-
-        for tid, result in zip(order, results):
-            shipment = self.sessions[tid].ship(epoch, result, epoch_start)
+        for tid, shipment in play_and_ship(self.sessions, epoch,
+                                           epoch_start, jobs=jobs):
             self.scheduler.observe_wire(tid, epoch, shipment.wire)
             self._segments_shipped += len(shipment.shipments)
             for segment in shipment.shipments:

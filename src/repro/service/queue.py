@@ -61,6 +61,13 @@ class AuditJob:
     seq: int = -1                 #: assigned by the queue at push time
     start_ms: float = -1.0        #: stamped at dispatch
     completion_ms: float = -1.0   #: stamped at completion
+    service_ms: float = 0.0       #: priced at dispatch (virtual cost model)
+    worker: int = -1              #: virtual worker that served it
+
+    @property
+    def session_key(self) -> tuple:
+        """Identity used for verdict dedup and exactly-once requeue."""
+        return (self.tenant_id, self.epoch, self.kind, self.cause)
 
     @property
     def queue_latency_ms(self) -> float:
@@ -115,15 +122,21 @@ class AuditQueue:
 
     # -- push / pop --------------------------------------------------------
 
-    def push(self, job: AuditJob) -> bool:
-        """Enqueue ``job``; returns False when budget/backpressure shed it."""
-        if job.priority == PRIORITY_SPOT \
+    def push(self, job: AuditJob, force: bool = False) -> bool:
+        """Enqueue ``job``; returns False when budget/backpressure shed it.
+
+        ``force=True`` bypasses the tenant budget and global
+        backpressure — used by fleet rebalance and work stealing, where
+        a job has already been *delivered* once and silently shedding it
+        would break the at-least-once invariant.
+        """
+        if not force and job.priority == PRIORITY_SPOT \
                 and self.depth_for(job.tenant_id) >= self.tenant_budget:
             self.stats.refused += 1
             self._count("service_queue_refused_total",
                         "Jobs refused by a per-tenant budget")
             return False
-        if len(self._heap) >= self.max_depth:
+        if not force and len(self._heap) >= self.max_depth:
             if not self._make_room(job):
                 self.stats.shed += 1
                 self.stats.shed_by_tenant[job.tenant_id] = \
@@ -157,6 +170,15 @@ class AuditQueue:
         while self._heap:
             jobs.append(self.pop())
         return jobs
+
+    def steal(self, count: int) -> list[AuditJob]:
+        """Remove up to ``count`` jobs for a work-stealing peer.
+
+        Most-urgent first: when a suspect or backlogged node is being
+        relieved, its escalations are exactly the work that must not
+        wait for the failure to resolve.
+        """
+        return [self.pop() for _ in range(min(count, len(self._heap)))]
 
     # -- backpressure ------------------------------------------------------
 

@@ -1,0 +1,92 @@
+"""Consistent-hash tenant placement for the verifier fleet.
+
+Tenants are assigned to verifier nodes by a classic consistent-hash
+ring with virtual nodes: each node projects ``vnodes`` points onto a
+64-bit circle, and a tenant belongs to the first node point at or after
+its own hash, wrapping around.  The property the fleet's rebalance
+invariant leans on: removing a node moves *only* the tenants that node
+owned (each to the next point on the circle), and adding one back
+restores the original assignment — so shard loss reassigns ~K/N tenants
+instead of reshuffling everyone.
+
+Hashing uses :func:`repro.determinism.hash_string` (FNV-1a folded
+through a SplitMix64 finalizer), never Python's ``hash()``: the ring
+must agree across processes and across ``PYTHONHASHSEED`` values,
+because a fleet run is a pure function of (seed, roster, topology) and
+the determinism suite compares assignments across interpreter
+invocations.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.determinism import hash_string
+from repro.service.simclock import ServiceError
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes."""
+
+    def __init__(self, nodes: "list[str] | tuple[str, ...]" = (),
+                 vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ServiceError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        self._keys: list[int] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _node_points(self, node: str) -> list[tuple[int, str]]:
+        return [(hash_string(f"ring:{node}#{replica}"), node)
+                for replica in range(self.vnodes)]
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ServiceError(f"node '{node}' already on the ring")
+        self._nodes.add(node)
+        self._points.extend(self._node_points(node))
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ServiceError(f"node '{node}' not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._keys = [point for point, _ in self._points]
+
+    # -- assignment --------------------------------------------------------
+
+    def assign(self, key: str) -> str | None:
+        """The owning node for ``key``; None when the ring is empty."""
+        if not self._points:
+            return None
+        point = hash_string(f"key:{key}")
+        index = bisect.bisect_left(self._keys, point)
+        if index == len(self._points):
+            index = 0                  # wrap past the top of the circle
+        return self._points[index][1]
+
+    def assignment(self, keys) -> dict[str, str | None]:
+        """Owner per key — the table rebalance diffs before/after."""
+        return {key: self.assign(key) for key in keys}

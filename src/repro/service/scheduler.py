@@ -148,6 +148,49 @@ def execute_replay_task(task: ReplayTask) -> ReplayTaskResult:
                             None if diverged is None else str(diverged))
 
 
+def resolve_replays(work: "list[tuple]", jobs: int | None = None
+                    ) -> "list[tuple]":
+    """Resolve a dispatch round of jobs into replay outcomes.
+
+    ``work`` is ``[(scheduler, job, gate), ...]`` in submission order —
+    one scheduler repeated for a single-node round, or several when a
+    fleet batches a round across nodes.  Each job is prepared against
+    its own scheduler's cache (so per-node hit/miss attribution holds),
+    identical replays are deduped across the whole round, the unique
+    misses run in one submission-ordered fleet batch, and duplicates
+    are served back through the cache.  Cross-scheduler dedupe assumes
+    the schedulers share a cache tier (per-node views of one
+    :class:`~repro.core.replay_cache.ReplayCache`), which is how the
+    fleet wires them.
+
+    Returns ``[(task, outcome, cache_hit), ...]`` aligned with ``work``.
+    """
+    prepared = [sched._prepare(job, gate) for sched, job, gate in work]
+    unique: dict[tuple, list[int]] = {}
+    for i, (task, outcome, _) in enumerate(prepared):
+        if task is not None and outcome is None:
+            key = (task.program, task.log_bytes, task.seed,
+                   task.max_instructions)
+            unique.setdefault(key, []).append(i)
+    groups = list(unique.values())
+    fleet_out = run_fleet([prepared[idxs[0]][0] for idxs in groups],
+                          jobs=jobs, worker=execute_replay_task)
+    for idxs, out in zip(groups, fleet_out):
+        task = prepared[idxs[0]][0]
+        log = EventLog.from_bytes(task.log_bytes)
+        work[idxs[0]][0].cache.store_value(
+            _compiled(task.program), log, out,
+            config=task.config, seed=task.seed,
+            max_instructions=task.max_instructions)
+        prepared[idxs[0]] = (task, out, False)
+        for i in idxs[1:]:
+            prepared[i] = (task, work[i][0].cache.fetch_value(
+                _compiled(task.program), log, config=task.config,
+                seed=task.seed,
+                max_instructions=task.max_instructions), True)
+    return prepared
+
+
 class AuditScheduler:
     """Owns the queue, the worker-pool model, the cache, and tenant state."""
 
@@ -160,18 +203,41 @@ class AuditScheduler:
                  pool: WorkerPool | None = None,
                  cache: ReplayCache | None = None,
                  sink: VerdictSink | None = None,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 states: dict | None = None,
+                 node_id: str = "") -> None:
         self.config = config or MachineConfig()
         self.policy = policy or EscalationPolicy()
         self.registry = registry if registry is not None else get_registry()
-        self.queue = queue or AuditQueue(registry=self.registry)
-        self.pool = pool or WorkerPool(num_workers=2)
-        self.cache = cache or ReplayCache(maxsize=32, registry=self.registry)
-        self.sink = sink or VerdictSink(registry=self.registry)
-        self.tenants = {tid: TenantState(spec=spec)
-                        for tid, spec in tenants.items()}
+        # "is None" rather than "or": an *empty* queue or cache view is
+        # falsy (len == 0), and replacing a caller's instance with a
+        # fresh default would silently drop its sizing — and break the
+        # fleet's shared cache tier.
+        self.queue = (queue if queue is not None
+                      else AuditQueue(registry=self.registry))
+        self.pool = pool if pool is not None else WorkerPool(num_workers=2)
+        self.cache = (cache if cache is not None
+                      else ReplayCache(maxsize=32, registry=self.registry))
+        self.sink = (sink if sink is not None
+                     else VerdictSink(registry=self.registry))
+        #: Per-tenant state machines.  A fleet passes one shared ``states``
+        #: mapping to every node-hosted scheduler so a tenant's escalation
+        #: history survives rebalancing to a new owner.
+        if states is not None:
+            self.tenants = states
+        else:
+            self.tenants = {tid: TenantState(spec=spec)
+                            for tid, spec in tenants.items()}
         #: Verifier-observed wire traces, keyed ``(tenant_id, epoch)``.
+        #: Fleet-shared for the same reason as ``states``.
         self.wires: dict[tuple[str, int], WireObservation] = {}
+        #: Which fleet node hosts this scheduler ("" = standalone daemon).
+        self.node_id = node_id
+        #: Virtual service-time multiplier (a slow-node fault raises it).
+        self.time_factor = 1.0
+        #: Degradation ladder: when True, scheduled full audits are
+        #: demoted to spot checks (escalations keep full budgets).
+        self.spot_only = False
 
     def state(self, tenant_id: str) -> TenantState:
         state = self.tenants.get(tenant_id)
@@ -216,7 +282,7 @@ class AuditScheduler:
                                       cause=f"segment:{ship.seq}"))
             if ship.seq == ship.total_segments - 1:
                 kind = ("full" if policy.wants_full_audit(ship.epoch)
-                        else "spot")
+                        and not self.spot_only else "spot")
                 jobs.append(self._job(
                     ship.tenant_id, ship.epoch, kind,
                     PRIORITY_FULL if kind == "full" else PRIORITY_SPOT,
@@ -229,25 +295,37 @@ class AuditScheduler:
         elif record.status == AdmissionStatus.DEGRADED \
                 and ship.seq == ship.total_segments - 1:
             # The epoch closed with damage: audit whatever prefix stands.
-            jobs.append(self._job(ship.tenant_id, ship.epoch, "full",
-                                  PRIORITY_FULL, ship.arrival_ms,
-                                  policy.full_deadline_ms,
-                                  policy.full_budget_instructions,
-                                  record.accumulated_entries,
-                                  cause="degraded-epoch"))
+            jobs.append(self._epoch_close_job(record, ship))
         # DEGRADED mid-epoch and QUARANTINED segments generate no work:
         # the epoch-final job audits the surviving prefix.
         if record.status == AdmissionStatus.QUARANTINED \
                 and ship.seq == ship.total_segments - 1 \
                 and not gate.accumulator(ship.tenant_id, ship.epoch).tampered:
-            jobs.append(self._job(ship.tenant_id, ship.epoch, "full",
-                                  PRIORITY_FULL, ship.arrival_ms,
-                                  policy.full_deadline_ms,
-                                  policy.full_budget_instructions,
-                                  record.accumulated_entries,
-                                  cause="degraded-epoch"))
+            jobs.append(self._epoch_close_job(record, ship))
 
         return [job for job in jobs if self.queue.push(job)]
+
+    def _epoch_close_job(self, record: AdmissionRecord, ship) -> AuditJob:
+        """The full audit of a damaged epoch's surviving prefix.
+
+        Under spot-only degradation (fleet capacity loss) it is demoted
+        to a budgeted spot check — anomalies still escalate, so nothing
+        is silently trusted, but the fleet spends spot-sized budgets.
+        """
+        policy = self.policy
+        if self.spot_only:
+            return self._job(ship.tenant_id, ship.epoch, "spot",
+                             PRIORITY_SPOT, ship.arrival_ms,
+                             policy.spot_deadline_ms,
+                             policy.spot_budget_instructions,
+                             record.accumulated_entries,
+                             cause="degraded-epoch")
+        return self._job(ship.tenant_id, ship.epoch, "full",
+                         PRIORITY_FULL, ship.arrival_ms,
+                         policy.full_deadline_ms,
+                         policy.full_budget_instructions,
+                         record.accumulated_entries,
+                         cause="degraded-epoch")
 
     def _job(self, tenant_id: str, epoch: int, kind: str, priority: int,
              ready_ms: float, deadline_after_ms: float, budget: int,
@@ -270,34 +348,13 @@ class AuditScheduler:
         events: list[AuditEvent] = []
         while self.queue:
             batch = self.queue.drain()
-            prepared = [self._prepare(job, gate) for job in batch]
-            # Dedupe identical replays within the round (two escalations
-            # of the same prefix, say): one fleet execution, duplicates
-            # served through the cache like any later round would be.
-            unique: dict[tuple, list[int]] = {}
-            for i, (task, outcome, _) in enumerate(prepared):
-                if task is not None and outcome is None:
-                    key = (task.program, task.log_bytes, task.seed,
-                           task.max_instructions)
-                    unique.setdefault(key, []).append(i)
-            groups = list(unique.values())
-            fleet_out = run_fleet([prepared[idxs[0]][0] for idxs in groups],
-                                  jobs=jobs, worker=execute_replay_task)
-            for idxs, out in zip(groups, fleet_out):
-                task = prepared[idxs[0]][0]
-                log = EventLog.from_bytes(task.log_bytes)
-                self.cache.store_value(
-                    _compiled(task.program), log, out,
-                    config=task.config, seed=task.seed,
-                    max_instructions=task.max_instructions)
-                prepared[idxs[0]] = (task, out, False)
-                for i in idxs[1:]:
-                    prepared[i] = (task, self.cache.fetch_value(
-                        _compiled(task.program), log, config=task.config,
-                        seed=task.seed,
-                        max_instructions=task.max_instructions), True)
+            prepared = resolve_replays([(self, job, gate) for job in batch],
+                                       jobs=jobs)
             for job, p in zip(batch, prepared):
-                events.append(self._judge(job, p, gate))
+                self.price(job, p)
+                event = self.complete(job, p, gate)
+                if event is not None:
+                    events.append(event)
         return events
 
     def _prepare(self, job: AuditJob, gate: IngestGate
@@ -324,9 +381,47 @@ class AuditScheduler:
             seed=task.seed, max_instructions=task.max_instructions)
         return (task, cached, cached is not None)
 
-    # -- judgement ---------------------------------------------------------
+    # -- pricing (dispatch time) -------------------------------------------
 
-    def _judge(self, job: AuditJob, prepared, gate: IngestGate) -> AuditEvent:
+    def price(self, job: AuditJob, prepared,
+              now_ms: float | None = None) -> tuple[float, float]:
+        """Assign the job a virtual worker; stamp start/completion times.
+
+        Pricing is separate from judgement so a fleet can put a job *in
+        flight* — priced, completion scheduled on the sim clock — and
+        only judge it if its node is still alive when the completion
+        event fires.  ``now_ms`` floors the start at the dispatch
+        instant (a rebalanced job cannot start in its past).
+        """
+        task, outcome, cache_hit = prepared
+        policy = self.policy
+        if task is None or cache_hit:
+            service_ms = policy.cache_hit_cost_ms
+        else:
+            replayed, _ = outcome
+            service_ms = replayed.instructions / policy.virtual_instr_per_ms
+        service_ms *= self.time_factor
+        ready = (job.ready_ms if now_ms is None
+                 else max(job.ready_ms, now_ms))
+        worker, start, completion = self.pool.assign(ready, service_ms)
+        job.service_ms = service_ms
+        job.worker = worker
+        job.start_ms, job.completion_ms = start, completion
+        return start, completion
+
+    # -- judgement (completion time) ---------------------------------------
+
+    def complete(self, job: AuditJob, prepared,
+                 gate: IngestGate) -> AuditEvent | None:
+        """Judge a priced job: compare, transition, record the verdict.
+
+        Returns None when the idempotent sink has already recorded this
+        job's identity — the at-least-once redelivery case, where the
+        whole judgement (state transition included) must not repeat.
+        """
+        if self.sink.dedupe and self.sink.already_recorded(job.session_key):
+            self.sink.count_duplicate()
+            return None
         acc = gate.accumulator(job.tenant_id, job.epoch)
         state = self.state(job.tenant_id)
         policy = self.policy
@@ -341,7 +436,6 @@ class AuditScheduler:
         if task is None:
             # Nothing admitted: all segments were lost or quarantined.
             matched, replay_tx, consistent, diverged = 0, 0, None, None
-            service_ms = policy.cache_hit_cost_ms
         else:
             replayed, diverged = outcome
             replay_tx = len(replayed.tx)
@@ -349,12 +443,6 @@ class AuditScheduler:
             consistent = (report.is_consistent(policy.rel_threshold,
                                                policy.abs_threshold_ms)
                           if matched >= 2 else None)
-            service_ms = (policy.cache_hit_cost_ms if cache_hit else
-                          replayed.instructions / policy.virtual_instr_per_ms)
-
-        worker, start, completion = self.pool.assign(job.ready_ms,
-                                                     service_ms)
-        job.start_ms, job.completion_ms = start, completion
 
         total_tx = len(wire.tx)
         coverage = matched / total_tx if total_tx else 0.0
@@ -370,12 +458,13 @@ class AuditScheduler:
             matched_tx=matched, total_tx=total_tx,
             tenant_status=state.status.value,
             queue_latency_ms=round(job.queue_latency_ms, 3),
-            service_ms=round(service_ms, 3), worker=worker,
-            start_ms=round(start, 3), completion_ms=round(completion, 3),
+            service_ms=round(job.service_ms, 3), worker=job.worker,
+            start_ms=round(job.start_ms, 3),
+            completion_ms=round(job.completion_ms, 3),
             missed_deadline=job.missed_deadline, cache_hit=cache_hit,
             max_rel_ipd_diff=(round(report.max_rel_ipd_diff, 4)
                               if report is not None else 0.0),
-            detail=diverged or "")
+            detail=diverged or "", node=self.node_id)
         self.sink.record(event)
         if follow_up is not None:
             self.queue.push(follow_up)

@@ -43,11 +43,34 @@ class AuditEvent:
     cache_hit: bool
     max_rel_ipd_diff: float
     detail: str = ""
+    node: str = ""                #: fleet node that judged it ("" = single)
+
+    @property
+    def dedup_key(self) -> tuple:
+        """Identity for idempotent recording under at-least-once dispatch."""
+        return (self.tenant_id, self.epoch, self.kind, self.cause)
 
     def to_json_dict(self) -> dict:
         data = asdict(self)
         data["classification"] = self.classification.value
         return data
+
+
+@dataclass(frozen=True)
+class UnauditedRecord:
+    """A session the fleet explicitly could not audit — never a silent drop.
+
+    The fleet's terminal invariant: every ingested (tenant, epoch)
+    session ends in a verdict *or* one of these, with the reason the
+    capacity was lost ("no-capacity", "audit-shed", ...).
+    """
+
+    tenant_id: str
+    epoch: int
+    reason: str
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
 
 
 @dataclass
@@ -149,14 +172,46 @@ class TenantLedger:
 
 
 class VerdictSink:
-    """Collects audit events into ledgers and service metrics."""
+    """Collects audit events into ledgers and service metrics.
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    With ``dedupe=True`` the sink is idempotent on
+    :attr:`AuditEvent.dedup_key`: the fleet's rebalance path delivers
+    jobs at least once, and the second verdict for the same (tenant,
+    epoch, kind, cause) is counted and discarded rather than double-
+    booked.  The single-node service keeps exact-once dispatch and the
+    default off.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 dedupe: bool = False) -> None:
         self.registry = registry if registry is not None else get_registry()
         self.ledgers: dict[str, TenantLedger] = {}
         self.events: list[AuditEvent] = []
+        self.dedupe = dedupe
+        self.deduped = 0
+        self._seen_keys: set[tuple] = set()
 
-    def record(self, event: AuditEvent) -> None:
+    def already_recorded(self, key: tuple) -> bool:
+        """Whether a verdict with this dedup key has landed (dedupe mode)."""
+        return key in self._seen_keys
+
+    def count_duplicate(self) -> None:
+        """Book a redelivered job that was skipped before judgement."""
+        self.deduped += 1
+        if self.registry.enabled:
+            self.registry.counter(
+                "service_verdicts_deduped_total",
+                "Duplicate verdicts discarded by idempotent "
+                "recording").inc()
+
+    def record(self, event: AuditEvent) -> bool:
+        """Fold one event in; False when dedup discarded a duplicate."""
+        if self.dedupe:
+            key = event.dedup_key
+            if key in self._seen_keys:
+                self.count_duplicate()
+                return False
+            self._seen_keys.add(key)
         self.events.append(event)
         ledger = self.ledgers.get(event.tenant_id)
         if ledger is None:
@@ -165,7 +220,7 @@ class VerdictSink:
         ledger.add(event)
         registry = self.registry
         if not registry.enabled:
-            return
+            return True
         registry.counter("service_audits_total",
                          "Audit jobs completed by the verifier").inc()
         registry.counter(f"service_audits_{event.kind}_total",
@@ -184,6 +239,7 @@ class VerdictSink:
             registry.counter("service_deadline_misses_total",
                              "Audits completed after their SLO deadline"
                              ).inc()
+        return True
 
 
 @dataclass

@@ -22,9 +22,18 @@ traces, verdicts — to a :class:`~repro.obs.runstore.RunStore`; the
 gate on those artifacts.
 
 Exit codes are part of the contract: every experiment returns a status,
-and the process exits non-zero when any audit-style experiment
-(``audit``, ``chaos``, ``serve``) found a tamper, divergence, or covert
-timing deviation — so CI and scripts can gate directly on the verdict.
+and the process exit is the *highest* status any selected experiment
+returned — so CI and scripts can gate directly on the verdict:
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     clean — every audit verdicted, nothing flagged
+1     flagged — a tamper, divergence, or covert timing deviation
+2     usage — bad arguments, unknown experiment, malformed spec
+3     degraded — no flag, but coverage was partial (audits shed,
+      sessions unaudited, or the fleet ran in degraded mode)
+====  =========================================================
 """
 
 from __future__ import annotations
@@ -51,6 +60,22 @@ from repro.machine.noise import scenario_config
 from repro.obs import (MITIGATED_SOURCES, Observability,
                        format_attribution_table)
 from repro.obs.metrics import MetricsRegistry, phase_report, time_phase
+
+#: The exit-code contract (see the module docstring and DESIGN.md).
+EXIT_CLEAN = 0
+EXIT_FLAGGED = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+
+_EXIT_TABLE = """\
+exit codes:
+  0  clean     every audit verdicted, nothing flagged
+  1  flagged   tamper, divergence, or covert timing deviation
+  2  usage     bad arguments, unknown experiment, malformed chaos spec
+  3  degraded  no flag, but coverage was partial (audits shed, sessions
+               unaudited, or the fleet entered degraded mode)
+with several experiments selected, the process exits with the highest
+status any of them returned."""
 
 
 def _store(args):
@@ -506,8 +531,17 @@ def run_audit(args) -> int:
                (AuditClassification.TAMPER_DETECTED,
                 AuditClassification.REPLAY_DIVERGENT)
                or outcome.consistent is False)
-    print(f"  verdict: {'FLAGGED -> non-zero exit' if flagged else 'clean'}")
-    return 1 if flagged else 0
+    if flagged:
+        print("  verdict: FLAGGED -> non-zero exit")
+        return EXIT_FLAGGED
+    if (outcome.classification is not AuditClassification.CLEAN
+            or outcome.coverage < 1.0):
+        # No flag, but the audit did not cover the whole execution —
+        # distinct from clean so CI can tell "verified" from "survived".
+        print("  verdict: clean but degraded coverage -> exit 3")
+        return EXIT_DEGRADED
+    print("  verdict: clean")
+    return EXIT_CLEAN
 
 
 def run_serve(args) -> int:
@@ -538,6 +572,46 @@ def run_serve(args) -> int:
     return report.exit_code
 
 
+def run_fleet_audit(args) -> int:
+    _banner("Fleet audit — sharded verifier fleet under node chaos")
+    from repro.faults.plans import FaultPlanError, NodeChaosPlan
+    from repro.service import (FleetService, FleetTopology, default_tenants,
+                               persist_fleet_report)
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = NodeChaosPlan.parse(args.chaos)
+        except FaultPlanError as exc:
+            print(f"fleet-audit: bad --chaos spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    registry = MetricsRegistry()
+    tenants = default_tenants(args.tenants, covert_channel=args.covert
+                              or "ipctc", requests=args.requests)
+    service = FleetService(
+        tenants, topology=FleetTopology(num_nodes=args.nodes),
+        epochs=args.epochs, seed=args.serve_seed, chaos=chaos,
+        registry=registry)
+    with time_phase("fleet_audit.run", registry):
+        report = service.run(jobs=args.jobs)
+    for line in report.render_lines():
+        print(f"  {line}")
+
+    store = _store(args)
+    if store is not None:
+        run_id = persist_fleet_report(
+            store, report,
+            label=f"{args.nodes} nodes x {args.tenants} tenants, "
+                  f"chaos={report.chaos_spec or 'none'}")
+        print(f"  [stored {run_id} in {store.root}]")
+    _print_phase_report(registry)
+    if report.exit_code == EXIT_FLAGGED:
+        print("  flagged tenants -> non-zero exit")
+    elif report.exit_code == EXIT_DEGRADED:
+        print("  degraded coverage (no flag) -> exit 3")
+    return report.exit_code
+
+
 EXPERIMENTS = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -551,6 +625,7 @@ EXPERIMENTS = {
     "fleet": run_fleet_exp,
     "audit": run_audit,
     "serve": run_serve,
+    "fleet-audit": run_fleet_audit,
 }
 
 
@@ -749,7 +824,9 @@ def main(argv: list[str] | None = None) -> int:
         return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.tools.reproduce",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures.",
+        epilog=_EXIT_TABLE,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (or 'all'), or a "
                              "subcommand: " + ", ".join(SUBCOMMANDS))
@@ -781,6 +858,14 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2)")
     parser.add_argument("--serve-seed", type=int, default=2014,
                         help="service seed for 'serve' (default 2014)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="verifier nodes simulated by 'fleet-audit' "
+                             "(default 4)")
+    parser.add_argument("--chaos", default=None, metavar="PLAN",
+                        help="'fleet-audit' node-fault plan, e.g. "
+                             "'crash:1@180,stall:2@90+500,slow:0@10x4' "
+                             "(crash:NODE@MS, stall:NODE@MS+DUR, "
+                             "slow:NODE@MSxFACTOR; default none)")
     parser.add_argument("--covert", default=None, metavar="CHANNEL",
                         help="covert channel for 'audit' (and the "
                              "covert tenant of 'serve'; default ipctc "

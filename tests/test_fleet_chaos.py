@@ -1,0 +1,163 @@
+"""Chaos-matrix tests for the sharded verifier fleet.
+
+The robustness contract under node failure:
+
+* **Zero silent drops** — every ingested (tenant, epoch) session ends in
+  a verdict or an explicit ``UnauditedRecord``, whatever the chaos plan.
+* **No double verdicts** — at-least-once redelivery never books the same
+  job identity twice (idempotent sink).
+* **Detection survives failure** — the covert tenant is still flagged
+  when its owner crashes, including the razor case where the owner dies
+  *between* the spot check and the escalation it spawned.
+* **Graceful degradation** — losing quorum flips the fleet to
+  spot-check-only instead of dropping tenants.
+"""
+
+import pytest
+
+from repro.faults.plans import NodeChaosPlan, NodeCrash
+from repro.obs.metrics import MetricsRegistry
+from repro.service import FleetService, FleetTopology, default_tenants
+
+COVERT = "tenant-01"
+
+
+def _run(chaos=None, nodes=3, tenants=3, epochs=2, seed=7, jobs=None,
+         topology=None):
+    service = FleetService(
+        default_tenants(tenants, requests=4),
+        topology=topology or FleetTopology(num_nodes=nodes),
+        epochs=epochs, seed=seed, chaos=chaos,
+        registry=MetricsRegistry())
+    return service.run(jobs=jobs)
+
+
+def _assert_contract(report):
+    """The invariants every chaos scenario must preserve."""
+    # Zero silent drops: verdicts + unaudited cover every session.
+    verdicted = {(e.tenant_id, e.epoch)
+                 for ledger in report.ledgers.values()
+                 for e in ledger.events}
+    unaudited = {(u.tenant_id, u.epoch) for u in report.unaudited}
+    assert verdicted | unaudited >= {
+        (f"tenant-{i:02d}", epoch)
+        for i in range(len(report.ledgers) or 3)
+        for epoch in range(report.epochs)} or report.sessions_total == len(
+        verdicted | unaudited)
+    assert len(verdicted | unaudited) == report.sessions_total
+    assert not (verdicted & unaudited)
+    # No double verdicts: job identities are unique among events.
+    keys = [e.dedup_key for ledger in report.ledgers.values()
+            for e in ledger.events]
+    assert len(keys) == len(set(keys))
+    # Every unaudited record carries an explicit reason.
+    assert all(u.reason for u in report.unaudited)
+
+
+PLANS = {
+    "none": None,
+    "crash-early": NodeChaosPlan.parse("crash:0@60"),
+    "crash-late": NodeChaosPlan.parse("crash:2@300"),
+    "stall": NodeChaosPlan.parse("stall:1@80+600"),
+    "slow": NodeChaosPlan.parse("slow:0@20x8"),
+    "compose": NodeChaosPlan.parse("stall:2@90+500,crash:1@180,slow:0@10x4"),
+}
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_contract_holds(self, name):
+        report = _run(PLANS[name])
+        _assert_contract(report)
+
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_covert_tenant_still_flagged(self, name):
+        report = _run(PLANS[name])
+        assert COVERT in report.flagged_tenants
+
+    def test_crash_produces_rebalance_event(self):
+        report = _run(PLANS["crash-early"])
+        assert len(report.rebalances) == 1
+        event = report.rebalances[0]
+        assert event["node"] == "node-00" and event["reason"] == "crash"
+
+    def test_stall_triggers_work_stealing_not_eviction(self):
+        report = _run(NodeChaosPlan.parse("stall:0@20+2000"))
+        assert not report.rebalances
+        assert report.node_stats["node-00"]["status"] != "dead"
+
+
+class TestCrashBetweenSpotAndEscalation:
+    """The razor: the owner dies after judging the spot check but before
+    the escalation it spawned completes.  The escalation must be
+    redelivered and judged by a surviving node — exactly once."""
+
+    def test_escalation_survives_owner_death(self):
+        baseline = _run(None)
+        escalated = [e for e in baseline.ledgers[COVERT].events
+                     if e.kind == "escalated"]
+        assert escalated, "baseline must escalate the covert tenant"
+        target = escalated[0]
+        assert target.node, "fleet events carry their judging node"
+        owner = int(target.node.split("-")[1])
+        # Crash mid-flight: after the escalation started (spot verdict
+        # already booked) but before its completion event fires.
+        crash_at = (target.start_ms + target.completion_ms) / 2.0
+        assert target.start_ms < crash_at < target.completion_ms
+
+        report = _run(NodeChaosPlan(
+            faults=(NodeCrash(node=owner, at_ms=crash_at),),
+            name="razor"))
+        _assert_contract(report)
+        assert report.killed_in_flight >= 1
+        assert report.requeued >= 1
+        survivors = [e for e in report.ledgers[COVERT].events
+                     if e.kind == "escalated"
+                     and e.epoch == target.epoch
+                     and e.cause == target.cause]
+        assert len(survivors) == 1
+        assert survivors[0].node != target.node
+        assert COVERT in report.flagged_tenants
+
+
+class TestTotalAndQuorumLoss:
+    def test_crash_all_yields_unaudited_not_exceptions(self):
+        report = _run(NodeChaosPlan.parse(
+            "crash:0@50,crash:1@60,crash:2@70"))
+        _assert_contract(report)
+        assert report.unaudited
+        assert {u.reason for u in report.unaudited} <= {
+            "no-capacity", "audit-shed", "no-intact-segments"}
+        assert report.exit_code in (1, 3)
+
+    def test_single_node_fleet_crash(self):
+        report = _run(NodeChaosPlan.parse("crash:0@50"), nodes=1)
+        _assert_contract(report)
+        assert report.degraded_mode
+        assert report.unaudited
+
+    def test_out_of_range_faults_are_skipped(self):
+        # One plan drives 1..N sweeps: crashing node 5 of a 2-node
+        # fleet is a no-op, not an error.
+        report = _run(NodeChaosPlan.parse("crash:5@50"), nodes=2)
+        _assert_contract(report)
+        assert not report.rebalances
+
+    def test_quorum_loss_enters_degraded_mode(self):
+        report = _run(NodeChaosPlan.parse("crash:0@100,crash:1@130"))
+        _assert_contract(report)
+        assert report.degraded_mode
+        assert report.exit_code in (1, 3)
+
+    def test_degraded_clean_fleet_exits_three(self):
+        # No covert tenant (tenants=1): nothing to flag, so capacity
+        # loss surfaces as the distinct degraded exit code.
+        report = _run(NodeChaosPlan.parse("crash:0@50,crash:1@60"),
+                      nodes=2, tenants=1)
+        assert not report.flagged_tenants
+        assert report.exit_code == 3
+
+    def test_clean_run_exits_zero(self):
+        report = _run(None, tenants=1)
+        assert report.exit_code == 0
+        assert not report.unaudited and not report.degraded_mode

@@ -1,0 +1,137 @@
+"""Property tests for the fleet's consistent-hash ring.
+
+The ring is what makes a node death survivable: removing a node must
+move *only* that node's tenants (everyone else's owner is stable), and
+the assignment must be a pure function of the key and roster strings —
+independent of process, interpreter hash seed, or insertion order.
+Stdlib ``random`` drives the property sweeps from fixed seeds.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.ring import HashRing
+from repro.service.simclock import ServiceError
+
+
+def _tenants(n, rng):
+    return [f"tenant-{rng.randrange(10**9):09d}-{i}" for i in range(n)]
+
+
+class TestRingBasics:
+    def test_empty_ring_assigns_none(self):
+        assert HashRing().assign("tenant-00") is None
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["node-00"])
+        assert all(ring.assign(f"t{i}") == "node-00" for i in range(50))
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2 and "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ServiceError):
+            ring.add_node("a")
+
+    def test_missing_remove_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing(["a"]).remove_node("b")
+
+    def test_insertion_order_irrelevant(self):
+        keys = [f"t{i}" for i in range(200)]
+        forward = HashRing(["n0", "n1", "n2", "n3"]).assignment(keys)
+        backward = HashRing(["n3", "n2", "n1", "n0"]).assignment(keys)
+        assert forward == backward
+
+
+class TestRingProperties:
+    """The consistency properties, swept over seeded random rosters."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 2014])
+    def test_removal_moves_only_the_removed_nodes_keys(self, seed):
+        rng = random.Random(seed)
+        nodes = [f"node-{i:02d}" for i in range(rng.randint(3, 8))]
+        keys = _tenants(300, rng)
+        ring = HashRing(nodes)
+        before = ring.assignment(keys)
+        victim = rng.choice(nodes)
+        ring.remove_node(victim)
+        after = ring.assignment(keys)
+        for key in keys:
+            if before[key] != victim:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != victim
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_add_remaps_roughly_k_over_n(self, seed):
+        rng = random.Random(seed)
+        num_nodes = rng.randint(3, 8)
+        nodes = [f"node-{i:02d}" for i in range(num_nodes)]
+        keys = _tenants(400, rng)
+        ring = HashRing(nodes)
+        before = ring.assignment(keys)
+        ring.add_node("node-new")
+        after = ring.assignment(keys)
+        moved = sum(1 for key in keys if before[key] != after[key])
+        # Expectation is K/(N+1); allow generous vnode variance but pin
+        # the property that MOST keys stay put.
+        expected = len(keys) / (num_nodes + 1)
+        assert moved <= 2.5 * expected
+        assert all(after[key] == "node-new"
+                   for key in keys if before[key] != after[key])
+
+    def test_add_back_restores_assignment(self):
+        keys = [f"tenant-{i:03d}" for i in range(250)]
+        ring = HashRing(["n0", "n1", "n2", "n3"])
+        before = ring.assignment(keys)
+        ring.remove_node("n2")
+        ring.add_node("n2")
+        assert ring.assignment(keys) == before
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_load_is_roughly_balanced(self, seed):
+        rng = random.Random(seed)
+        nodes = [f"node-{i:02d}" for i in range(4)]
+        keys = _tenants(1000, rng)
+        counts = {node: 0 for node in nodes}
+        for owner in HashRing(nodes).assignment(keys).values():
+            counts[owner] += 1
+        # 64 vnodes/node keeps the spread well inside 3x of fair share.
+        assert max(counts.values()) <= 3 * (len(keys) / len(nodes))
+        assert min(counts.values()) > 0
+
+
+class TestRingCrossProcess:
+    """No PYTHONHASHSEED dependence: identical assignment across
+    interpreters started with different hash seeds."""
+
+    def _assignment_via_subprocess(self, hash_seed: str) -> str:
+        code = (
+            "from repro.service.ring import HashRing\n"
+            "keys = [f'tenant-{i:03d}' for i in range(64)]\n"
+            "ring = HashRing(['n0', 'n1', 'n2'])\n"
+            "print(sorted(ring.assignment(keys).items()))\n")
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True,
+                             cwd=os.path.dirname(os.path.dirname(
+                                 os.path.abspath(__file__))))
+        return out.stdout
+
+    def test_assignment_identical_across_hash_seeds(self):
+        runs = {self._assignment_via_subprocess(seed)
+                for seed in ("0", "1", "12345")}
+        assert len(runs) == 1
+        (payload,) = runs
+        assert "tenant-000" in payload

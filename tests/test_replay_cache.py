@@ -142,3 +142,62 @@ def test_audit_resilient_verdict_unchanged_by_cache(nfs_program):
         assert outcome.classification == plain.classification
         assert outcome.consistent == plain.consistent
         assert outcome.coverage == plain.coverage
+
+
+class TestNodeNamespacedMetrics:
+    """Per-node hit/miss attribution for the fleet's shared tier."""
+
+    def test_node_label_namespaces_series(self, zero_program, zero_play):
+        registry = MetricsRegistry()
+        cache = ReplayCache(registry=registry, node="node-03")
+        cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+        cache.replay(zero_program, zero_play.log, MachineConfig(), seed=5)
+        snapshot = registry.collect()
+        assert snapshot['tdr_replay_cache_hits_total{node="node-03"}'] == 1
+        assert snapshot['tdr_replay_cache_misses_total{node="node-03"}'] == 1
+        # The plain series belongs to the unlabelled single-node path.
+        assert "tdr_replay_cache_hits_total" not in snapshot
+
+    def test_views_share_the_store(self, zero_program, zero_play):
+        registry = MetricsRegistry()
+        tier = ReplayCache(registry=registry)
+        node_a, node_b = tier.view("node-00"), tier.view("node-01")
+        log = zero_play.log
+        assert node_a.fetch_value(zero_program, log, seed=5) is None
+        node_a.store_value(zero_program, log, "payload", seed=5)
+        # Stored through A, visible through B: one content-addressed tier.
+        assert node_b.fetch_value(zero_program, log, seed=5) == "payload"
+        assert len(node_a) == len(node_b) == len(tier) == 1
+
+    def test_views_attribute_hits_per_node(self, zero_program, zero_play):
+        registry = MetricsRegistry()
+        tier = ReplayCache(registry=registry)
+        node_a, node_b = tier.view("node-00"), tier.view("node-01")
+        log = zero_play.log
+        node_a.fetch_value(zero_program, log, seed=5)          # miss (A)
+        node_a.store_value(zero_program, log, "payload", seed=5)
+        node_b.fetch_value(zero_program, log, seed=5)          # hit (B)
+        node_b.fetch_value(zero_program, log, seed=5)          # hit (B)
+        assert (node_a.hits, node_a.misses) == (0, 1)
+        assert (node_b.hits, node_b.misses) == (2, 0)
+        snapshot = registry.collect()
+        assert snapshot['tdr_replay_cache_misses_total{node="node-00"}'] == 1
+        assert snapshot['tdr_replay_cache_hits_total{node="node-01"}'] == 2
+
+    def test_tier_aggregate_sums_view_traffic(self, zero_program,
+                                              zero_play):
+        registry = MetricsRegistry()
+        tier = ReplayCache(registry=registry)
+        views = [tier.view(f"node-{i:02d}") for i in range(3)]
+        log = zero_play.log
+        views[0].fetch_value(zero_program, log, seed=5)
+        views[0].store_value(zero_program, log, "payload", seed=5)
+        for view in views[1:]:
+            view.fetch_value(zero_program, log, seed=5)
+        assert (tier.hits, tier.misses) == (2, 1)
+        assert tier.hits == sum(v.hits for v in views)
+        assert tier.misses == sum(v.misses for v in views)
+        # The unlabelled aggregate series stays the fallback total.
+        snapshot = registry.collect()
+        assert snapshot["tdr_replay_cache_hits_total"] == 2
+        assert snapshot["tdr_replay_cache_misses_total"] == 1

@@ -37,7 +37,8 @@ class TestReproduceCli:
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
                                     "fig7", "sec65", "fig8", "chaos",
-                                    "trace", "fleet", "audit", "serve"}
+                                    "trace", "fleet", "audit", "serve",
+                                    "fleet-audit"}
 
     def test_chaos_quick(self, capsys):
         # Severity 1 injects tamper/corruption faults, so the exit-code
