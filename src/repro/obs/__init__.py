@@ -41,6 +41,8 @@ Usage::
 
 from __future__ import annotations
 
+from repro.obs.dist import (DistTracer, SLOReport, SLOSpec, SpanRecord,
+                            derive_trace_id, evaluate_slo)
 from repro.obs.flight import (DivergenceRecord, capture_divergence,
                               flights_from_ndjson, flights_to_ndjson)
 from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
@@ -55,14 +57,17 @@ from repro.obs.runstore import RunRecord, RunStore, SCHEMA_VERSION
 from repro.obs.tracer import SpanTracer
 
 __all__ = [
-    "Counter", "CycleLedger", "DivergenceRecord", "EMPTY_OBS_SNAPSHOT",
-    "FleetObservations", "Gauge", "Histogram", "KNOWN_SOURCES",
-    "MITIGATED_SOURCES", "MetricsRegistry", "NULL_REGISTRY", "NullRegistry",
-    "ObsSnapshot", "Observability", "OpcodeSampler", "RunRecord", "RunStore",
-    "SCHEMA_VERSION", "Source", "SpanTracer", "TraceSummary",
-    "capture_divergence", "default_observability", "enable_metrics",
-    "flights_from_ndjson", "flights_to_ndjson", "format_attribution_table",
-    "get_registry", "labeled", "set_registry", "summarize_tracer",
+    "Counter", "CycleLedger", "DistTracer", "DivergenceRecord",
+    "EMPTY_OBS_SNAPSHOT", "FleetObservations", "Gauge", "Histogram",
+    "KNOWN_SOURCES", "MITIGATED_SOURCES", "MetricsRegistry",
+    "NULL_REGISTRY", "NullRegistry", "ObsSnapshot", "Observability",
+    "OpcodeSampler", "RunRecord", "RunStore", "SCHEMA_VERSION",
+    "SLOReport", "SLOSpec", "Source", "SpanRecord", "SpanTracer",
+    "TraceSummary", "capture_divergence", "default_observability",
+    "derive_trace_id", "enable_metrics", "evaluate_slo",
+    "flights_from_ndjson", "flights_to_ndjson",
+    "format_attribution_table", "get_registry", "labeled",
+    "set_registry", "summarize_tracer",
 ]
 
 

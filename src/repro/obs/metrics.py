@@ -21,8 +21,10 @@ Two properties matter more than features:
 
 from __future__ import annotations
 
+import re
 import threading
 import time
+from bisect import bisect_left
 
 from repro.errors import ObservabilityError
 
@@ -79,7 +81,13 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics).
+
+    Internally each bucket holds only its *own* tally (one increment per
+    observe, found by bisection); the cumulative ``le`` view is summed at
+    read time.  The snapshot wire format stays cumulative, so stored runs
+    from before this representation load unchanged.
+    """
 
     __slots__ = ("name", "help", "buckets", "_bucket_counts", "_count",
                  "_sum", "_min", "_max")
@@ -93,6 +101,8 @@ class Histogram:
             raise ObservabilityError(
                 f"histogram '{name}' buckets must be sorted and non-empty")
         self.buckets = bounds
+        #: Per-bucket (non-cumulative) tallies; values above the last
+        #: bound land only in count/sum (the ``+Inf`` bucket).
         self._bucket_counts = [0] * len(bounds)
         self._count = 0
         self._sum = 0.0
@@ -106,9 +116,9 @@ class Histogram:
             self._min = value
         if self._max is None or value > self._max:
             self._max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._bucket_counts[i] += 1
+        idx = bisect_left(self.buckets, value)
+        if idx < len(self.buckets):
+            self._bucket_counts[idx] += 1
 
     @property
     def count(self) -> int:
@@ -132,17 +142,33 @@ class Histogram:
 
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative count per upper bound (``le`` buckets)."""
-        return dict(zip(self.buckets, self._bucket_counts))
+        out, running = {}, 0
+        for bound, count in zip(self.buckets, self._bucket_counts):
+            running += count
+            out[bound] = running
+        return out
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative tallies in bucket order (the snapshot wire format)."""
+        running, out = 0, []
+        for count in self._bucket_counts:
+            running += count
+            out.append(running)
+        return out
 
     def merge_snapshot(self, snap: dict) -> None:
         """Fold another histogram's :meth:`MetricsRegistry.snapshot` entry
-        into this one (bucket layouts must match)."""
+        into this one (bucket layouts must match).  Snapshots carry
+        cumulative counts; they are de-accumulated into the per-bucket
+        internal representation here."""
         if tuple(snap["buckets"]) != self.buckets:
             raise ObservabilityError(
                 f"histogram '{self.name}' bucket mismatch on merge: "
                 f"{self.buckets} vs {tuple(snap['buckets'])}")
-        for i, count in enumerate(snap["bucket_counts"]):
-            self._bucket_counts[i] += count
+        previous = 0
+        for i, cumulative in enumerate(snap["bucket_counts"]):
+            self._bucket_counts[i] += cumulative - previous
+            previous = cumulative
         self._count += snap["count"]
         self._sum += snap["sum"]
         if snap["min"] is not None:
@@ -264,7 +290,7 @@ class MetricsRegistry:
             else:
                 out[name] = {"kind": "histogram", "help": inst.help,
                              "buckets": list(inst.buckets),
-                             "bucket_counts": list(inst._bucket_counts),
+                             "bucket_counts": inst.cumulative_counts(),
                              "count": inst.count, "sum": inst.sum,
                              "min": inst.min, "max": inst.max}
         return out
@@ -294,24 +320,47 @@ class MetricsRegistry:
                     f"unknown instrument kind '{kind}' for '{name}'")
 
     def render(self) -> str:
-        """Prometheus-style text exposition of every instrument."""
+        """Prometheus-style text exposition of every instrument.
+
+        Labelled series (instruments named via :func:`labeled`) render
+        with their labels merged into each sample's label set —
+        histogram suffixes go on the *base* name, so a
+        ``labeled("x", node="n")`` histogram exposes
+        ``x_bucket{le="...",node="n"}``, never the invalid
+        ``x{node="n"}_bucket{...}``.  HELP/TYPE headers are emitted once
+        per metric family, not once per labelled series.
+        """
         lines: list[str] = []
+        described: set[str] = set()
+
+        def _sample(base: str, suffix: str, inner: str,
+                    extra: str = "") -> str:
+            label_set = ",".join(part for part in (inner, extra) if part)
+            return (f"{base}{suffix}{{{label_set}}}" if label_set
+                    else f"{base}{suffix}")
+
         for name, inst in sorted(self._instruments.items()):
-            if inst.help:
-                lines.append(f"# HELP {name} {inst.help}")
-            if isinstance(inst, Counter):
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {inst.value:g}")
-            elif isinstance(inst, Gauge):
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {inst.value:g}")
+            base, inner = split_series(name)
+            if base not in described:
+                described.add(base)
+                if inst.help:
+                    lines.append(f"# HELP {base} {inst.help}")
+                kind = ("counter" if isinstance(inst, Counter) else
+                        "gauge" if isinstance(inst, Gauge) else "histogram")
+                lines.append(f"# TYPE {base} {kind}")
+            if isinstance(inst, (Counter, Gauge)):
+                lines.append(f"{_sample(base, '', inner)} {inst.value:g}")
             else:
-                lines.append(f"# TYPE {name} histogram")
                 for bound, count in inst.bucket_counts().items():
-                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {count}')
-                lines.append(f'{name}_bucket{{le="+Inf"}} {inst.count}')
-                lines.append(f"{name}_sum {inst.sum:g}")
-                lines.append(f"{name}_count {inst.count}")
+                    le = f'le="{bound:g}"'
+                    lines.append(
+                        f"{_sample(base, '_bucket', inner, le)} {count}")
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{_sample(base, '_bucket', inner, inf)} {inst.count}")
+                lines.append(f"{_sample(base, '_sum', inner)} {inst.sum:g}")
+                lines.append(f"{_sample(base, '_count', inner)} "
+                             f"{inst.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:
@@ -378,6 +427,17 @@ def enable_metrics() -> MetricsRegistry:
     return _default_registry
 
 
+#: Prometheus label-name grammar ([a-zA-Z_][a-zA-Z0-9_]*).
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text format (backslash,
+    double quote, and newline are the only characters that need it)."""
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def labeled(name: str, **labels: object) -> str:
     """Render a Prometheus-style series name with sorted label pairs.
 
@@ -385,13 +445,30 @@ def labeled(name: str, **labels: object) -> str:
     series are just distinct names — ``labeled("cache_hits_total",
     node="node-03")`` yields ``cache_hits_total{node="node-03"}``.
     Labels are sorted for a canonical spelling; values are rendered with
-    ``str()`` and must not contain quotes.
+    ``str()`` and escaped per the exposition format (backslash, quote,
+    newline), and label names must match the Prometheus grammar.
     """
     if not labels:
         return name
-    inner = ",".join(f'{key}="{value}"'
+    for key in labels:
+        if not _LABEL_NAME.match(key):
+            raise ObservabilityError(
+                f"invalid label name '{key}' for series '{name}'")
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
                      for key, value in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+def split_series(name: str) -> tuple[str, str]:
+    """Split a :func:`labeled` series name into ``(base, label_pairs)``.
+
+    ``split_series('x{node="n"}')`` is ``("x", 'node="n"')``; an
+    unlabelled name comes back as ``(name, "")``.
+    """
+    if name.endswith("}") and "{" in name:
+        base, _, rest = name.partition("{")
+        return base, rest[:-1]
+    return name, ""
 
 
 class time_phase:

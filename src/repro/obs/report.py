@@ -470,6 +470,232 @@ def _verdicts_section(verdicts: dict) -> str:
             + "</figure>")
 
 
+# --------------------------------------------------------------------------
+# Fleet telemetry page (figures["fleet_obs"] of a fleet-audit run).
+# --------------------------------------------------------------------------
+
+#: Marker-name prefix -> categorical slot (fixed order = fixed identity).
+_MARKER_COLORS = (("crash", "var(--s8)"), ("stall", "var(--s4)"),
+                  ("slow", "var(--s2)"), ("steal", "var(--s1)"),
+                  ("suspect", "var(--s5)"), ("resume", "var(--s3)"),
+                  ("rebalance", "var(--s7)"), ("degraded", "var(--s6)"))
+
+
+def _marker_color(name: str) -> str:
+    for prefix, color in _MARKER_COLORS:
+        if name.startswith(prefix):
+            return color
+    return "var(--axis)"
+
+
+def _fleet_heatmap_svg(heatmap: dict) -> str:
+    """Tenant x node latency heatmap: opacity ramp on the single hue."""
+    tenants = heatmap.get("tenants", [])
+    nodes = heatmap.get("nodes", [])
+    cells = {(t, n): (count, mean, worst)
+             for t, n, count, mean, worst in heatmap.get("cells", [])}
+    if not tenants or not nodes:
+        return ""
+    peak = max((mean for _, mean, _ in cells.values()), default=0.0) or 1.0
+    gutter, top, cw, ch, gap = 96, 22, 74, 24, 3
+    width = gutter + len(nodes) * (cw + gap) + 8
+    height = top + len(tenants) * (ch + gap) + 6
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="Time-to-verdict heatmap per tenant and node">']
+    for col, node in enumerate(nodes):
+        x = gutter + col * (cw + gap)
+        parts.append(f'<text x="{x + cw / 2:.1f}" y="14" '
+                     f'text-anchor="middle">{_e(node)}</text>')
+    for row, tenant in enumerate(tenants):
+        y = top + row * (ch + gap)
+        parts.append(f'<text x="{gutter - 8}" y="{y + ch - 7}" '
+                     f'text-anchor="end">{_e(tenant)}</text>')
+        for col, node in enumerate(nodes):
+            x = gutter + col * (cw + gap)
+            cell = cells.get((tenant, node))
+            if cell is None:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{cw}" height="{ch}" '
+                    f'rx="3" fill="none" stroke="var(--grid)" '
+                    f'stroke-width="1"><title>'
+                    f"{_e(tenant)} on {_e(node)}: no audits"
+                    f"</title></rect>")
+                continue
+            count, mean, worst = cell
+            opacity = 0.15 + 0.85 * (mean / peak)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cw}" height="{ch}" '
+                f'rx="3" fill="var(--seq)" '
+                f'fill-opacity="{opacity:.3f}"><title>'
+                f"{_e(tenant)} on {_e(node)}: {count} verdicts, "
+                f"mean {mean:.1f} ms, worst {worst:.1f} ms"
+                f"</title></rect>")
+            parts.append(f'<text x="{x + cw / 2:.1f}" y="{y + ch - 7}" '
+                         f'text-anchor="middle">{mean:.0f}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _fleet_timeline_svg(obs: dict) -> str:
+    """One lane per track: queue-depth sparkline + chaos/steal markers."""
+    tracks = obs.get("tracks", [])
+    horizon = float(obs.get("horizon_ms", 0.0)) or 1.0
+    markers = obs.get("markers", {})
+    depths = obs.get("queue_depth", {})
+    if not tracks:
+        return ""
+    gutter, plot_w, lane_h, lane_gap, top = 86, 520, 26, 8, 10
+    height = top + len(tracks) * (lane_h + lane_gap) + 22
+    width = gutter + plot_w + 14
+    peak_depth = max((depth for samples in depths.values()
+                      for _, depth in samples), default=0) or 1
+
+    def px(ts: float) -> float:
+        return gutter + plot_w * min(ts / horizon, 1.0)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="Fleet node timeline with chaos markers and '
+             f'queue-depth sparklines">']
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        gx = gutter + plot_w * frac
+        parts.append(f'<line x1="{gx:.1f}" y1="{top}" x2="{gx:.1f}" '
+                     f'y2="{height - 22}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>')
+        parts.append(f'<text class="muted" x="{gx:.1f}" '
+                     f'y="{height - 8}" text-anchor="middle">'
+                     f"{horizon * frac:.0f} ms</text>")
+    for row, track in enumerate(tracks):
+        y0 = top + row * (lane_h + lane_gap)
+        base = y0 + lane_h - 4
+        parts.append(f'<text x="{gutter - 8}" y="{base}" '
+                     f'text-anchor="end">{_e(track)}</text>')
+        parts.append(f'<line x1="{gutter}" y1="{base}" '
+                     f'x2="{gutter + plot_w}" y2="{base}" '
+                     f'stroke="var(--axis)" stroke-width="1"/>')
+        samples = depths.get(track, [])
+        if samples:
+            # Step-after sparkline: depth holds until the next sample.
+            points, last_y = [], base
+            for ts, depth in samples:
+                x = px(ts)
+                sy = base - (lane_h - 10) * depth / peak_depth
+                points.append(f"{x:.1f},{last_y:.1f}")
+                points.append(f"{x:.1f},{sy:.1f}")
+                last_y = sy
+            points.append(f"{gutter + plot_w},{last_y:.1f}")
+            peak_here = max(depth for _, depth in samples)
+            parts.append(f'<polyline points="{" ".join(points)}" '
+                         f'fill="none" stroke="var(--seq)" '
+                         f'stroke-width="1.5"><title>'
+                         f"{_e(track)} queue depth (peak {peak_here})"
+                         f"</title></polyline>")
+        for ts, name in markers.get(track, []):
+            x = px(ts)
+            parts.append(f'<line x1="{x:.1f}" y1="{y0 + 2}" '
+                         f'x2="{x:.1f}" y2="{base}" '
+                         f'stroke="{_marker_color(name)}" '
+                         f'stroke-width="2"><title>'
+                         f"{_e(name)} @ {ts:.1f} ms</title></line>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _fleet_slo_table(slo: dict) -> str:
+    rows = []
+    for objective in slo.get("objectives", []):
+        burn = objective.get("burn_rates") or []
+        rows.append([objective["name"], f"{objective['target']:g}",
+                     f"{objective['actual']:g}",
+                     "ok" if objective["ok"] else "BREACH",
+                     " / ".join(f"{b:.1f}" for b in burn) or "—"])
+    verdict = "met" if slo.get("ok") else "BREACHED"
+    return ("<figure><figcaption>SLO <code>"
+            + _e(slo.get("spec", "")) + "</code> — " + verdict
+            + f" over {slo.get('horizon_ms', 0.0):.1f} virtual ms "
+            f"({slo.get('windows', 0)} burn windows; burn 1.0 spends "
+            "the error budget exactly at the objective's rate)."
+            "</figcaption>"
+            + _table(["objective", "target", "actual", "verdict",
+                      "burn per window"], rows)
+            + "</figure>")
+
+
+def _fleet_section(obs: dict) -> str:
+    if not obs:
+        return ""
+    parts = ["<h2>Fleet telemetry</h2>"]
+    sessions = obs.get("sessions", {})
+    spans = obs.get("spans", {})
+    summary_bits = [
+        f"{sessions.get('total', 0)} sessions "
+        f"({', '.join(f'{n} {s}' for s, n in sorted(sessions.get('by_status', {}).items()))})",
+        f"{spans.get('total', 0)} spans",
+    ]
+    if spans.get("killed"):
+        summary_bits.append(f"{spans['killed']} killed with their node, "
+                            f"{spans.get('reparented', 0)} re-parented "
+                            f"onto a new owner")
+    parts.append(f'<p class="meta">{_e("; ".join(summary_bits))}</p>')
+
+    latency = obs.get("latency", {})
+    if latency:
+        rows = []
+        for metric, entry in sorted(latency.items()):
+            stats = entry.get("all", {})
+            rows.append([metric, stats.get("count", 0),
+                         f"{stats.get('mean', 0.0):.1f}",
+                         f"{stats.get('p50', 0.0):.1f}",
+                         f"{stats.get('p95', 0.0):.1f}",
+                         f"{stats.get('p99', 0.0):.1f}",
+                         f"{stats.get('max', 0.0):.1f}"])
+        parts.append(
+            "<figure><figcaption>Virtual-time latency distributions "
+            "across the whole fleet (ms): queue wait, audit service "
+            "time, and time from a session's first segment to its "
+            "verdict.</figcaption>"
+            + _table(["metric", "n", "mean", "p50", "p95", "p99", "max"],
+                     rows)
+            + "</figure>")
+
+    heatmap = obs.get("heatmap", {})
+    if heatmap.get("cells"):
+        twin_rows = [[f"{t} on {n}", count, f"{mean:.1f}", f"{worst:.1f}"]
+                     for t, n, count, mean, worst in heatmap["cells"]]
+        parts.append(
+            "<figure><figcaption>Mean time-to-verdict (ms) per tenant "
+            "and judging node; darker is slower, empty outline means "
+            "that node never judged that tenant.</figcaption>"
+            + _fleet_heatmap_svg(heatmap)
+            + _details_table(["tenant / node", "verdicts", "mean ms",
+                              "worst ms"], twin_rows)
+            + "</figure>")
+
+    if obs.get("tracks"):
+        legend = ['<div class="legend">']
+        for prefix, color in _MARKER_COLORS:
+            legend.append(f'<span><span class="chip" '
+                          f'style="background:{color}"></span>'
+                          f"{_e(prefix)}</span>")
+        legend.append("</div>")
+        marker_rows = [[track, f"{ts:.1f}", name]
+                       for track, rows in sorted(
+                           obs.get("markers", {}).items())
+                       for ts, name in rows]
+        parts.append(
+            "<figure><figcaption>Per-node timeline over the virtual "
+            "horizon: queue-depth sparklines (single hue) with chaos, "
+            "detector, and steal instants as colored ticks."
+            "</figcaption>"
+            + "".join(legend) + _fleet_timeline_svg(obs)
+            + (_details_table(["track", "ms", "event"], marker_rows, 1)
+               if marker_rows else "")
+            + "</figure>")
+
+    if obs.get("slo"):
+        parts.append(_fleet_slo_table(obs["slo"]))
+    return "".join(parts)
+
+
 def _run_section(run_id: str, record) -> str:
     parts = [f"<h1>{_e(record.kind)} — <code>{_e(run_id)}</code></h1>"]
     meta = []
@@ -488,6 +714,8 @@ def _run_section(run_id: str, record) -> str:
         parts.append(_fig6_section(record.figures["fig6"]))
     if "fig8" in record.figures:
         parts.append(_roc_section(record.figures["fig8"]))
+    if "fleet_obs" in record.figures:
+        parts.append(_fleet_section(record.figures["fleet_obs"]))
     parts.append(_table1_section(record))
     parts.append(_verdicts_section(record.verdicts))
     parts.append(_phases_section(record.metrics))

@@ -51,6 +51,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.replay_cache import ReplayCache
 from repro.faults.plans import NodeChaosPlan
 from repro.machine.config import MachineConfig
+from repro.obs.dist import FLEET_TRACK, DistTracer
 from repro.obs.metrics import MetricsRegistry, get_registry, labeled
 from repro.obs.tracer import SpanTracer
 from repro.service.daemon import play_and_ship
@@ -163,7 +164,8 @@ class FleetService:
                  chaos: NodeChaosPlan | None = None,
                  epoch_interval_ms: float = 400.0,
                  segment_interval_ms: float = 40.0,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 trace: bool = True) -> None:
         if epochs < 1:
             raise ServiceError(f"need >= 1 epoch, got {epochs}")
         ids = [spec.tenant_id for spec in tenants]
@@ -189,6 +191,11 @@ class FleetService:
         #: (the tracer's time source is in nanoseconds).
         self.tracer = SpanTracer(
             time_fn=lambda: self.clock.now_ms * 1e6)
+        #: The fleet-wide session trace: per-node span tracks, latency
+        #: series, chaos markers.  Purely observational — disabling it
+        #: (``trace=False``) is bit-identical in every verdict.
+        self.dist: DistTracer | None = (DistTracer(seed=seed)
+                                        if trace else None)
         self.gate = IngestGate(self.specs, registry=self.registry)
         #: One idempotent verdict history for the whole fleet.
         self.sink = VerdictSink(registry=self.registry, dedupe=True)
@@ -223,6 +230,11 @@ class FleetService:
             scheduler.wires = self.wires
             self.nodes.append(FleetNode(index, node_id, scheduler))
         self.node_by_id = {node.node_id: node for node in self.nodes}
+        if self.dist is not None:
+            # Register tracks up front so tid order is roster order, not
+            # first-span order.
+            for node_id in node_ids:
+                self.dist.register_track(node_id)
 
         #: Exactly-once redelivery guard, by job identity.
         self._requeued: set[tuple] = set()
@@ -296,6 +308,14 @@ class FleetService:
 
     def _handle_segment(self, segment) -> None:
         record = self.gate.admit(segment)
+        if self.dist is not None:
+            self.dist.session_start(segment.tenant_id, segment.epoch,
+                                    segment.arrival_ms)
+            self.dist.instant(
+                f"ingest:{record.status.value}", FLEET_TRACK,
+                segment.arrival_ms, category="ingest",
+                tenant=segment.tenant_id, epoch=segment.epoch,
+                seq=segment.seq)
         owner_id = self.ring.assign(segment.tenant_id)
         if owner_id is None:
             # Total capacity loss: remember the session so the report
@@ -315,6 +335,9 @@ class FleetService:
         if fault.kind == "crash":
             node.crashed_at = now
             self.tracer.instant(f"crash:{node.node_id}", category="chaos")
+            if self.dist is not None:
+                self.dist.instant(f"crash:{node.node_id}", node.node_id,
+                                  now, category="chaos")
             self._count(labeled("fleet_node_crashes_total",
                                 node=node.node_id),
                         "Node crash faults applied")
@@ -326,6 +349,10 @@ class FleetService:
                                    now + fault.duration_ms)
             self.tracer.instant(f"stall:{node.node_id}", category="chaos",
                                 duration_ms=fault.duration_ms)
+            if self.dist is not None:
+                self.dist.instant(f"stall:{node.node_id}", node.node_id,
+                                  now, category="chaos",
+                                  duration_ms=fault.duration_ms)
             detect_at = self.detector.detection_ms(node.node_id, now)
             if detect_at < node.stall_until:
                 # The silence outlives the grace period: suspicion will
@@ -338,6 +365,10 @@ class FleetService:
             node.scheduler.time_factor = node.slow_factor
             self.tracer.instant(f"slow:{node.node_id}", category="chaos",
                                 factor=fault.factor)
+            if self.dist is not None:
+                self.dist.instant(f"slow:{node.node_id}", node.node_id,
+                                  now, category="chaos",
+                                  factor=fault.factor)
         else:
             raise ServiceError(f"unknown node fault kind '{fault.kind}'")
 
@@ -355,6 +386,9 @@ class FleetService:
             # relieves its queue in the meantime.
             self.detector.suspect(node_id, now)
             self.tracer.instant(f"suspect:{node_id}", category="detector")
+            if self.dist is not None:
+                self.dist.instant(f"suspect:{node_id}", node_id, now,
+                                  category="detector")
         # Otherwise the node resumed before the timeout — a blip the
         # detector never saw.
 
@@ -370,6 +404,9 @@ class FleetService:
             # strike — the next silence gets a longer grace period.
             self.detector.resume(node_id, self.clock.now_ms)
             self.tracer.instant(f"resume:{node_id}", category="detector")
+            if self.dist is not None:
+                self.dist.instant(f"resume:{node_id}", node_id,
+                                  self.clock.now_ms, category="detector")
 
     # -- rebalance (the at-least-once redelivery path) ---------------------
 
@@ -388,6 +425,16 @@ class FleetService:
         orphans = node.scheduler.queue.drain()
         orphans += [job for _, job in sorted(node.in_flight.items())]
         killed = len(node.in_flight)
+        if self.dist is not None:
+            self.dist.instant(f"rebalance:{node.node_id}", FLEET_TRACK,
+                              now, category="fleet", reason=reason,
+                              requeued=len(orphans))
+            # Close the spans that died with the node, at its crash
+            # instant; their redelivery re-parents onto these.
+            died_at = node.crashed_at if node.crashed_at is not None \
+                else now
+            for _, job in sorted(node.in_flight.items()):
+                self.dist.job_killed(job, node.node_id, died_at)
         node.in_flight.clear()
         requeued = 0
         for job in orphans:
@@ -437,6 +484,10 @@ class FleetService:
                 peer.scheduler.spot_only = True
             self.tracer.instant("degraded-mode", category="fleet",
                                 alive=alive)
+            if self.dist is not None:
+                self.dist.instant("degraded-mode", FLEET_TRACK,
+                                  self.clock.now_ms, category="fleet",
+                                  alive=alive)
             self._count("fleet_degraded_mode_entered_total",
                         "Times the fleet shed to spot-check-only mode")
 
@@ -471,6 +522,9 @@ class FleetService:
                 thief = thieves[index % len(thieves)]
                 job.ready_ms = max(job.ready_ms, now)
                 thief.scheduler.queue.push(job, force=True)
+                if self.dist is not None:
+                    self.dist.steal_hop(job, victim.node_id,
+                                        thief.node_id, now)
                 self.steals += 1
                 self._count(labeled("fleet_steals_total",
                                     node=thief.node_id),
@@ -483,6 +537,9 @@ class FleetService:
         now = self.clock.now_ms
         work: list[tuple[FleetNode, AuditJob]] = []
         for node in self.nodes:
+            if self.dist is not None and not node.evicted:
+                self.dist.sample_queue_depth(node.node_id, now,
+                                             len(node.scheduler.queue))
             if not node.can_dispatch(now):
                 continue
             for job in node.scheduler.queue.drain():
@@ -495,6 +552,8 @@ class FleetService:
         for (node, job), p in zip(work, prepared):
             _, completion = node.scheduler.price(job, p, now_ms=now)
             node.in_flight[job.session_key] = job
+            if self.dist is not None:
+                self.dist.job_dispatched(job, node.node_id)
             self.clock.schedule(completion, "completion", (node, job, p))
         return True
 
@@ -512,7 +571,12 @@ class FleetService:
                         "Audits that died with their node")
             return
         node.in_flight.pop(job.session_key, None)
-        node.scheduler.complete(job, prepared, self.gate)
+        event = node.scheduler.complete(job, prepared, self.gate)
+        if self.dist is not None:
+            if event is not None:
+                self.dist.job_completed(job, node.node_id, event)
+            else:
+                self.dist.job_deduped(job, node.node_id)
 
     # -- reporting ---------------------------------------------------------
 
@@ -532,6 +596,24 @@ class FleetService:
                 reason = "audit-shed"
             unaudited.append(UnauditedRecord(tenant_id=tid, epoch=epoch,
                                              reason=reason))
+        fleet_obs: dict = {}
+        trace_ndjson = ""
+        if self.dist is not None:
+            last_verdict: dict[tuple, float] = {}
+            for event in self.sink.events:
+                key = (event.tenant_id, event.epoch)
+                last_verdict[key] = max(last_verdict.get(key, 0.0),
+                                        event.completion_ms)
+            for tid, epoch in sorted(self._sessions):
+                end = last_verdict.get((tid, epoch))
+                if end is not None:
+                    self.dist.session_close(tid, epoch, end, "ok")
+                else:
+                    self.dist.session_close(tid, epoch, horizon,
+                                            "unaudited")
+            fleet_obs = self.dist.summary()
+            fleet_obs["horizon_ms"] = round(horizon, 3)
+            trace_ndjson = self.dist.to_ndjson()
         node_stats = {}
         for node in self.nodes:
             scheduler = node.scheduler
@@ -566,7 +648,9 @@ class FleetService:
             segments_shipped=self.segments_shipped,
             sessions_total=len(self._sessions),
             metrics=(self.registry.snapshot()
-                     if self.registry.enabled else {}))
+                     if self.registry.enabled else {}),
+            fleet_obs=fleet_obs,
+            trace_ndjson=trace_ndjson)
 
     def _count(self, name: str, help_text: str, by: int = 1) -> None:
         if self.registry.enabled and by:
@@ -596,6 +680,13 @@ class FleetReport:
     segments_shipped: int
     sessions_total: int
     metrics: dict = field(default_factory=dict)
+    #: :meth:`~repro.obs.dist.DistTracer.summary` payload (latency
+    #: stats, heatmap, markers).  Observational only — deliberately NOT
+    #: part of :meth:`verdicts_dict`, which the determinism tests
+    #: byte-compare with tracing on vs off.
+    fleet_obs: dict = field(default_factory=dict)
+    #: Structured span/instant event log, one JSON object per line.
+    trace_ndjson: str = ""
 
     @property
     def flagged_tenants(self) -> list[str]:
@@ -707,5 +798,7 @@ def persist_fleet_report(runstore, report: FleetReport,
                  "rebalances": len(report.rebalances),
                  "requeued": report.requeued,
                  "unaudited": len(report.unaudited),
-                 "nodes": dict(report.node_stats)})
+                 "nodes": dict(report.node_stats),
+                 "fleet_obs": dict(report.fleet_obs)},
+        trace_ndjson=report.trace_ndjson)
     return runstore.save(record)

@@ -8,6 +8,10 @@ Usage::
     python -m repro.tools.reproduce fig6 trace --store
     python -m repro.tools.reproduce serve --tenants 4 --epochs 3 --store
     python -m repro.tools.reproduce audit --covert ipctc
+    python -m repro.tools.reproduce fleet-audit --nodes 4 \\
+        --chaos crash:1@180 --slo p99_verdict_ms=400 \\
+        --trace-out fleet-trace.json --store
+    python -m repro.tools.reproduce slo p99_verdict_ms=400,max_unaudited=0.1
     python -m repro.tools.reproduce runs list
     python -m repro.tools.reproduce report --latest 2 --out tdr-report.html
     python -m repro.tools.reproduce bench-gate --advisory
@@ -33,6 +37,8 @@ code  meaning
 2     usage — bad arguments, unknown experiment, malformed spec
 3     degraded — no flag, but coverage was partial (audits shed,
       sessions unaudited, or the fleet ran in degraded mode)
+4     SLO breach — nothing flagged, but a ``--slo`` objective (or
+      ``reproduce slo``) found a latency/coverage target missed
 ====  =========================================================
 """
 
@@ -66,6 +72,7 @@ EXIT_CLEAN = 0
 EXIT_FLAGGED = 1
 EXIT_USAGE = 2
 EXIT_DEGRADED = 3
+EXIT_SLO_BREACH = 4
 
 _EXIT_TABLE = """\
 exit codes:
@@ -74,6 +81,8 @@ exit codes:
   2  usage     bad arguments, unknown experiment, malformed chaos spec
   3  degraded  no flag, but coverage was partial (audits shed, sessions
                unaudited, or the fleet entered degraded mode)
+  4  SLO breach  nothing flagged, but an --slo objective missed its
+               latency or coverage target (flags take precedence)
 with several experiments selected, the process exits with the highest
 status any of them returned."""
 
@@ -369,8 +378,9 @@ def run_trace(args) -> None:
         for op, count in top:
             print(f"    {op:12s} {count:>8,} samples")
 
-    obs.tracer.write_chrome_trace(args.trace_out)
-    print(f"\n  wrote {len(obs.tracer)} trace events to {args.trace_out} "
+    trace_out = args.trace_out or "tdr-trace.json"
+    obs.tracer.write_chrome_trace(trace_out)
+    print(f"\n  wrote {len(obs.tracer)} trace events to {trace_out} "
           f"(load in chrome://tracing or https://ui.perfetto.dev)")
 
     store = _store(args)
@@ -574,7 +584,9 @@ def run_serve(args) -> int:
 
 def run_fleet_audit(args) -> int:
     _banner("Fleet audit — sharded verifier fleet under node chaos")
+    from repro.errors import ObservabilityError
     from repro.faults.plans import FaultPlanError, NodeChaosPlan
+    from repro.obs.dist import SLOSpec, evaluate_slo
     from repro.service import (FleetService, FleetTopology, default_tenants,
                                persist_fleet_report)
 
@@ -584,6 +596,13 @@ def run_fleet_audit(args) -> int:
             chaos = NodeChaosPlan.parse(args.chaos)
         except FaultPlanError as exc:
             print(f"fleet-audit: bad --chaos spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    slo_spec = None
+    if args.slo:
+        try:
+            slo_spec = SLOSpec.parse(args.slo)
+        except ObservabilityError as exc:
+            print(f"fleet-audit: bad --slo spec: {exc}", file=sys.stderr)
             return EXIT_USAGE
     registry = MetricsRegistry()
     tenants = default_tenants(args.tenants, covert_channel=args.covert
@@ -597,6 +616,25 @@ def run_fleet_audit(args) -> int:
     for line in report.render_lines():
         print(f"  {line}")
 
+    slo_report = None
+    if slo_spec is not None:
+        slo_report = evaluate_slo(
+            slo_spec, report.fleet_obs,
+            sessions_total=report.sessions_total,
+            unaudited=len(report.unaudited),
+            horizon_ms=report.horizon_ms)
+        # Ride the verdict into the stored figures and the dashboard.
+        report.fleet_obs["slo"] = slo_report.to_json_dict()
+        print()
+        for line in slo_report.render_lines():
+            print(f"  {line}")
+
+    if args.trace_out:
+        service.dist.write_chrome_trace(args.trace_out)
+        print(f"  wrote {len(service.dist)} fleet trace events to "
+              f"{args.trace_out} (load in chrome://tracing or "
+              f"https://ui.perfetto.dev)")
+
     store = _store(args)
     if store is not None:
         run_id = persist_fleet_report(
@@ -607,7 +645,11 @@ def run_fleet_audit(args) -> int:
     _print_phase_report(registry)
     if report.exit_code == EXIT_FLAGGED:
         print("  flagged tenants -> non-zero exit")
-    elif report.exit_code == EXIT_DEGRADED:
+        return EXIT_FLAGGED
+    if slo_report is not None and not slo_report.ok:
+        print(f"  SLO breach ({', '.join(slo_report.breached)}) -> exit 4")
+        return EXIT_SLO_BREACH
+    if report.exit_code == EXIT_DEGRADED:
         print("  degraded coverage (no flag) -> exit 3")
     return report.exit_code
 
@@ -811,10 +853,80 @@ def cmd_bench_gate(argv: list[str]) -> int:
     return 0
 
 
+def cmd_slo(argv: list[str]) -> int:
+    """``reproduce slo SPEC`` — evaluate SLOs against a stored fleet run.
+
+    Exit codes: 0 every objective met, 4 breach, 2 usage (bad spec, no
+    stored fleet-audit run, or a run without fleet observability).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce slo",
+        description="Evaluate a latency/coverage SLO spec against a "
+                    "stored fleet-audit run (latest by default).")
+    parser.add_argument("spec",
+                        help="inline SLO spec, e.g. "
+                             "'p99_verdict_ms=400,max_unaudited=0.1' "
+                             "(keys: p50/p95/p99_verdict_ms, "
+                             "p99_queue_ms, max_unaudited)")
+    parser.add_argument("--run", default=None, metavar="REF",
+                        help="run id or unique prefix (default: the "
+                             "most recent fleet-audit run)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="run store root (default: REPRO_RUNSTORE "
+                             "or .repro-runs)")
+    parser.add_argument("--windows", type=int, default=4,
+                        help="burn-rate windows over the virtual "
+                             "horizon (default 4)")
+    args = parser.parse_args(argv)
+    from repro.errors import ObservabilityError
+    from repro.obs.dist import SLOSpec, evaluate_slo
+
+    try:
+        spec = SLOSpec.parse(args.spec)
+    except ObservabilityError as exc:
+        print(f"slo: bad spec: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    store = _open_store(args.store)
+    try:
+        if args.run:
+            run_id = store.resolve(args.run)
+        else:
+            fleet_runs = store.list_runs(kind="fleet-audit")
+            if not fleet_runs:
+                print(f"slo: no fleet-audit runs in {store.root} "
+                      f"(run `reproduce fleet-audit --store` first)",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            run_id = fleet_runs[-1]["run_id"]
+        record = store.load(run_id)
+    except ObservabilityError as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    fleet_obs = record.figures.get("fleet_obs") or {}
+    if not fleet_obs:
+        print(f"slo: run {run_id} has no fleet observability payload "
+              f"(kind '{record.kind}'; re-run fleet-audit with this "
+              f"build)", file=sys.stderr)
+        return EXIT_USAGE
+    verdicts = record.verdicts or {}
+    report = evaluate_slo(
+        spec, fleet_obs,
+        sessions_total=int(verdicts.get("sessions_total", 0)),
+        unaudited=len(verdicts.get("unaudited", [])),
+        horizon_ms=float(fleet_obs.get("horizon_ms")
+                         or verdicts.get("horizon_ms", 0.0)),
+        windows=args.windows)
+    print(f"run {run_id} ({record.label or record.kind})")
+    for line in report.render_lines():
+        print(line)
+    return EXIT_CLEAN if report.ok else EXIT_SLO_BREACH
+
+
 SUBCOMMANDS = {
     "runs": cmd_runs,
     "report": cmd_report,
     "bench-gate": cmd_bench_gate,
+    "slo": cmd_slo,
 }
 
 
@@ -846,9 +958,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--severities", type=int, default=3,
                         help="fault severities swept by 'chaos' "
                              "(default 3)")
-    parser.add_argument("--trace-out", default="tdr-trace.json",
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="Chrome trace file written by 'trace' "
-                             "(default tdr-trace.json)")
+                             "(default tdr-trace.json) and, when given "
+                             "explicitly, the merged fleet trace of "
+                             "'fleet-audit'")
     parser.add_argument("--tenants", type=int, default=4,
                         help="tenants simulated by 'serve' (default 4)")
     parser.add_argument("--epochs", type=int, default=2,
@@ -866,6 +980,11 @@ def main(argv: list[str] | None = None) -> int:
                              "'crash:1@180,stall:2@90+500,slow:0@10x4' "
                              "(crash:NODE@MS, stall:NODE@MS+DUR, "
                              "slow:NODE@MSxFACTOR; default none)")
+    parser.add_argument("--slo", default=None, metavar="SPEC",
+                        help="'fleet-audit' SLO spec evaluated at end "
+                             "of run, e.g. 'p99_verdict_ms=400,"
+                             "max_unaudited=0.1'; a breach exits 4 "
+                             "(flags still exit 1)")
     parser.add_argument("--covert", default=None, metavar="CHANNEL",
                         help="covert channel for 'audit' (and the "
                              "covert tenant of 'serve'; default ipctc "

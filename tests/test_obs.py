@@ -68,6 +68,68 @@ class TestMetrics:
         assert 'cycles_bucket{le="100"} 1' in text
         assert 'cycles_bucket{le="+Inf"} 1' in text
 
+    def test_labeled_histogram_renders_valid_exposition(self):
+        # The regression: labeled histograms used to render
+        # 'x{node="n"}_bucket{le="..."}' — suffix after the braces,
+        # which no Prometheus parser accepts.  Labels must merge into
+        # the sample's own label set.
+        from repro.obs.metrics import labeled
+
+        reg = MetricsRegistry()
+        reg.histogram(labeled("lat_ms", node="node-01"),
+                      help="per-node latency",
+                      buckets=(1.0, 10.0)).observe(5)
+        reg.histogram(labeled("lat_ms", node="node-02"),
+                      buckets=(1.0, 10.0)).observe(0.5)
+        text = reg.render()
+        assert 'lat_ms_bucket{node="node-01",le="10"} 1' in text
+        assert 'lat_ms_bucket{node="node-02",le="1"} 1' in text
+        assert 'lat_ms_bucket{node="node-01",le="+Inf"} 1' in text
+        assert 'lat_ms_sum{node="node-01"} 5' in text
+        assert 'lat_ms_count{node="node-02"} 1' in text
+        assert "}_bucket" not in text and "}_sum" not in text \
+            and "}_count" not in text
+        # One HELP/TYPE block per family, not per labeled series.
+        assert text.count("# TYPE lat_ms histogram") == 1
+        assert text.count("# HELP lat_ms per-node latency") == 1
+
+    def test_labeled_counter_merges_label_sets(self):
+        from repro.obs.metrics import labeled
+
+        reg = MetricsRegistry()
+        reg.counter(labeled("hits", node="n0", tier="shared")).inc(2)
+        text = reg.render()
+        assert 'hits{node="n0",tier="shared"} 2' in text
+
+    def test_labeled_escapes_and_validates(self):
+        from repro.obs.metrics import labeled, split_series
+
+        name = labeled("x", node='we"ird\\path\nnl')
+        base, inner = split_series(name)
+        assert base == "x"
+        assert inner == 'node="we\\"ird\\\\path\\nnl"'
+        with pytest.raises(ObservabilityError):
+            labeled("x", **{"bad-name": "v"})
+        with pytest.raises(ObservabilityError):
+            labeled("x", **{"0leading": "v"})
+
+    def test_histogram_snapshot_roundtrip_stays_cumulative(self):
+        # Wire format is cumulative (stored-run compat); the in-memory
+        # representation is per-bucket.  Merging must de-accumulate.
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        reg = MetricsRegistry()
+        reg._instruments["lat"] = h
+        snap = reg.snapshot()
+        assert snap["lat"]["bucket_counts"] == [1, 2, 3]
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        other.merge_snapshot(snap)
+        merged = other.snapshot()["lat"]
+        assert merged["bucket_counts"] == [2, 4, 6]
+        assert merged["count"] == 8
+
     def test_null_registry_drops_everything(self):
         reg = NullRegistry()
         assert not reg.enabled

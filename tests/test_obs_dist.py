@@ -1,0 +1,263 @@
+"""Unit tests for repro.obs.dist: tracer, SLO spec, exports.
+
+Fleet-integration coverage (byte-identical traces under chaos, span
+re-parenting across node death, tracing on/off verdict identity) lives
+in tests/test_fleet_tracing.py; this file exercises the tracer and the
+SLO machinery directly, with hand-built jobs.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.dist import (FLEET_TRACK, DistTracer, SLOSpec,
+                            derive_trace_id, evaluate_slo, nearest_rank)
+from repro.service.queue import AuditJob
+
+
+def _job(tenant="tenant-00", epoch=0, kind="spot", cause="segment:0",
+         ready=10.0, start=12.0, completion=20.0, service=8.0):
+    job = AuditJob(tenant_id=tenant, epoch=epoch, kind=kind, priority=2,
+                   ready_ms=ready, deadline_ms=ready + 2000.0,
+                   budget_instructions=1000, cause=cause)
+    job.start_ms = start
+    job.completion_ms = completion
+    job.service_ms = service
+    job.worker = 0
+    return job
+
+
+class _Event:
+    """The slice of AuditEvent job_completed reads."""
+
+    class _Cls:
+        value = "clean"
+
+    classification = _Cls()
+    tenant_status = "normal"
+
+
+class TestTraceId:
+    def test_content_derived_and_stable(self):
+        a = derive_trace_id(7, "tenant-00", 0)
+        assert a == derive_trace_id(7, "tenant-00", 0)
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_distinct_per_session_and_seed(self):
+        ids = {derive_trace_id(s, t, e)
+               for s in (0, 7) for t in ("tenant-00", "tenant-01")
+               for e in (0, 1)}
+        assert len(ids) == 8
+
+
+class TestNearestRank:
+    def test_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert nearest_rank(values, 0.50) == 50.0
+        assert nearest_rank(values, 0.99) == 99.0
+        assert nearest_rank([5.0], 0.99) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ObservabilityError):
+            nearest_rank([], 0.5)
+
+
+class TestDistTracer:
+    def test_session_and_job_lifecycle(self):
+        tracer = DistTracer(seed=7)
+        tracer.register_track("node-00")
+        job = _job()
+        tracer.session_start(job.tenant_id, job.epoch, 5.0)
+        tracer.job_dispatched(job, "node-00")
+        tracer.job_completed(job, "node-00", _Event())
+        tracer.session_close(job.tenant_id, job.epoch, 20.0, "ok")
+
+        by_name = {span.name: span for span in tracer.spans}
+        root = by_name["session:tenant-00@e0"]
+        wait = by_name["queue-wait"]
+        audit = by_name["audit:spot"]
+        assert root.track == FLEET_TRACK and root.status == "ok"
+        assert wait.parent_id == root.span_id
+        assert audit.parent_id == wait.span_id
+        assert (wait.start_ms, wait.end_ms) == (10.0, 12.0)
+        assert (audit.start_ms, audit.end_ms) == (12.0, 20.0)
+        assert audit.attrs["classification"] == "clean"
+        assert all(span.trace_id == derive_trace_id(7, "tenant-00", 0)
+                   for span in tracer.spans)
+
+    def test_kill_and_reparent_chain(self):
+        tracer = DistTracer(seed=0)
+        job = _job(kind="escalated", cause="spot-anomaly:segment:0")
+        tracer.session_start(job.tenant_id, job.epoch, 5.0)
+        tracer.job_dispatched(job, "node-02")
+        tracer.job_killed(job, "node-02", 15.0)
+        killed = [s for s in tracer.spans if s.status == "killed"]
+        assert len(killed) == 1 and killed[0].end_ms == 15.0
+        assert killed[0].attrs["killed_on"] == "node-02"
+
+        # Redelivery: same identity, new owner, later times.
+        redelivered = _job(kind="escalated",
+                           cause="spot-anomaly:segment:0",
+                           ready=30.0, start=31.0, completion=40.0)
+        tracer.job_dispatched(redelivered, "node-00")
+        tracer.job_completed(redelivered, "node-00", _Event())
+        waits = [s for s in tracer.spans if s.name == "queue-wait"]
+        assert waits[-1].parent_id == killed[0].span_id
+        assert waits[-1].attrs["reparented_from"] == "node-02"
+        assert tracer.killed_spans == 1 and tracer.reparented == 1
+        audit = [s for s in tracer.spans
+                 if s.name == "audit:escalated"][-1]
+        assert audit.status == "ok" and audit.track == "node-00"
+
+    def test_escalation_parents_on_spot_span(self):
+        tracer = DistTracer()
+        spot = _job(kind="spot", cause="segment:0")
+        tracer.session_start(spot.tenant_id, spot.epoch, 5.0)
+        tracer.job_dispatched(spot, "node-00")
+        tracer.job_completed(spot, "node-00", _Event())
+        spot_span = [s for s in tracer.spans if s.name == "audit:spot"][0]
+        escalated = _job(kind="escalated", cause="spot-anomaly:segment:0",
+                         ready=20.0, start=21.0, completion=30.0)
+        tracer.job_dispatched(escalated, "node-01")
+        wait = [s for s in tracer.spans if s.name == "queue-wait"][-1]
+        assert wait.parent_id == spot_span.span_id
+
+    def test_double_close_is_an_error(self):
+        tracer = DistTracer()
+        job = _job()
+        tracer.job_dispatched(job, "node-00")
+        tracer.job_completed(job, "node-00", _Event())
+        with pytest.raises(ObservabilityError):
+            tracer.session_close(job.tenant_id, job.epoch, 50.0, "ok")
+            # the root closes fine; closing a *job* span twice raises
+            tracer._close(tracer.spans[-1], 60.0, "ok")
+
+    def test_chrome_trace_shape(self):
+        tracer = DistTracer(seed=3)
+        tracer.register_track("node-00")
+        job = _job()
+        tracer.session_start(job.tenant_id, job.epoch, 5.0)
+        tracer.job_dispatched(job, "node-00")
+        tracer.job_completed(job, "node-00", _Event())
+        tracer.instant("crash:node-00", "node-00", 30.0, category="chaos")
+        tracer.sample_queue_depth("node-00", 8.0, 2)
+        trace = tracer.to_chrome_trace()
+        events = trace["traceEvents"]
+        phases = [event["ph"] for event in events]
+        assert phases.count("M") == 2          # fleet + node-00 names
+        assert "X" in phases and "i" in phases and "C" in phases
+        names = {event["args"].get("name") for event in events
+                 if event["ph"] == "M"}
+        assert names == {"fleet", "node-00"}
+        # Complete events carry µs timestamps and durations.
+        audit = next(e for e in events if e["name"] == "audit:spot")
+        assert audit["ts"] == 12000.0 and audit["dur"] == 8000.0
+        # ts-sorted (metadata first at ts "-1").
+        ts = [e["ts"] for e in events if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        json.dumps(trace, sort_keys=True)      # serializable
+
+    def test_ndjson_round_trips(self):
+        tracer = DistTracer()
+        job = _job()
+        tracer.job_dispatched(job, "node-00")
+        tracer.job_completed(job, "node-00", _Event())
+        lines = tracer.to_ndjson().splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"span", "instant"}
+        spans = [r for r in records if r["kind"] == "span"]
+        assert all(r["trace_id"] for r in spans)
+
+    def test_summary_payload(self):
+        tracer = DistTracer()
+        for i, node in enumerate(("node-00", "node-01")):
+            job = _job(tenant=f"tenant-{i:02d}", ready=10.0 + i,
+                       start=12.0 + i, completion=20.0 + i)
+            tracer.session_start(job.tenant_id, job.epoch, 5.0)
+            tracer.job_dispatched(job, node)
+            tracer.job_completed(job, node, _Event())
+        summary = tracer.summary()
+        assert summary["sessions"]["total"] == 2
+        assert set(summary["latency"]) == {"queue_wait_ms", "service_ms",
+                                           "verdict_ms"}
+        assert summary["latency"]["verdict_ms"]["all"]["count"] == 2
+        assert summary["heatmap"]["cells"] == [
+            ["tenant-00", "node-00", 1, 15.0, 15.0],
+            ["tenant-01", "node-01", 1, 16.0, 16.0]]
+        assert len(summary["verdict_series"]) == 2
+
+    def test_queue_depth_dedupes_stable_values(self):
+        tracer = DistTracer()
+        for ts, depth in ((1.0, 0), (2.0, 0), (3.0, 2), (4.0, 2),
+                          (5.0, 0)):
+            tracer.sample_queue_depth("node-00", ts, depth)
+        assert tracer._queue_depth["node-00"] == [
+            (1.0, 0), (3.0, 2), (5.0, 0)]
+
+
+class TestSLOSpec:
+    def test_parse_roundtrip(self):
+        spec = SLOSpec.parse("p99_verdict_ms=400, max_unaudited=0.1")
+        assert spec.p99_verdict_ms == 400.0
+        assert spec.max_unaudited == 0.1
+        assert spec.spec == "p99_verdict_ms=400,max_unaudited=0.1"
+
+    @pytest.mark.parametrize("bad", ["", "p99_verdict_ms",
+                                     "unknown_key=1",
+                                     "p99_verdict_ms=abc",
+                                     "p99_verdict_ms=-5"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ObservabilityError):
+            SLOSpec.parse(bad)
+
+
+class TestEvaluateSLO:
+    OBS = {"verdict_series": [[ts, 10.0 + ts / 10.0]
+                              for ts in range(0, 1000, 10)],
+           "queue_series": [[100.0, 3.0], [600.0, 4.0]]}
+
+    def test_latency_objective_met_and_breached(self):
+        spec = SLOSpec.parse("p99_verdict_ms=200")
+        report = evaluate_slo(spec, self.OBS, sessions_total=10,
+                              unaudited=0, horizon_ms=1000.0)
+        assert report.ok and report.breached == []
+        tight = evaluate_slo(SLOSpec.parse("p99_verdict_ms=50"),
+                             self.OBS, sessions_total=10, unaudited=0,
+                             horizon_ms=1000.0)
+        assert not tight.ok
+        assert tight.breached == ["p99_verdict_ms"]
+        burn = tight.objectives[0]["burn_rates"]
+        assert len(burn) == 4
+        # Latencies rise with virtual time: the later windows burn
+        # budget faster than the earlier ones.
+        assert burn[-1] > burn[0]
+
+    def test_unaudited_fraction(self):
+        spec = SLOSpec.parse("max_unaudited=0.2")
+        ok = evaluate_slo(spec, self.OBS, sessions_total=10, unaudited=2,
+                          horizon_ms=1000.0)
+        assert ok.ok
+        breach = evaluate_slo(spec, self.OBS, sessions_total=10,
+                              unaudited=3, horizon_ms=1000.0)
+        assert not breach.ok
+
+    def test_empty_series_is_vacuously_ok(self):
+        spec = SLOSpec.parse("p99_queue_ms=1")
+        report = evaluate_slo(spec, {"queue_series": []},
+                              sessions_total=0, unaudited=0,
+                              horizon_ms=0.0)
+        assert report.ok
+        assert report.objectives[0]["detail"] == "no observations"
+
+    def test_report_render_and_json(self):
+        spec = SLOSpec.parse("p99_verdict_ms=50,max_unaudited=0.0")
+        report = evaluate_slo(spec, self.OBS, sessions_total=4,
+                              unaudited=1, horizon_ms=1000.0)
+        lines = report.render_lines()
+        assert "BREACH" in lines[0]
+        payload = report.to_json_dict()
+        assert payload["ok"] is False
+        assert {o["name"] for o in payload["objectives"]} == {
+            "p99_verdict_ms", "max_unaudited"}
