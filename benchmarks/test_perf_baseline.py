@@ -122,6 +122,31 @@ def test_perf_baseline():
     assert batched.tx == unbatched.tx
     assert batched.tx_times_ms() == unbatched.tx_times_ms()
 
+    # --- trace-compiling tier-up vs the pure interpreter ----------------
+    # Measured on a compute-bound kernel (the tier-up targets hot loops;
+    # the request-driven NFS run above is dominated by I/O turnaround).
+    kernel = _compiled("kernel:sor")
+    trials = 2 if SMOKE else 3
+
+    def best_of(n):
+        best = None
+        result = None
+        for _ in range(n + 1):      # +1 warmup: compile caches, branch state
+            t0 = time.perf_counter()
+            result = play(kernel, MachineConfig(), seed=0)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        return best, result
+
+    os.environ["REPRO_NO_JIT"] = "1"
+    try:
+        interp_s, interp = best_of(trials)
+    finally:
+        os.environ.pop("REPRO_NO_JIT", None)
+    jit_s, jit = best_of(trials)
+    assert jit.total_cycles == interp.total_cycles
+    assert jit.instructions == interp.instructions
+
     # --- the Fig 8 VM-trace slice under each knob -----------------------
     slice_s = {}
     slice_scores = {}
@@ -153,6 +178,18 @@ def test_perf_baseline():
                           "instr_per_sec":
                               round(unbatched.instructions / unbatched_s)},
             "speedup_batching": round(unbatched_s / batched_s, 3),
+        },
+        "interp_vs_jit": {
+            "kernel": "sor",
+            "instructions": jit.instructions,
+            "interp": {"seconds": round(interp_s, 4),
+                       "instr_per_sec":
+                           round(interp.instructions / interp_s)},
+            "jit": {"seconds": round(jit_s, 4),
+                    "instr_per_sec": round(jit.instructions / jit_s)},
+            "speedup_jit": round(interp_s / jit_s, 3),
+            "jit_coverage": round(jit.jit["jit_instructions"]
+                                  / jit.instructions, 4),
         },
         "fig8_vm_slice": {
             "traces": TRACES,
@@ -196,6 +233,11 @@ def test_perf_baseline():
           f"batched, {mr['unbatched']['instr_per_sec']:>9,d} unbatched "
           f"({mr['speedup_batching']}x) over {mr['instructions']:,d} "
           f"instructions")
+    ij = report["interp_vs_jit"]
+    print(f"  tier-up ({ij['kernel']}): {ij['jit']['instr_per_sec']:>9,d} "
+          f"instr/s compiled, {ij['interp']['instr_per_sec']:>9,d} "
+          f"interpreted ({ij['speedup_jit']}x, "
+          f"{ij['jit_coverage']:.0%} of instructions in compiled blocks)")
     fs = report["fig8_vm_slice"]
     print(f"  VM slice ({TRACES} traces x {REQUESTS} requests x "
           f"{AUDITS_PER_TRACE} audits, {os.cpu_count()} CPUs):")

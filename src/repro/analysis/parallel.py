@@ -174,6 +174,22 @@ def _pool_context():
         "fork" if "fork" in methods else methods[0])
 
 
+def _apply_repro_env(env: dict) -> None:
+    """Pool initializer: mirror the parent's ``REPRO_*`` switches.
+
+    The differential escape hatches (``REPRO_NO_JIT``, ``REPRO_NO_BATCH``,
+    ``REPRO_JOBS``, ...) select between bit-identical implementations, so
+    a worker disagreeing with its parent would silently compare a fast
+    path against itself.  fork inherits the environment anyway; this
+    makes the contract explicit and start-method independent, and drops
+    switches the parent has since cleared.
+    """
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+
+
 def run_fleet(tasks: Sequence, jobs: int | None = None,
               worker: Callable = execute_spec) -> list:
     """Map ``worker`` over ``tasks``, results in submission order.
@@ -191,9 +207,13 @@ def run_fleet(tasks: Sequence, jobs: int | None = None,
     jobs = min(jobs, len(tasks)) if tasks else 1
     if jobs <= 1:
         return [worker(task) for task in tasks]
+    repro_env = {key: value for key, value in os.environ.items()
+                 if key.startswith("REPRO_")}
     try:
         with ProcessPoolExecutor(max_workers=jobs,
-                                 mp_context=_pool_context()) as pool:
+                                 mp_context=_pool_context(),
+                                 initializer=_apply_repro_env,
+                                 initargs=(repro_env,)) as pool:
             # Submission order in, submission order out: map() guarantees
             # result order matches the input iterable regardless of
             # completion order.

@@ -59,6 +59,11 @@ class ExecutionResult:
     ledger: dict[str, int] | None = None
     #: Sampled opcode-name histogram; None without obs.
     opcodes: dict[str, int] | None = None
+    #: Trace-JIT tier-up summary (compile events, per-region entry /
+    #: side-exit / cycle counts); None when the run was pure-interpreter
+    #: (``REPRO_NO_JIT=1``).  Purely observational: cycles, ledger sums,
+    #: transmissions and verdicts are bit-identical with the JIT on/off.
+    jit: dict | None = None
     #: Exact ns-per-cycle rational of the producing clock (numerator /
     #: denominator).  A zero numerator marks a legacy result that must
     #: fall back to the float ratio.
@@ -360,6 +365,22 @@ class Machine:
             registry.counter(
                 "tdr_tx_packets_total", "Packets transmitted").inc(
                 len(result.tx))
+            if result.jit is not None:
+                registry.counter(
+                    "tdr_jit_compile_events_total",
+                    "Functions tiered up to compiled blocks").inc(
+                    result.jit["compile_events"])
+                registry.counter(
+                    "tdr_jit_compiled_regions_total",
+                    "Bytecode regions compiled to superinstructions").inc(
+                    result.jit["compiled_regions"])
+                registry.counter(
+                    "tdr_jit_block_entries_total",
+                    "Compiled-block executions").inc(result.jit["entries"])
+                registry.counter(
+                    "tdr_jit_side_exits_total",
+                    "Mid-block falls back to the interpreter").inc(
+                    result.jit["side_exits"])
         return result
 
     def make_result(self, vm: Interpreter) -> ExecutionResult:
@@ -386,6 +407,7 @@ class Machine:
             ledger=self.ledger.totals() if self.ledger is not None else None,
             opcodes=(vm.sampler.histogram() if vm.sampler is not None
                      else None),
+            jit=(vm.jit.summary() if vm.jit is not None else None),
             ns_num=ns_num, ns_den=ns_den)
 
     def _collect_stats(self, vm: Interpreter) -> dict[str, float]:

@@ -160,6 +160,19 @@ class TimedCorePlatform(Platform):
             return
         self.clock.advance(cycles, source)
 
+    def instruction_base_costs(self) -> list[int]:
+        """Noise-free base costs per :class:`CostClass` (dense list)."""
+        return list(self.cpu._cost_list)
+
+    def mem_inline(self):
+        """Template for inlining the fused memory path into trace blocks.
+
+        Only available when the batched closures are installed (the
+        ``REPRO_NO_BATCH`` escape hatch also disables inlining, so the
+        unbatched reference path stays the plain closure-call form).
+        """
+        return getattr(self, "_mem_inline", None)
+
     def flush_charges(self) -> None:
         """Drain pending batched cycles into the clock, one advance per
         source, in a fixed order.
@@ -231,6 +244,63 @@ class TimedCorePlatform(Platform):
             cost = int(exact)
             cpu._frac = exact - cost
             acc[_ACC_INSTR] += cost
+
+        # Block-level charging for the trace-compiling tier-up.  The
+        # fast path is provably exact: with no pending fractional carry,
+        # a unit combined factor, and no redraw point inside the block
+        # (``_until_redraw > n`` — the redraw fires when the countdown
+        # *reaches* zero, before the cost is read), every one of the n
+        # per-instruction charges would have returned its base cost
+        # unchanged.  Otherwise the loop replays the per-instruction
+        # computation exactly — same counter updates, same redraw
+        # points, same Bresenham carry — so cycle totals are
+        # bit-identical to n individual charge() calls either way.
+        def charge_block(cost_classes, base_costs=(),
+                         base_total: int = 0) -> None:
+            n = len(cost_classes)
+            if cpu._combined == 1.0 and cpu._frac == 0.0 \
+                    and cpu._until_redraw > n:
+                cpu._instructions += n
+                cpu._until_redraw -= n
+                acc[_ACC_INSTR] += base_total
+                return
+            if len(base_costs) != n:
+                base_costs = [cost_list[c] for c in cost_classes]
+            # Replay loop on locals; _recompute_noise only touches the
+            # factor fields, so the countdown and fractional carry can
+            # live in registers and be written back once.  With no
+            # redraw point inside the block the noise factor is constant
+            # and the countdown moves in one step, leaving only the
+            # Bresenham carry to replay per instruction.
+            total = 0
+            until = cpu._until_redraw
+            combined = cpu._combined
+            frac = cpu._frac
+            if until > n:
+                for base in base_costs:
+                    exact = base * combined + frac
+                    cost = int(exact)
+                    frac = exact - cost
+                    total += cost
+                until -= n
+            else:
+                for base in base_costs:
+                    until -= 1
+                    if until == 0:
+                        until = speculation_period
+                        recompute_noise()
+                        combined = cpu._combined
+                    if combined == 1.0 and frac == 0.0:
+                        total += base
+                        continue
+                    exact = base * combined + frac
+                    cost = int(exact)
+                    frac = exact - cost
+                    total += cost
+            cpu._instructions += n
+            cpu._until_redraw = until
+            cpu._frac = frac
+            acc[_ACC_INSTR] += total
 
         # Preconditions for the fused memory path, which inlines the TLB
         # hit, the page-table lookup, and the L1 hit directly into one
@@ -365,7 +435,84 @@ class TimedCorePlatform(Platform):
                 if penalty:
                     acc[_ACC_BRANCH] += penalty
 
+        # Inline-expansion template for compiled trace blocks: the same
+        # fused hit path as mem_access above, rendered as source lines
+        # so generated superinstructions avoid one closure call per
+        # memory access.  State updates are line-for-line identical to
+        # the closure, so cycle totals and hit counters cannot diverge.
+        self._mem_inline = None
+        if fused_ok:
+            ledger = self._ledger is not None
+            inline_ns = {
+                "_tlbO": tlb, "_tlbE": tlb_entries, "_tlbM": tlb_miss,
+                "_ptg": page_table.get, "_xl": translate,
+                "_l1S": l1_sets, "_l1O": l1, "_l1M": l1_miss_path,
+                "_l1wb": l1.take_writeback_cost,
+                "_acc": acc, "_busO": bus,
+            }
+
+            def render_mem(expr: str) -> list[str]:
+                lines = [f"_am = {expr}"]
+                body = [f"_avp = _am >> {_PAGE_SHIFT}",
+                        "if _avp in _tlbE:",
+                        "    _tlbO.hits += 1",
+                        "    del _tlbE[_avp]",
+                        "    _tlbE[_avp] = True"]
+                if ledger:
+                    body += ["else:",
+                             f"    _acc[{_ACC_TLB}] += _tlbM(_avp)"]
+                else:
+                    body += ["    _amc = 0",
+                             "else:",
+                             "    _amc = _tlbM(_avp)"]
+                body += ["_apf = _ptg(_avp)",
+                         "if _apf is None:",
+                         "    _apa = _xl(_am)",
+                         "else:",
+                         f"    _apa = (_apf << {_PAGE_SHIFT})"
+                         f" | (_am & {_page_mask})",
+                         f"_ali = _apa >> {l1_shift}",
+                         f"_awy = _l1S[_ali % {l1_nsets}]",
+                         f"_atg = _ali // {l1_nsets}",
+                         "if _atg in _awy:",
+                         "    _l1O.hits += 1",
+                         "    del _awy[_atg]",
+                         "    _awy[_atg] = True"]
+                if ledger:
+                    body += [f"    _amc = {l1_hit_cycles}",
+                             "    if _l1O._pending_writeback:",
+                             "        _amc += _l1wb()",
+                             f"    _acc[{_ACC_CACHE}] += _amc",
+                             "else:",
+                             "    _asb = _busO.total_stall_cycles",
+                             f"    _amc = _l1M(_apa, _ali % {l1_nsets},"
+                             " _atg)",
+                             "    _ast = _busO.total_stall_cycles - _asb",
+                             "    if _ast:",
+                             f"        _acc[{_ACC_CACHE}] += _amc - _ast",
+                             f"        _acc[{_ACC_BUS}] += _ast",
+                             "    else:",
+                             f"        _acc[{_ACC_CACHE}] += _amc"]
+                else:
+                    body += [f"    _amc += {l1_hit_cycles}",
+                             "    if _l1O._pending_writeback:",
+                             "        _amc += _l1wb()",
+                             "else:",
+                             f"    _amc += _l1M(_apa, _ali % {l1_nsets},"
+                             " _atg)",
+                             f"_acc[{_ACC_INSTR}] += _amc"]
+                if registerized is not None:
+                    lines.append(f"if not ({registerized[0]} <= _am"
+                                 f" < {registerized[1]}):")
+                    lines += ["    " + b for b in body]
+                else:
+                    lines += body
+                return lines
+
+            self._mem_inline = (render_mem, inline_ns)
+
         self.charge = charge
+        self.charge_block = charge_block
         self.mem_access = mem_access
         self.fetch_access = mem_access
         self.branch = branch

@@ -378,6 +378,22 @@ def run_trace(args) -> None:
         for op, count in top:
             print(f"    {op:12s} {count:>8,} samples")
 
+    jit = outcome.play.jit
+    if jit is not None and jit["regions"]:
+        covered = jit["jit_instructions"] / max(1,
+                                                outcome.play.instructions)
+        print()
+        print(f"  trace-compiled regions (play): "
+              f"{jit['compiled_regions']} compiled, "
+              f"{jit['entries']:,} entries, {jit['side_exits']:,} side "
+              f"exits, {covered:.1%} of instructions; busiest:")
+        print(f"    {'function':<16s} {'head':>5s} {'len':>4s} "
+              f"{'entries':>9s} {'instructions':>13s} {'cycles':>13s}")
+        for region in jit["regions"][:8]:
+            print(f"    {region['function']:<16s} {region['head_pc']:>5d} "
+                  f"{region['length']:>4d} {region['entries']:>9,} "
+                  f"{region['instructions']:>13,} {region['cycles']:>13,}")
+
     trace_out = args.trace_out or "tdr-trace.json"
     obs.tracer.write_chrome_trace(trace_out)
     print(f"\n  wrote {len(obs.tracer)} trace events to {trace_out} "

@@ -54,6 +54,12 @@ _WORD = 8
 
 MAX_CALL_DEPTH = 256
 
+#: Opcode values as plain ints in enum order, unpacked into run()'s
+#: locals in one assignment: an ``op == Op.X`` comparison in the ladder
+#: costs an enum attribute load (two dict lookups) per test, a local int
+#: is immediate.
+_OP_VALUES = tuple(int(op) for op in Op)
+
 
 @dataclass
 class VmConfig:
@@ -63,6 +69,12 @@ class VmConfig:
     poll_interval: int = 256        # instructions between platform polls
     context_switch_cost: CostClass = CostClass.SYNC
     heap: HeapConfig | None = None
+    #: Trace-compiling tier-up (:mod:`repro.vm.tracejit`).  ``None``
+    #: defers to the ``REPRO_NO_JIT`` environment knob; the compiled
+    #: path is bit-identical to the reference interpreter either way.
+    jit: bool | None = None
+    jit_hot_samples: int = 4        # poll samples before a function tiers up
+    jit_max_block: int = 64         # instructions per compiled region
 
 
 class Frame:
@@ -109,6 +121,17 @@ class Interpreter:
         #: Optional :class:`repro.obs.sampling.OpcodeSampler`; when set,
         #: the run loop records the opcode at every platform-poll point.
         self.sampler = None
+        #: Trace-compiling tier-up state (None = pure interpreter).
+        #: Strictly per-run: compiled blocks capture this run's platform
+        #: fast paths, and Program objects are shared across runs.
+        self.jit = None
+        jit_on = self.config.jit
+        if jit_on is None:
+            from repro.vm.tracejit import jit_enabled
+            jit_on = jit_enabled()
+        if jit_on:
+            from repro.vm.tracejit import TraceJit
+            self.jit = TraceJit(program, self.platform, self.config)
         self.threads: list[ThreadState] = []
         self._next_thread_id = 0
         self._current_index = 0
@@ -195,18 +218,40 @@ class Interpreter:
         :class:`VMRuntimeError` on host-level faults (call-depth overflow
         is converted into a guest StackOverflow first).
         """
-        # Local aliases shave attribute lookups off the hot path.
+        # Local aliases shave attribute lookups off the hot path: the
+        # platform fast paths, the program tables, the instruction
+        # counter (mirrored in ``icount``, synced back at every boundary
+        # a native or observer could read it), and every opcode constant
+        # the ladder compares against (one tuple unpack beats an enum
+        # attribute load per comparison).
         platform = self.platform
         charge = platform.charge
         mem = platform.mem_access
         fetch = platform.fetch_access
         cost_of = OPCODE_COST_LIST
         sampler = self.sampler
+        jit = self.jit
+        jit_blocks = jit.blocks if jit is not None else None
         poll_interval = self.config.poll_interval
         quantum = self.config.thread_quantum
+        switch_cost = self.config.context_switch_cost
         heap = self.heap
+        globals_ = self.globals
+        functions = self.program.functions
+        classes = self.program.classes
+        wrap = wrap_i64
         limit = max_instructions
         executed_at_entry = self.instruction_count
+        icount = self.instruction_count
+
+        (OP_NOP, OP_ICONST, OP_FCONST, OP_POP, OP_DUP, OP_SWAP, OP_LOAD,
+         OP_STORE, OP_GLOAD, OP_GSTORE, OP_IADD, OP_ISUB, OP_IMUL, OP_IDIV,
+         OP_IREM, OP_INEG, OP_ISHL, OP_ISHR, OP_IAND, OP_IOR, OP_IXOR,
+         OP_FADD, OP_FSUB, OP_FMUL, OP_FDIV, OP_FNEG, OP_I2F, OP_F2I,
+         OP_FSQRT, OP_FSIN, OP_FCOS, OP_CMP, OP_IFEQ, OP_IFNE, OP_IFLT,
+         OP_IFLE, OP_IFGT, OP_IFGE, OP_GOTO, OP_NEWARRAY, OP_ALOAD,
+         OP_ASTORE, OP_ARRAYLEN, OP_NEWOBJ, OP_GETFIELD, OP_PUTFIELD,
+         OP_CALL, OP_RET, OP_RETV, OP_THROW, OP_NATIVE, OP_HALT) = _OP_VALUES
 
         if not any(t.alive for t in self.threads):
             return 0
@@ -221,276 +266,353 @@ class Interpreter:
         # instruction_count % poll_interval == 0; the countdown is
         # resynced whenever a native mutates the counter (idle polls,
         # naive-replay wait skipping).
-        until_poll = poll_interval - (self.instruction_count % poll_interval)
+        until_poll = poll_interval - (icount % poll_interval)
 
-        while not self.halted:
-            if not thread.frames:
-                thread.alive = False
-            if not thread.alive:
-                if not self._rotate():
-                    break
-                thread = self.threads[self._current_index]
-                slice_left = quantum
-                continue
-            if slice_left <= 0:
-                charge(self.config.context_switch_cost)
-                if not self._rotate():
-                    break
-                thread = self.threads[self._current_index]
-                slice_left = quantum
-                continue
-
-            frame = thread.frames[-1]
-            function = frame.function
-            ops = function.ops
-            args = function.args
-            pc = frame.pc
-            if pc >= len(ops):
-                # Fell off the end of a void function: implicit return.
-                thread.frames.pop()
-                if thread.frames:
+        try:
+            while not self.halted:
+                if not thread.frames:
+                    thread.alive = False
+                if not thread.alive:
+                    if not self._rotate():
+                        break
+                    thread = self.threads[self._current_index]
+                    slice_left = quantum
                     continue
-                thread.alive = False
-                continue
-            op = ops[pc]
-            arg = args[pc]
+                if slice_left <= 0:
+                    charge(switch_cost)
+                    if not self._rotate():
+                        break
+                    thread = self.threads[self._current_index]
+                    slice_left = quantum
+                    continue
 
-            self.instruction_count += 1
-            thread.executed += 1
-            slice_left -= 1
-            until_poll -= 1
-            if until_poll == 0:
-                until_poll = poll_interval
-                # The opcode sampler piggybacks on the poll stride so its
-                # disabled cost stays off the per-instruction path.
-                if sampler is not None:
-                    sampler.record(op)
-                platform.on_quantum(self)
-                if self.halted:
-                    break
-            charge(cost_of[op])
-            frame.pc = pc + 1
+                frame = thread.frames[-1]
+                function = frame.function
+                ops = function.ops
+                args = function.args
+                pc = frame.pc
+                if pc >= len(ops):
+                    # Fell off the end of a void function: implicit return.
+                    thread.frames.pop()
+                    if thread.frames:
+                        continue
+                    thread.alive = False
+                    continue
 
-            try:
-                stack = frame.stack
-                if op == Op.LOAD:
-                    mem(frame.base_vaddr + arg * _WORD)
-                    stack.append(frame.locals[arg])
-                elif op == Op.STORE:
-                    mem(frame.base_vaddr + arg * _WORD)
-                    frame.locals[arg] = stack.pop()
-                elif op == Op.ICONST or op == Op.FCONST:
-                    stack.append(arg)
-                elif op == Op.IADD:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] + b)
-                elif op == Op.ISUB:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] - b)
-                elif op == Op.IMUL:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] * b)
-                elif op == Op.CMP:
-                    b = stack.pop()
-                    a = stack.pop()
-                    stack.append((a > b) - (a < b))
-                elif Op.IFEQ <= op <= Op.IFGE:
-                    v = stack.pop()
-                    if op == Op.IFEQ:
-                        taken = v == 0
-                    elif op == Op.IFNE:
-                        taken = v != 0
-                    elif op == Op.IFLT:
-                        taken = v < 0
-                    elif op == Op.IFLE:
-                        taken = v <= 0
-                    elif op == Op.IFGT:
-                        taken = v > 0
-                    else:
-                        taken = v >= 0
-                    site = function.index * CODE_STRIDE + pc
-                    platform.branch(site, taken)
-                    if taken:
+                if jit_blocks is not None:
+                    fn_blocks = jit_blocks[function.index]
+                    if fn_blocks is not None:
+                        block = fn_blocks[pc]
+                        # Entry guards: the block must fit strictly before
+                        # the next poll, within the scheduling slice and
+                        # the instruction budget, and the operand stack
+                        # must cover its worst-case pops — so no poll,
+                        # context switch, budget stop, or stack underflow
+                        # can occur mid-block.  Anything else runs on the
+                        # reference interpreter path below.
+                        while block is not None:
+                            if block.n < until_poll \
+                                    and block.n <= slice_left \
+                                    and len(frame.stack) >= block.min_stack \
+                                    and (limit is None
+                                         or icount + block.n
+                                         - executed_at_entry <= limit):
+                                break
+                            # Late in the poll window the superblock no
+                            # longer fits; a shorter variant might.
+                            block = block.fallback
+                        if block is not None:
+                            self.instruction_count = icount
+                            try:
+                                if block.loops:
+                                    # Self-loop blocks iterate in-function;
+                                    # the budget is how many whole blocks
+                                    # fit before the next poll/slice/limit
+                                    # boundary (>= 1 by the entry guards).
+                                    avail = until_poll - 1
+                                    if slice_left < avail:
+                                        avail = slice_left
+                                    if limit is not None:
+                                        rem = (limit - icount
+                                               + executed_at_entry)
+                                        if rem < avail:
+                                            avail = rem
+                                    block.run(self, thread, frame,
+                                              avail // block.n)
+                                else:
+                                    block.run(self, thread, frame)
+                            except GuestThrow as exc:
+                                done = self.instruction_count - icount
+                                icount = self.instruction_count
+                                slice_left -= done
+                                until_poll -= done
+                                self._dispatch_exception(thread, exc.code)
+                            else:
+                                done = self.instruction_count - icount
+                                icount = self.instruction_count
+                                slice_left -= done
+                                until_poll -= done
+                            if limit is not None and \
+                                    icount - executed_at_entry >= limit:
+                                break
+                            continue
+
+                op = ops[pc]
+                arg = args[pc]
+
+                icount += 1
+                thread.executed += 1
+                slice_left -= 1
+                until_poll -= 1
+                if until_poll == 0:
+                    until_poll = poll_interval
+                    # The opcode sampler piggybacks on the poll stride so
+                    # its disabled cost stays off the per-instruction
+                    # path; the tier-up's hotness sampler rides the same
+                    # branch.
+                    if sampler is not None:
+                        sampler.record(op, function.index, pc)
+                    if jit is not None:
+                        jit.observe(function, pc, op)
+                    self.instruction_count = icount
+                    platform.on_quantum(self)
+                    icount = self.instruction_count
+                    if self.halted:
+                        break
+                charge(cost_of[op])
+                frame.pc = pc + 1
+
+                try:
+                    stack = frame.stack
+                    if op == OP_LOAD:
+                        mem(frame.base_vaddr + arg * _WORD)
+                        stack.append(frame.locals[arg])
+                    elif op == OP_STORE:
+                        mem(frame.base_vaddr + arg * _WORD)
+                        frame.locals[arg] = stack.pop()
+                    elif op == OP_ICONST or op == OP_FCONST:
+                        stack.append(arg)
+                    elif op == OP_IADD:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] + b)
+                    elif op == OP_ISUB:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] - b)
+                    elif op == OP_IMUL:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] * b)
+                    elif op == OP_CMP:
+                        b = stack.pop()
+                        a = stack.pop()
+                        stack.append((a > b) - (a < b))
+                    elif OP_IFEQ <= op <= OP_IFGE:
+                        v = stack.pop()
+                        if op == OP_IFEQ:
+                            taken = v == 0
+                        elif op == OP_IFNE:
+                            taken = v != 0
+                        elif op == OP_IFLT:
+                            taken = v < 0
+                        elif op == OP_IFLE:
+                            taken = v <= 0
+                        elif op == OP_IFGT:
+                            taken = v > 0
+                        else:
+                            taken = v >= 0
+                        site = function.index * CODE_STRIDE + pc
+                        platform.branch(site, taken)
+                        if taken:
+                            frame.pc = arg
+                            fetch(CODE_BASE + function.index * CODE_STRIDE
+                                  + arg * 4)
+                    elif op == OP_GOTO:
                         frame.pc = arg
                         fetch(CODE_BASE + function.index * CODE_STRIDE
                               + arg * 4)
-                elif op == Op.GOTO:
-                    frame.pc = arg
-                    fetch(CODE_BASE + function.index * CODE_STRIDE + arg * 4)
-                elif op == Op.ALOAD:
-                    idx = stack.pop()
-                    obj = heap.get(stack.pop())
-                    data = obj.data
-                    if idx < 0 or idx >= len(data):
-                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
-                    mem(obj.vaddr + 16 + idx * _WORD)
-                    stack.append(data[idx])
-                elif op == Op.ASTORE:
-                    value = stack.pop()
-                    idx = stack.pop()
-                    obj = heap.get(stack.pop())
-                    data = obj.data
-                    if idx < 0 or idx >= len(data):
-                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
-                    mem(obj.vaddr + 16 + idx * _WORD)
-                    data[idx] = value
-                elif op == Op.ARRAYLEN:
-                    stack.append(len(heap.get(stack.pop()).data))
-                elif op == Op.FADD:
-                    b = stack.pop()
-                    stack[-1] = stack[-1] + b
-                elif op == Op.FSUB:
-                    b = stack.pop()
-                    stack[-1] = stack[-1] - b
-                elif op == Op.FMUL:
-                    b = stack.pop()
-                    stack[-1] = stack[-1] * b
-                elif op == Op.FDIV:
-                    b = stack.pop()
-                    if b == 0.0:
-                        raise GuestThrow(EXC_DIV_BY_ZERO)
-                    stack[-1] = stack[-1] / b
-                elif op == Op.IDIV:
-                    b = stack.pop()
-                    a = stack.pop()
-                    if b == 0:
-                        raise GuestThrow(EXC_DIV_BY_ZERO)
-                    q = abs(a) // abs(b)
-                    if (a < 0) != (b < 0):
-                        q = -q
-                    stack.append(wrap_i64(q))
-                elif op == Op.IREM:
-                    b = stack.pop()
-                    a = stack.pop()
-                    if b == 0:
-                        raise GuestThrow(EXC_DIV_BY_ZERO)
-                    q = abs(a) // abs(b)
-                    if (a < 0) != (b < 0):
-                        q = -q
-                    stack.append(wrap_i64(a - q * b))
-                elif op == Op.INEG:
-                    stack[-1] = wrap_i64(-stack[-1])
-                elif op == Op.ISHL:
-                    b = stack.pop() & 63
-                    stack[-1] = wrap_i64(stack[-1] << b)
-                elif op == Op.ISHR:
-                    b = stack.pop() & 63
-                    stack[-1] = stack[-1] >> b
-                elif op == Op.IAND:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] & b)
-                elif op == Op.IOR:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] | b)
-                elif op == Op.IXOR:
-                    b = stack.pop()
-                    stack[-1] = wrap_i64(stack[-1] ^ b)
-                elif op == Op.FNEG:
-                    stack[-1] = -stack[-1]
-                elif op == Op.I2F:
-                    stack[-1] = float(stack[-1])
-                elif op == Op.F2I:
-                    stack[-1] = wrap_i64(int(stack[-1]))
-                elif op == Op.FSQRT:
-                    v = stack[-1]
-                    if v < 0.0:
-                        raise GuestThrow(EXC_DIV_BY_ZERO)
-                    stack[-1] = math.sqrt(v)
-                elif op == Op.FSIN:
-                    stack[-1] = math.sin(stack[-1])
-                elif op == Op.FCOS:
-                    stack[-1] = math.cos(stack[-1])
-                elif op == Op.GLOAD:
-                    mem(GLOBALS_BASE + arg * _WORD)
-                    stack.append(self.globals[arg])
-                elif op == Op.GSTORE:
-                    mem(GLOBALS_BASE + arg * _WORD)
-                    self.globals[arg] = stack.pop()
-                elif op == Op.POP:
-                    stack.pop()
-                elif op == Op.DUP:
-                    stack.append(stack[-1])
-                elif op == Op.SWAP:
-                    stack[-1], stack[-2] = stack[-2], stack[-1]
-                elif op == Op.NEWARRAY:
-                    length = stack.pop()
-                    kind = KIND_INT_ARRAY if arg == 0 else KIND_FLOAT_ARRAY
-                    if length < 0:
-                        raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
-                    handle, gc_wanted = heap.new_array(kind, length)
-                    stack.append(handle)
-                    self._maybe_gc(gc_wanted)
-                elif op == Op.NEWOBJ:
-                    class_def = self.program.classes[arg]
-                    handle, gc_wanted = heap.new_object(
-                        arg, class_def.size_slots)
-                    stack.append(handle)
-                    self._maybe_gc(gc_wanted)
-                elif op == Op.GETFIELD:
-                    obj = heap.get(stack.pop())
-                    mem(obj.vaddr + 16 + arg * _WORD)
-                    stack.append(obj.data[arg])
-                elif op == Op.PUTFIELD:
-                    value = stack.pop()
-                    obj = heap.get(stack.pop())
-                    mem(obj.vaddr + 16 + arg * _WORD)
-                    obj.data[arg] = value
-                elif op == Op.CALL:
-                    callee = self.program.functions[arg]
-                    if len(thread.frames) >= MAX_CALL_DEPTH:
-                        raise GuestThrow(EXC_STACK_OVERFLOW)
-                    new_frame = Frame(callee,
-                                      thread.frame_base(len(thread.frames)))
-                    for i in range(callee.num_params - 1, -1, -1):
-                        new_frame.locals[i] = stack.pop()
-                    thread.frames.append(new_frame)
-                    fetch(CODE_BASE + callee.index * CODE_STRIDE)
-                elif op == Op.RET:
-                    thread.frames.pop()
-                    if thread.frames:
-                        caller = thread.frames[-1]
-                        fetch(CODE_BASE + caller.function.index * CODE_STRIDE
-                              + caller.pc * 4)
-                    else:
-                        thread.alive = False
-                elif op == Op.RETV:
-                    result = stack.pop()
-                    thread.frames.pop()
-                    if thread.frames:
-                        caller = thread.frames[-1]
-                        caller.stack.append(result)
-                        fetch(CODE_BASE + caller.function.index * CODE_STRIDE
-                              + caller.pc * 4)
-                    else:
-                        thread.alive = False
-                elif op == Op.THROW:
-                    raise GuestThrow(stack.pop())
-                elif op == Op.NATIVE:
-                    platform.native_call(arg, self)
-                    # Natives may advance the instruction counter (idle
-                    # poll iterations, wait skipping) — resync the poll
-                    # countdown to the modulo invariant.
-                    until_poll = poll_interval - (
-                        self.instruction_count % poll_interval)
-                elif op == Op.HALT:
-                    self.halted = True
-                elif op == Op.NOP:
-                    pass
-                else:  # pragma: no cover - exhaustive above
-                    raise VMRuntimeError(f"unknown opcode {op}",
-                                         pc=pc, function=function.name)
-            except GuestThrow as exc:
-                self._dispatch_exception(thread, exc.code)
-                # A native may have advanced the counter before throwing.
-                until_poll = poll_interval - (
-                    self.instruction_count % poll_interval)
-            except IndexError:
-                raise VMRuntimeError("operand stack underflow",
-                                     pc=pc, function=function.name) from None
+                    elif op == OP_ALOAD:
+                        idx = stack.pop()
+                        obj = heap.get(stack.pop())
+                        data = obj.data
+                        if idx < 0 or idx >= len(data):
+                            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                        mem(obj.vaddr + 16 + idx * _WORD)
+                        stack.append(data[idx])
+                    elif op == OP_ASTORE:
+                        value = stack.pop()
+                        idx = stack.pop()
+                        obj = heap.get(stack.pop())
+                        data = obj.data
+                        if idx < 0 or idx >= len(data):
+                            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                        mem(obj.vaddr + 16 + idx * _WORD)
+                        data[idx] = value
+                    elif op == OP_ARRAYLEN:
+                        stack.append(len(heap.get(stack.pop()).data))
+                    elif op == OP_FADD:
+                        b = stack.pop()
+                        stack[-1] = stack[-1] + b
+                    elif op == OP_FSUB:
+                        b = stack.pop()
+                        stack[-1] = stack[-1] - b
+                    elif op == OP_FMUL:
+                        b = stack.pop()
+                        stack[-1] = stack[-1] * b
+                    elif op == OP_FDIV:
+                        b = stack.pop()
+                        if b == 0.0:
+                            raise GuestThrow(EXC_DIV_BY_ZERO)
+                        stack[-1] = stack[-1] / b
+                    elif op == OP_IDIV:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b == 0:
+                            raise GuestThrow(EXC_DIV_BY_ZERO)
+                        q = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            q = -q
+                        stack.append(wrap(q))
+                    elif op == OP_IREM:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b == 0:
+                            raise GuestThrow(EXC_DIV_BY_ZERO)
+                        q = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            q = -q
+                        stack.append(wrap(a - q * b))
+                    elif op == OP_INEG:
+                        stack[-1] = wrap(-stack[-1])
+                    elif op == OP_ISHL:
+                        b = stack.pop() & 63
+                        stack[-1] = wrap(stack[-1] << b)
+                    elif op == OP_ISHR:
+                        b = stack.pop() & 63
+                        stack[-1] = stack[-1] >> b
+                    elif op == OP_IAND:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] & b)
+                    elif op == OP_IOR:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] | b)
+                    elif op == OP_IXOR:
+                        b = stack.pop()
+                        stack[-1] = wrap(stack[-1] ^ b)
+                    elif op == OP_FNEG:
+                        stack[-1] = -stack[-1]
+                    elif op == OP_I2F:
+                        stack[-1] = float(stack[-1])
+                    elif op == OP_F2I:
+                        stack[-1] = wrap(int(stack[-1]))
+                    elif op == OP_FSQRT:
+                        v = stack[-1]
+                        if v < 0.0:
+                            raise GuestThrow(EXC_DIV_BY_ZERO)
+                        stack[-1] = math.sqrt(v)
+                    elif op == OP_FSIN:
+                        stack[-1] = math.sin(stack[-1])
+                    elif op == OP_FCOS:
+                        stack[-1] = math.cos(stack[-1])
+                    elif op == OP_GLOAD:
+                        mem(GLOBALS_BASE + arg * _WORD)
+                        stack.append(globals_[arg])
+                    elif op == OP_GSTORE:
+                        mem(GLOBALS_BASE + arg * _WORD)
+                        globals_[arg] = stack.pop()
+                    elif op == OP_POP:
+                        stack.pop()
+                    elif op == OP_DUP:
+                        stack.append(stack[-1])
+                    elif op == OP_SWAP:
+                        stack[-1], stack[-2] = stack[-2], stack[-1]
+                    elif op == OP_NEWARRAY:
+                        length = stack.pop()
+                        kind = KIND_INT_ARRAY if arg == 0 \
+                            else KIND_FLOAT_ARRAY
+                        if length < 0:
+                            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+                        handle, gc_wanted = heap.new_array(kind, length)
+                        stack.append(handle)
+                        self._maybe_gc(gc_wanted)
+                    elif op == OP_NEWOBJ:
+                        class_def = classes[arg]
+                        handle, gc_wanted = heap.new_object(
+                            arg, class_def.size_slots)
+                        stack.append(handle)
+                        self._maybe_gc(gc_wanted)
+                    elif op == OP_GETFIELD:
+                        obj = heap.get(stack.pop())
+                        mem(obj.vaddr + 16 + arg * _WORD)
+                        stack.append(obj.data[arg])
+                    elif op == OP_PUTFIELD:
+                        value = stack.pop()
+                        obj = heap.get(stack.pop())
+                        mem(obj.vaddr + 16 + arg * _WORD)
+                        obj.data[arg] = value
+                    elif op == OP_CALL:
+                        callee = functions[arg]
+                        if len(thread.frames) >= MAX_CALL_DEPTH:
+                            raise GuestThrow(EXC_STACK_OVERFLOW)
+                        new_frame = Frame(
+                            callee, thread.frame_base(len(thread.frames)))
+                        for i in range(callee.num_params - 1, -1, -1):
+                            new_frame.locals[i] = stack.pop()
+                        thread.frames.append(new_frame)
+                        fetch(CODE_BASE + callee.index * CODE_STRIDE)
+                    elif op == OP_RET:
+                        thread.frames.pop()
+                        if thread.frames:
+                            caller = thread.frames[-1]
+                            fetch(CODE_BASE
+                                  + caller.function.index * CODE_STRIDE
+                                  + caller.pc * 4)
+                        else:
+                            thread.alive = False
+                    elif op == OP_RETV:
+                        result = stack.pop()
+                        thread.frames.pop()
+                        if thread.frames:
+                            caller = thread.frames[-1]
+                            caller.stack.append(result)
+                            fetch(CODE_BASE
+                                  + caller.function.index * CODE_STRIDE
+                                  + caller.pc * 4)
+                        else:
+                            thread.alive = False
+                    elif op == OP_THROW:
+                        raise GuestThrow(stack.pop())
+                    elif op == OP_NATIVE:
+                        # Natives observe (and may advance) the counter:
+                        # idle poll iterations, wait skipping.  Publish it
+                        # around the call and resync the poll countdown to
+                        # the modulo invariant.
+                        self.instruction_count = icount
+                        try:
+                            platform.native_call(arg, self)
+                        finally:
+                            icount = self.instruction_count
+                        until_poll = poll_interval - (icount % poll_interval)
+                    elif op == OP_HALT:
+                        self.halted = True
+                    elif op == OP_NOP:
+                        pass
+                    else:  # pragma: no cover - exhaustive above
+                        raise VMRuntimeError(f"unknown opcode {op}",
+                                             pc=pc, function=function.name)
+                except GuestThrow as exc:
+                    self._dispatch_exception(thread, exc.code)
+                    # A native may have advanced the counter before
+                    # throwing.
+                    until_poll = poll_interval - (icount % poll_interval)
+                except IndexError:
+                    raise VMRuntimeError(
+                        "operand stack underflow",
+                        pc=pc, function=function.name) from None
 
-            if limit is not None and \
-                    self.instruction_count - executed_at_entry >= limit:
-                break
+                if limit is not None and \
+                        icount - executed_at_entry >= limit:
+                    break
+        finally:
+            self.instruction_count = icount
 
         return self.instruction_count - executed_at_entry
 

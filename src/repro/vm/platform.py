@@ -50,6 +50,42 @@ class Platform(abc.ABC):
         ignore it.
         """
 
+    def charge_block(self, cost_classes, base_costs=(),
+                     base_total: int = 0) -> None:
+        """Charge a compiled block's instruction stream in one call.
+
+        The reference implementation simply replays :meth:`charge` per
+        instruction, so any platform is automatically correct under the
+        trace-compiling tier-up; timed platforms may install a batched
+        override that charges ``base_total`` (the pre-summed noise-free
+        base cost of ``cost_classes``; ``base_costs`` is the per-
+        instruction base-cost tuple) in one add when no noise applies.
+        """
+        charge = self.charge
+        for cost_class in cost_classes:
+            charge(cost_class)
+
+    def instruction_base_costs(self):
+        """Dense base-cost table indexed by :class:`CostClass`, or None.
+
+        The trace compiler uses this to pre-sum a block's cycle cost at
+        compile time; ``None`` (the default) means the platform has no
+        meaningful base table and block totals are charged by replaying
+        ``charge`` per instruction.
+        """
+        return None
+
+    def mem_inline(self):
+        """Source template for inlining ``mem_access`` into trace blocks.
+
+        Returns ``(render, namespace)`` where ``render(expr)`` yields
+        source lines charging a memory access at address ``expr`` with
+        state updates identical to :meth:`mem_access`, and ``namespace``
+        holds the objects those lines reference.  ``None`` (the default)
+        makes compiled blocks call :meth:`mem_access` per access.
+        """
+        return None
+
     @abc.abstractmethod
     def on_quantum(self, interpreter: "Interpreter") -> None:
         """Periodic hook: interrupts, preemption, bus decay, input polling."""

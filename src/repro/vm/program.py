@@ -45,6 +45,14 @@ class Function:
                 f"function '{self.name}': invalid slot counts "
                 f"(params={self.num_params}, locals={self.num_locals})")
 
+    def __getstate__(self) -> dict:
+        # The trace compiler memoizes compiled-region artifacts (code
+        # objects) on the instance; code objects cannot pickle and the
+        # cache is a pure in-process accelerator, so drop it.
+        state = dict(self.__dict__)
+        state.pop("_tracejit_cache", None)
+        return state
+
     @property
     def code_length(self) -> int:
         return len(self.ops)
@@ -55,6 +63,35 @@ class Function:
             if handler.start_pc <= pc < handler.end_pc:
                 return handler
         return None
+
+    def branch_targets(self) -> set[int]:
+        """All pcs this function's branches (IFxx/GOTO) can jump to."""
+        branch_ops = (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT,
+                      Op.IFGE, Op.GOTO)
+        return {arg for op, arg in zip(self.ops, self.args)
+                if op in branch_ops}
+
+    def region_heads(self) -> list[int]:
+        """Candidate entry pcs for straight-line region compilation.
+
+        A head is any pc control can *jump* to: the function entry,
+        every branch target (loop heads are backward-branch targets),
+        the fall-through successor of each conditional branch, the
+        return point after each CALL, and each exception handler.  Code
+        between consecutive heads is only ever entered at the top, so a
+        region compiler may fuse it into one superinstruction.
+        """
+        length = len(self.ops)
+        heads = {0} | self.branch_targets()
+        conditional = (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT,
+                       Op.IFGE)
+        for pc, op in enumerate(self.ops):
+            if op in conditional or op == Op.CALL or op == Op.NATIVE:
+                if pc + 1 < length:
+                    heads.add(pc + 1)
+        for handler in self.handlers:
+            heads.add(handler.handler_pc)
+        return sorted(h for h in heads if 0 <= h < length)
 
 
 @dataclass
