@@ -86,6 +86,42 @@ def test_null_recorder_overhead_under_5_percent(monkeypatch):
         f"null-recorder overhead {overhead:.1%} exceeds the 5% budget"
 
 
+def test_profiler_overhead_under_5_percent():
+    """The profiler-on knob: strided stack capture on the poll branch
+    and at block boundaries must stay under 5% host time versus the
+    same observed run without it — while changing nothing simulated."""
+    print_banner("Observability: cycle profiler on vs off (obs run)")
+    from repro.obs import Observability
+
+    program = compile_app(zero_array_source(elements=4096))
+
+    def run(profile):
+        # trace=False isolates the profiler: the span tracer's bind()
+        # is per-machine state this A/B does not exercise.
+        result = play(program, None, seed=0,
+                      obs=Observability(trace=False, profile=profile))
+        return result
+
+    run(True)  # warm-up
+    with_profiler = run(True)
+    without = run(False)
+    # Pure observer: every simulated observable identical...
+    assert with_profiler.total_cycles == without.total_cycles
+    assert with_profiler.ledger == without.ledger
+    assert with_profiler.tx == without.tx
+    # ...and the profile itself is exact.
+    assert with_profiler.profile["sources"] == dict(with_profiler.ledger)
+
+    on = _best_of(lambda: run(True))
+    off = _best_of(lambda: run(False))
+    overhead = on / off - 1.0
+    print(f"  profiler off: {off * 1e3:8.2f} ms")
+    print(f"  profiler on:  {on * 1e3:8.2f} ms")
+    print(f"  overhead:     {overhead * 100:8.2f}%")
+    assert overhead < 0.05, \
+        f"profiler-on overhead {overhead:.1%} exceeds the 5% budget"
+
+
 def _legacy_linear_observe(self, value):
     """Histogram.observe as it was before bisection: walk every
     cumulative ``le`` bucket and bump the ones the value falls under."""

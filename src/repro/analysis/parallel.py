@@ -85,6 +85,10 @@ class MachineSpec:
     #: worker and return an :class:`ObservedExecution` instead of a bare
     #: result.  Off by default: unobserved specs pay nothing.
     observe: bool = False
+    #: With ``observe``, also enable the cycle-exact stack profiler; the
+    #: profile rides home on ``ExecutionResult.profile`` (plain dict, so
+    #: it crosses the pool like every other result field).
+    profile: bool = False
 
 
 class ObservedExecution(NamedTuple):
@@ -145,7 +149,7 @@ def execute_spec(spec: MachineSpec) -> "ExecutionResult | ObservedExecution":
     if spec.observe:
         from repro.obs import Observability
 
-        obs = Observability()
+        obs = Observability(profile=spec.profile)
     program = _compiled(spec.program)
     schedule = (list(spec.covert_schedule)
                 if spec.covert_schedule is not None else None)

@@ -86,6 +86,7 @@ def persist_round_trip(runstore, outcome: TdrResult, obs=None,
 
     ledgers: dict = {}
     tables = []
+    figures: dict = {}
     for side, result in (("play", outcome.play),
                          ("replay", outcome.replay)):
         if result.ledger:
@@ -94,6 +95,15 @@ def persist_round_trip(runstore, outcome: TdrResult, obs=None,
                            "total_cycles": result.total_cycles,
                            "title": f"{side} ({result.config_name}, "
                                     f"{result.total_cycles:,} cycles)"})
+        # Profiles and the tier-up region summary persist per side, so
+        # stored runs can be profiled (and compiled regions annotated)
+        # after the fact.
+        if result.profile is not None:
+            figures.setdefault("profile", {})[side] = result.profile
+        if result.jit is not None:
+            figures.setdefault("jit", {})[side] = result.jit
+    if tables:
+        figures["table1"] = {"tables": tables}
     audit = outcome.audit
     verdicts = {"payloads_match": audit.payloads_match,
                 "consistent": audit.is_consistent(),
@@ -108,7 +118,7 @@ def persist_round_trip(runstore, outcome: TdrResult, obs=None,
         metrics=obs.registry.snapshot() if obs is not None else {},
         ledgers=ledgers,
         verdicts=verdicts,
-        figures={"table1": {"tables": tables}} if tables else {},
+        figures=figures,
         flights=([audit.flight.to_json_dict()]
                  if audit.flight is not None else []),
         trace_ndjson=(obs.tracer.to_ndjson()

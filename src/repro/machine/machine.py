@@ -64,6 +64,11 @@ class ExecutionResult:
     #: (``REPRO_NO_JIT=1``).  Purely observational: cycles, ledger sums,
     #: transmissions and verdicts are bit-identical with the JIT on/off.
     jit: dict | None = None
+    #: Cycle-exact stack profile (``CycleProfiler.export()``); None
+    #: unless obs enabled profiling.  Per-source totals inside it sum
+    #: exactly to ``ledger``, and — like every collector — profiling
+    #: on/off leaves every other field bit-identical.
+    profile: dict | None = None
     #: Exact ns-per-cycle rational of the producing clock (numerator /
     #: denominator).  A zero numerator marks a legacy result that must
     #: fall back to the float ratio.
@@ -316,9 +321,20 @@ class Machine:
                         poll_interval=self.config.vm_poll_interval)
 
     def attach_observers(self, vm: Interpreter) -> None:
-        """Give ``vm`` this machine's opcode sampler, if obs wants one."""
-        if self.obs is not None and self.obs.sample_opcodes:
+        """Give ``vm`` this machine's obs collectors (sampler, profiler)."""
+        if self.obs is None:
+            return
+        if self.obs.sample_opcodes:
             vm.sampler = OpcodeSampler(stride=self.config.vm_poll_interval)
+        if getattr(self.obs, "profile_enabled", False) \
+                and self.ledger is not None:
+            from repro.obs.profiler import CycleProfiler
+
+            vm.profiler = CycleProfiler(
+                self.ledger, vm.program,
+                flush=getattr(self.platform, "flush_charges", None),
+                stride=self.obs.profile_stride,
+                jit_stride=self.obs.profile_jit_stride)
 
     def run(self, program: Program,
             max_instructions: int | None = 200_000_000) -> ExecutionResult:
@@ -390,6 +406,12 @@ class Machine:
         drives the interpreter itself) produces identical results.
         """
         self.platform.flush_charges()
+        profile = None
+        if vm.profiler is not None:
+            # Post-flush: the residual sweep closes the accounting, so
+            # the exported per-source totals equal the ledger exactly.
+            vm.profiler.finish()
+            profile = vm.profiler.export()
         log = self.session.log if isinstance(self.session, PlaySession) \
             else None
         ns_num, ns_den = self.clock.ns_ratio
@@ -408,6 +430,7 @@ class Machine:
             opcodes=(vm.sampler.histogram() if vm.sampler is not None
                      else None),
             jit=(vm.jit.summary() if vm.jit is not None else None),
+            profile=profile,
             ns_num=ns_num, ns_den=ns_den)
 
     def _collect_stats(self, vm: Interpreter) -> dict[str, float]:

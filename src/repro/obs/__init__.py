@@ -13,6 +13,12 @@ inspectable accounting system:
   NDJSON and Chrome trace-event export;
 * :mod:`repro.obs.sampling` — sampled opcode histograms from the
   interpreter hot loop;
+* :mod:`repro.obs.profiler` — the cycle-exact stack profiler: guest call
+  stacks captured on the poll branch and at trace-JIT block boundaries,
+  ledger-delta attribution (per-source frame totals sum exactly to the
+  ledger), folded-stack + SVG flame-graph export;
+* :mod:`repro.obs.forensics` — play-vs-replay profile diffing: first
+  divergent (function, pc, source) frame and a differential flame view;
 * :mod:`repro.obs.flight` — the divergence flight recorder: last-N events
   and per-source cycle deltas when play and replay disagree;
 * :mod:`repro.obs.snapshot` — picklable :class:`ObsSnapshot` images of a
@@ -50,6 +56,11 @@ from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
 from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
                                MetricsRegistry, NullRegistry, enable_metrics,
                                get_registry, labeled, set_registry)
+from repro.obs.forensics import (diff_lines, diff_profiles,
+                                 first_divergence, render_flame_diff_svg)
+from repro.obs.profiler import (RUNTIME_FRAME, CycleProfiler, folded_lines,
+                                profile_lines, render_flame_svg,
+                                write_flame_svg)
 from repro.obs.sampling import OpcodeSampler
 from repro.obs.snapshot import (EMPTY_OBS_SNAPSHOT, FleetObservations,
                                 ObsSnapshot, TraceSummary, summarize_tracer)
@@ -57,17 +68,20 @@ from repro.obs.runstore import RunRecord, RunStore, SCHEMA_VERSION
 from repro.obs.tracer import SpanTracer
 
 __all__ = [
-    "Counter", "CycleLedger", "DistTracer", "DivergenceRecord",
-    "EMPTY_OBS_SNAPSHOT", "FleetObservations", "Gauge", "Histogram",
-    "KNOWN_SOURCES", "MITIGATED_SOURCES", "MetricsRegistry",
-    "NULL_REGISTRY", "NullRegistry", "ObsSnapshot", "Observability",
-    "OpcodeSampler", "RunRecord", "RunStore", "SCHEMA_VERSION",
-    "SLOReport", "SLOSpec", "Source", "SpanRecord", "SpanTracer",
-    "TraceSummary", "capture_divergence", "default_observability",
-    "derive_trace_id", "enable_metrics", "evaluate_slo",
-    "flights_from_ndjson", "flights_to_ndjson",
-    "format_attribution_table", "get_registry", "labeled",
-    "set_registry", "summarize_tracer",
+    "Counter", "CycleLedger", "CycleProfiler", "DistTracer",
+    "DivergenceRecord", "EMPTY_OBS_SNAPSHOT", "FleetObservations",
+    "Gauge", "Histogram", "KNOWN_SOURCES", "MITIGATED_SOURCES",
+    "MetricsRegistry", "NULL_REGISTRY", "NullRegistry", "ObsSnapshot",
+    "Observability", "OpcodeSampler", "RUNTIME_FRAME", "RunRecord",
+    "RunStore", "SCHEMA_VERSION", "SLOReport", "SLOSpec", "Source",
+    "SpanRecord", "SpanTracer", "TraceSummary", "capture_divergence",
+    "default_observability", "derive_trace_id", "diff_lines",
+    "diff_profiles", "enable_metrics", "evaluate_slo",
+    "first_divergence", "flights_from_ndjson", "flights_to_ndjson",
+    "folded_lines", "format_attribution_table", "get_registry",
+    "labeled", "profile_lines", "render_flame_diff_svg",
+    "render_flame_svg", "set_registry", "summarize_tracer",
+    "write_flame_svg",
 ]
 
 
@@ -89,7 +103,15 @@ class Observability:
     def __init__(self, registry: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None, *,
                  ledger: bool = True, sample_opcodes: bool = True,
-                 trace: bool = True, flight_n: int = 16) -> None:
+                 trace: bool = True, flight_n: int = 16,
+                 profile: bool = False, profile_stride: int = 4,
+                 profile_jit_stride: int = 16) -> None:
+        from repro.errors import ObservabilityError
+
+        if profile and not ledger:
+            raise ObservabilityError(
+                "the cycle profiler attributes ledger deltas; "
+                "profile=True requires ledger=True")
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.tracer = tracer if tracer is not None \
@@ -98,6 +120,11 @@ class Observability:
         self.sample_opcodes = sample_opcodes
         #: Transmissions kept per side by the divergence flight recorder.
         self.flight_n = flight_n
+        #: Cycle-exact stack profiler (off by default: stack capture is
+        #: the one collector with real per-poll cost).
+        self.profile_enabled = profile
+        self.profile_stride = profile_stride
+        self.profile_jit_stride = profile_jit_stride
 
 
 def default_observability() -> Observability:

@@ -1,0 +1,188 @@
+"""Divergence forensics: localize play-vs-replay drift to a frame.
+
+The audit machinery can already say *that* a run diverged (the flight
+recorder gives per-source play-minus-replay deltas); this module says
+*where*.  Both sides of a round trip carry a cycle-exact profile
+(:mod:`repro.obs.profiler`), so the diff of the two is itself exact:
+every (stack, tier, thread, source) bucket either matches to the cycle
+or names a concrete place the two executions spent time differently.
+
+:func:`first_divergence` walks the ordered union of both profiles and
+returns the first bucket whose cycle counts differ — for a replay that
+drifts at a single site (one perturbed noise redraw, one covert delay),
+that is *the* (function, pc, source) of the divergence.
+:func:`diff_profiles` ranks every divergent bucket by magnitude, and
+:func:`render_flame_diff_svg` draws the two profiles side by side with
+divergent frames stroked — the visual the ``reproduce profile --diff``
+subcommand ships.
+"""
+
+from __future__ import annotations
+
+from .profiler import RUNTIME_FRAME, render_flame_svg
+
+__all__ = ["diff_profiles", "first_divergence", "diff_lines",
+           "render_flame_diff_svg"]
+
+
+def _flatten(profile: dict) -> dict:
+    """(stack tuple, tier, thread, source) -> exact cycles."""
+    flat: dict[tuple, int] = {}
+    for entry in profile.get("stacks", ()):
+        stack = tuple(entry["stack"])
+        for source, cycles in entry["sources"].items():
+            key = (stack, entry["tier"], entry["thread"], source)
+            flat[key] = flat.get(key, 0) + cycles
+    return flat
+
+
+def _leaf_site(stack: tuple) -> tuple[str, int | None]:
+    """Split a leaf frame name back into (function, pc)."""
+    leaf = stack[-1] if stack else RUNTIME_FRAME
+    function, sep, pc = leaf.rpartition(":")
+    if sep and pc.isdigit():
+        return function, int(pc)
+    return leaf, None
+
+
+def _entry(key: tuple, play_cycles: int, replay_cycles: int) -> dict:
+    stack, tier, thread, source = key
+    function, pc = _leaf_site(stack)
+    return {
+        "stack": list(stack),
+        "tier": tier,
+        "thread": thread,
+        "source": source,
+        "function": function,
+        "pc": pc,
+        "play": play_cycles,
+        "replay": replay_cycles,
+        "delta": replay_cycles - play_cycles,
+    }
+
+
+def first_divergence(play: dict, replay: dict) -> dict | None:
+    """The first (function, pc, source) bucket where the runs differ.
+
+    "First" is in the profiles' canonical bucket order (stack, tier,
+    thread, source — lexicographic), which is deterministic and shared
+    by both sides; a single-site divergence has exactly one candidate,
+    so the order only matters for multi-site drift, where it makes the
+    answer reproducible.  Returns ``None`` when the profiles agree
+    everywhere — cycle-exactly — which is the TDR-clean case.
+    """
+    left, right = _flatten(play), _flatten(replay)
+    for key in sorted(set(left) | set(right)):
+        a, b = left.get(key, 0), right.get(key, 0)
+        if a != b:
+            return _entry(key, a, b)
+    return None
+
+
+def diff_profiles(play: dict, replay: dict) -> dict:
+    """Every divergent bucket, ranked by |delta| (ties: bucket order)."""
+    left, right = _flatten(play), _flatten(replay)
+    entries = []
+    for key in sorted(set(left) | set(right)):
+        a, b = left.get(key, 0), right.get(key, 0)
+        if a != b:
+            entries.append(_entry(key, a, b))
+    entries.sort(key=lambda e: (-abs(e["delta"]), e["stack"], e["tier"],
+                                e["thread"], e["source"]))
+    first = first_divergence(play, replay)
+    return {
+        "entries": entries,
+        "first": first,
+        "play_total": sum(left.values()),
+        "replay_total": sum(right.values()),
+    }
+
+
+def diff_lines(diff: dict, top: int = 10) -> list[str]:
+    """Text rendering of a profile diff (CLI + report twin)."""
+    delta = diff["replay_total"] - diff["play_total"]
+    lines = [f"  play {diff['play_total']:,} cycles vs replay "
+             f"{diff['replay_total']:,} cycles "
+             f"({'+' if delta >= 0 else ''}{delta:,})"]
+    first = diff.get("first")
+    if first is None:
+        lines.append("  profiles agree cycle-exactly: no divergent frame")
+        return lines
+    site = first["function"] if first["pc"] is None else \
+        f"{first['function']}:{first['pc']}"
+    lines.append(f"  first divergent frame: {site} "
+                 f"[{first['source']}] ({first['tier']}) "
+                 f"play {first['play']:,} vs replay {first['replay']:,}")
+    lines.append(f"  {'divergent frame':<40s} {'source':>9s} "
+                 f"{'play':>12s} {'replay':>12s} {'delta':>12s}")
+    for entry in diff["entries"][:top]:
+        name = ";".join(entry["stack"]) or RUNTIME_FRAME
+        if len(name) > 40:
+            name = "…" + name[-39:]
+        lines.append(f"  {name:<40s} {entry['source']:>9s} "
+                     f"{entry['play']:>12,} {entry['replay']:>12,} "
+                     f"{entry['delta']:>+12,}")
+    remainder = len(diff["entries"]) - top
+    if remainder > 0:
+        lines.append(f"  … {remainder} more divergent frame(s)")
+    return lines
+
+
+def render_flame_diff_svg(play: dict, replay: dict,
+                          width: int = 1000) -> str:
+    """Side-by-side differential flame view: play left, replay right.
+
+    Frames on a divergent path are stroked red in both columns; the
+    header names the first-divergent site.  Deterministic like the
+    single-profile renderer.
+    """
+    diff = diff_profiles(play, replay)
+    divergent_frames = set()
+    for entry in diff["entries"]:
+        divergent_frames.update(entry["stack"])
+        divergent_frames.add(f"[{entry['source']}]")
+        if entry["tier"] == "jit" and entry["stack"]:
+            divergent_frames.add(entry["stack"][-1] + " [jit]")
+
+    def highlight(name, depth):
+        return name in divergent_frames
+
+    first = diff.get("first")
+    if first is None:
+        caption = "profiles agree cycle-exactly"
+    else:
+        site = first["function"] if first["pc"] is None else \
+            f"{first['function']}:{first['pc']}"
+        caption = (f"first divergent frame: {site} [{first['source']}] "
+                   f"Δ {first['delta']:+,} cycles")
+    col = (width - 20) // 2
+    left = render_flame_svg(play, title=f"play — "
+                            f"{diff['play_total']:,} cycles",
+                            width=col, highlight=highlight)
+    right = render_flame_svg(replay, title=f"replay — "
+                             f"{diff['replay_total']:,} cycles",
+                             width=col, highlight=highlight)
+
+    def svg_height(svg: str) -> int:
+        marker = 'height="'
+        start = svg.index(marker, svg.index("viewBox")) + len(marker)
+        return int(svg[start:svg.index('"', start)])
+
+    height = max(svg_height(left), svg_height(right)) + 26
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="Differential flame view">'
+        f'<text x="4" y="15" font-size="12" '
+        f'font-family="system-ui, sans-serif" fill="#b3403f">'
+        f'{_escape(caption)}</text>'
+        f'<g transform="translate(0 22)">{left}</g>'
+        f'<g transform="translate({col + 20} 22)">{right}</g>'
+        f"</svg>"
+    )
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))

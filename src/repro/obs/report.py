@@ -101,6 +101,19 @@ def render_text(record, run_id: str = "") -> str:
     if "fig6" in record.figures:
         lines.append("")
         lines.extend(fig6_lines(record.figures["fig6"]))
+    profiles = record.figures.get("profile", {})
+    for side in sorted(profiles):
+        from repro.obs.profiler import profile_lines
+
+        lines.append("")
+        lines.append(f"  {side} profile:")
+        lines.extend(profile_lines(profiles[side]))
+    if "play" in profiles and "replay" in profiles:
+        from repro.obs.forensics import diff_lines, diff_profiles
+
+        lines.append("")
+        lines.extend(diff_lines(diff_profiles(profiles["play"],
+                                              profiles["replay"])))
     table1 = attribution_lines(record)
     if table1:
         lines.append("")
@@ -696,6 +709,56 @@ def _fleet_section(obs: dict) -> str:
     return "".join(parts)
 
 
+def _profile_section(record) -> str:
+    """Cycle-exact flame graphs (and the differential view when both
+    sides of a round trip carry a profile and disagree)."""
+    from repro.obs.forensics import diff_lines, diff_profiles, \
+        render_flame_diff_svg
+    from repro.obs.profiler import render_flame_svg
+
+    profiles = record.figures.get("profile", {})
+    if not profiles:
+        return ""
+    parts = ["<h2>Cycle-exact profile</h2>"]
+    for side in sorted(profiles):
+        profile = profiles[side]
+        twin_rows = [[";".join(e["stack"]), e["tier"],
+                      f"{e['cycles']:,}"]
+                     for e in profile.get("stacks", [])[:12]]
+        parts.append(
+            "<figure><figcaption>"
+            f"{_e(side)}: {profile.get('samples', 0):,} samples, "
+            f"{profile.get('total_cycles', 0):,} cycles attributed "
+            "exactly — per-source frame totals sum to the ledger "
+            "(stride "
+            f"{profile.get('stride', '?')}/"
+            f"{profile.get('jit_stride', '?')}).</figcaption>"
+            + render_flame_svg(profile,
+                               title=f"{side} guest cycles")
+            + _details_table(["stack", "tier", "cycles"], twin_rows, 2)
+            + "</figure>")
+    if "play" in profiles and "replay" in profiles:
+        diff = diff_profiles(profiles["play"], profiles["replay"])
+        if diff["entries"]:
+            diff_rows = [[";".join(e["stack"]), e["source"],
+                          f"{e['play']:,}", f"{e['replay']:,}",
+                          f"{e['delta']:+,}"]
+                         for e in diff["entries"][:12]]
+            parts.append(
+                "<figure><figcaption>Divergence forensics: "
+                + _e(diff_lines(diff, top=0)[1].strip())
+                + "</figcaption>"
+                + render_flame_diff_svg(profiles["play"],
+                                        profiles["replay"])
+                + _details_table(["divergent frame", "source", "play",
+                                  "replay", "delta"], diff_rows, 2)
+                + "</figure>")
+        else:
+            parts.append('<p class="meta">play and replay profiles '
+                         "agree cycle-exactly.</p>")
+    return "".join(parts)
+
+
 def _run_section(run_id: str, record) -> str:
     parts = [f"<h1>{_e(record.kind)} — <code>{_e(run_id)}</code></h1>"]
     meta = []
@@ -716,6 +779,8 @@ def _run_section(run_id: str, record) -> str:
         parts.append(_roc_section(record.figures["fig8"]))
     if "fleet_obs" in record.figures:
         parts.append(_fleet_section(record.figures["fleet_obs"]))
+    if "profile" in record.figures:
+        parts.append(_profile_section(record))
     parts.append(_table1_section(record))
     parts.append(_verdicts_section(record.verdicts))
     parts.append(_phases_section(record.metrics))

@@ -52,16 +52,15 @@ class OpcodeSampler:
         return sum(self.counts.values())
 
     def histogram(self) -> dict[str, int]:
-        """Opcode-name histogram, most frequent first."""
-        from repro.vm.isa import Op  # deferred: keep obs import-light
+        """Opcode-name histogram, most frequent first.
 
-        def name_of(op: int) -> str:
-            try:
-                return Op(op).name
-            except ValueError:
-                return f"op#{op}"
+        Uses the same :func:`~repro.vm.isa.opcode_name` mnemonics as the
+        site export (``OP_<code>`` for unknown opcodes), so histogram
+        keys and ``sites[*]["op"]`` values round-trip through one parser.
+        """
+        from repro.vm.isa import opcode_name  # deferred: obs stays light
 
-        return {name_of(op): count
+        return {opcode_name(op): count
                 for op, count in sorted(self.counts.items(),
                                         key=lambda kv: (-kv[1], kv[0]))}
 
@@ -106,3 +105,39 @@ class OpcodeSampler:
                 for (function, pc, op), count in sorted(self.sites.items())
             ],
         }
+
+    @classmethod
+    def from_export(cls, data: dict) -> "OpcodeSampler":
+        """Rebuild a sampler from an :meth:`export` snapshot.
+
+        The inverse of :meth:`export` for both v1 (histogram only) and
+        v2 (``sites``) shapes: mnemonics parse back to raw opcode
+        values — including the ``OP_<code>`` fallback names that
+        tail-of-window entries sampled through the tier-up's
+        short-variant fallback chain can carry — so
+        ``OpcodeSampler.from_export(s.export()).export() == s.export()``
+        holds exactly.  Raises :class:`ObservabilityError` on a
+        mnemonic no parser recognizes.
+        """
+        from repro.errors import ObservabilityError
+        from repro.vm.isa import Op
+
+        def code_of(name: str) -> int:
+            try:
+                return int(Op[name])
+            except KeyError:
+                if name.startswith("OP_") and name[3:].isdigit():
+                    return int(name[3:])
+                raise ObservabilityError(
+                    f"unknown opcode mnemonic in sampler export: {name!r}")
+
+        sampler = cls(stride=int(data.get("stride", 256)))
+        for name, count in data.get("histogram", {}).items():
+            op = code_of(name)
+            sampler.counts[op] = sampler.counts.get(op, 0) + int(count)
+        for site in data.get("sites", ()):
+            key = (int(site["function"]), int(site["pc"]),
+                   code_of(site["op"]))
+            sampler.sites[key] = sampler.sites.get(key, 0) + \
+                int(site["count"])
+        return sampler

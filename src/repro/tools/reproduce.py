@@ -12,6 +12,9 @@ Usage::
         --chaos crash:1@180 --slo p99_verdict_ms=400 \\
         --trace-out fleet-trace.json --store
     python -m repro.tools.reproduce slo p99_verdict_ms=400,max_unaudited=0.1
+    python -m repro.tools.reproduce trace --profile --store
+    python -m repro.tools.reproduce profile --diff --flame tdr-flame.svg
+    python -m repro.tools.reproduce profile --run latest --folded out.txt
     python -m repro.tools.reproduce runs list
     python -m repro.tools.reproduce report --latest 2 --out tdr-report.html
     python -m repro.tools.reproduce bench-gate --advisory
@@ -105,6 +108,28 @@ def _print_phase_report(registry) -> None:
     print(f"  {'phase':24s} {'runs':>5s} {'wall-clock':>11s}")
     for name, count, total in rows:
         print(f"  {name:24s} {count:>5d} {total:>10.2f}s")
+
+
+def _compiled_regions_table(regions, top: int = 8) -> str:
+    """The compiled-regions table printed by ``trace`` and ``profile``.
+
+    Re-sorts busiest-first with a full (function, head) tiebreak, so the
+    rendering is deterministic even for regions loaded back from a
+    stored run (JSON round trips preserve order, but the table should
+    not depend on the producer's ordering).
+    """
+    ranked = sorted(regions, key=lambda r: (-r["instructions"],
+                                            r["function"], r["head_pc"]))
+    lines = [f"    {'function':<16s} {'head':>5s} {'len':>4s} "
+             f"{'entries':>9s} {'side-exits':>10s} "
+             f"{'instructions':>13s} {'cycles':>13s}"]
+    for region in ranked[:top]:
+        lines.append(
+            f"    {region['function']:<16s} {region['head_pc']:>5d} "
+            f"{region['length']:>4d} {region['entries']:>9,} "
+            f"{region['side_exits']:>10,} "
+            f"{region['instructions']:>13,} {region['cycles']:>13,}")
+    return "\n".join(lines)
 
 
 def _banner(title: str) -> None:
@@ -337,7 +362,7 @@ def run_chaos(args) -> int:
 
 def run_trace(args) -> None:
     _banner("Trace — cycle attribution, opcode profile, Chrome trace")
-    obs = Observability()
+    obs = Observability(profile=getattr(args, "profile", False))
     program = build_nfs_program()
     noisy = scenario_config("dirty")
     with time_phase("trace.round-trip", obs.registry):
@@ -387,12 +412,14 @@ def run_trace(args) -> None:
               f"{jit['compiled_regions']} compiled, "
               f"{jit['entries']:,} entries, {jit['side_exits']:,} side "
               f"exits, {covered:.1%} of instructions; busiest:")
-        print(f"    {'function':<16s} {'head':>5s} {'len':>4s} "
-              f"{'entries':>9s} {'instructions':>13s} {'cycles':>13s}")
-        for region in jit["regions"][:8]:
-            print(f"    {region['function']:<16s} {region['head_pc']:>5d} "
-                  f"{region['length']:>4d} {region['entries']:>9,} "
-                  f"{region['instructions']:>13,} {region['cycles']:>13,}")
+        print(_compiled_regions_table(jit["regions"]))
+
+    if outcome.play.profile is not None:
+        from repro.obs.profiler import profile_lines
+
+        print()
+        for line in profile_lines(outcome.play.profile):
+            print(line)
 
     trace_out = args.trace_out or "tdr-trace.json"
     obs.tracer.write_chrome_trace(trace_out)
@@ -419,6 +446,17 @@ def run_trace(args) -> None:
              "title": f"play ({sanity.name}, "
                       f"{clean.total_cycles:,} cycles)"},
         ]
+        figures: dict = {"table1": {"tables": tables}}
+        # The tier-up region summary and (with --profile) the profiles
+        # persist per side, so `reproduce profile --run REF` can
+        # annotate compiled regions and diff stored runs.
+        for side, result in (("play", outcome.play),
+                             ("replay", outcome.replay),
+                             ("clean", clean)):
+            if result.jit is not None:
+                figures.setdefault("jit", {})[side] = result.jit
+            if result.profile is not None:
+                figures.setdefault("profile", {})[side] = result.profile
         run_id = store.save(RunRecord(
             kind="trace", label=f"{args.requests} NFS requests",
             config={"scenario": noisy.name, "requests": args.requests},
@@ -430,7 +468,7 @@ def run_trace(args) -> None:
             verdicts={"consistent": outcome.audit.is_consistent(),
                       "payloads_match": outcome.audit.payloads_match,
                       "mitigated_leak_cycles": leaked},
-            figures={"table1": {"tables": tables}},
+            figures=figures,
             flights=([outcome.audit.flight.to_json_dict()]
                      if outcome.audit.flight is not None else []),
             trace_ndjson=obs.tracer.to_ndjson()))
@@ -938,11 +976,152 @@ def cmd_slo(argv: list[str]) -> int:
     return EXIT_CLEAN if report.ok else EXIT_SLO_BREACH
 
 
+def cmd_profile(argv: list[str]) -> int:
+    """``reproduce profile`` — cycle-exact flame graphs and forensics.
+
+    Without ``--run`` it plays a fresh covert round trip with the
+    profiler on and profiles both sides; with ``--run REF`` it re-renders
+    the profiles persisted with a stored run (annotating compiled
+    regions from the stored tier-up summary).  ``--diff`` walks play vs
+    replay to the first divergent (function, pc, source) frame;
+    ``--flame``/``--folded`` write a standalone SVG flame graph (the
+    differential view under ``--diff``) and flamegraph.pl-compatible
+    folded stacks.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.reproduce profile",
+        description="Profile guest cycles exactly: flame graphs, folded "
+                    "stacks, and play-vs-replay divergence forensics.")
+    parser.add_argument("--run", default=None, metavar="REF",
+                        help="render a stored run's profiles instead of "
+                             "playing a fresh round trip ('latest' = "
+                             "most recent run that has one)")
+    parser.add_argument("--diff", action="store_true",
+                        help="diff play vs replay and name the first "
+                             "divergent (function, pc, source) frame")
+    parser.add_argument("--flame", default=None, metavar="OUT.svg",
+                        help="write a standalone SVG flame graph (the "
+                             "side-by-side differential view with "
+                             "--diff)")
+    parser.add_argument("--folded", default=None, metavar="OUT.txt",
+                        help="write flamegraph.pl-compatible folded "
+                             "stacks (play side)")
+    parser.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="run store root; with a fresh run, also "
+                             "persist its profiles")
+    parser.add_argument("--requests", type=int, default=6,
+                        help="NFS requests for a fresh run (default 6)")
+    args = parser.parse_args(argv)
+    from repro.errors import ObservabilityError
+    from repro.obs.forensics import diff_lines, diff_profiles, \
+        render_flame_diff_svg
+    from repro.obs.profiler import (folded_lines, profile_lines,
+                                    write_flame_svg)
+
+    profiles: dict = {}
+    jit_figures: dict = {}
+    if args.run:
+        store = _open_store(args.store)
+        try:
+            if args.run == "latest":
+                with_profile = [m for m in store.list_runs()
+                                if "profile" in m.get("figures", {})]
+                if not with_profile:
+                    print(f"profile: no stored runs with a profile in "
+                          f"{store.root} (run `reproduce profile "
+                          f"--store` or `trace --profile --store`)",
+                          file=sys.stderr)
+                    return EXIT_USAGE
+                run_id = with_profile[-1]["run_id"]
+            else:
+                run_id = store.resolve(args.run)
+            record = store.load(run_id)
+        except ObservabilityError as exc:
+            print(f"profile: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        profiles = record.figures.get("profile") or {}
+        jit_figures = record.figures.get("jit") or {}
+        if not profiles:
+            print(f"profile: run {run_id} has no stored profile "
+                  f"(kind '{record.kind}'; re-run the experiment with "
+                  f"--profile)", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"run {run_id} ({record.label or record.kind})")
+    else:
+        _banner("Profile — cycle-exact guest flame graphs")
+        obs = Observability(profile=True)
+        program = build_nfs_program()
+        outcome = round_trip(
+            program, MachineConfig(),
+            workload=build_nfs_workload(SplitMix64(77),
+                                        num_requests=args.requests),
+            play_seed=0, replay_seed=0,
+            covert_schedule=[1_500, 4_000, 2_500, 6_000], obs=obs)
+        profiles = {"play": outcome.play.profile,
+                    "replay": outcome.replay.profile}
+        for side in ("play", "replay"):
+            result = getattr(outcome, side)
+            if result.jit is not None:
+                jit_figures[side] = result.jit
+        store = _store(args)
+        if store is not None:
+            from repro.core.tdr import persist_round_trip
+
+            run_id = persist_round_trip(store, outcome, obs=obs,
+                                        label=f"{args.requests} NFS "
+                                              f"requests, covert",
+                                        kind="profile")
+            print(f"  [stored {run_id} in {store.root}]")
+
+    for side in sorted(profiles):
+        print()
+        print(f"  {side} profile:")
+        for line in profile_lines(profiles[side]):
+            print(line)
+    jit = jit_figures.get("play")
+    if jit and jit.get("regions"):
+        print()
+        print(f"  compiled regions (play): {jit['compiled_regions']} "
+              f"compiled, {jit['entries']:,} entries, "
+              f"{jit['side_exits']:,} side exits:")
+        print(_compiled_regions_table(jit["regions"]))
+
+    if args.diff:
+        if "play" not in profiles or "replay" not in profiles:
+            print("profile: --diff needs both play and replay profiles",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print()
+        for line in diff_lines(diff_profiles(profiles["play"],
+                                             profiles["replay"])):
+            print(line)
+
+    primary = profiles.get("play") or profiles[sorted(profiles)[0]]
+    if args.folded:
+        lines = folded_lines(primary)
+        Path(args.folded).write_text("\n".join(lines) + "\n",
+                                     encoding="utf-8")
+        print(f"  wrote {len(lines)} folded stacks to {args.folded}")
+    if args.flame:
+        if args.diff and "replay" in profiles:
+            svg = render_flame_diff_svg(profiles["play"],
+                                        profiles["replay"])
+            Path(args.flame).write_text(
+                '<?xml version="1.0" encoding="UTF-8"?>\n' + svg + "\n",
+                encoding="utf-8")
+        else:
+            write_flame_svg(args.flame, primary)
+        print(f"  wrote flame graph to {args.flame}")
+    return EXIT_CLEAN
+
+
 SUBCOMMANDS = {
     "runs": cmd_runs,
     "report": cmd_report,
     "bench-gate": cmd_bench_gate,
     "slo": cmd_slo,
+    "profile": cmd_profile,
 }
 
 
@@ -1013,6 +1192,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="persist run artifacts to a run store at "
                              "DIR (default: REPRO_RUNSTORE or "
                              ".repro-runs)")
+    parser.add_argument("--profile", action="store_true",
+                        help="'trace' only: also run the cycle-exact "
+                             "stack profiler (pure observer — the "
+                             "Chrome trace and every verdict stay "
+                             "byte-identical)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:

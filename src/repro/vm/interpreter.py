@@ -121,6 +121,10 @@ class Interpreter:
         #: Optional :class:`repro.obs.sampling.OpcodeSampler`; when set,
         #: the run loop records the opcode at every platform-poll point.
         self.sampler = None
+        #: Optional :class:`repro.obs.profiler.CycleProfiler`; when set,
+        #: the run loop reconstructs the guest stack on the poll branch
+        #: and at compiled-block boundaries (both strided).
+        self.profiler = None
         #: Trace-compiling tier-up state (None = pure interpreter).
         #: Strictly per-run: compiled blocks capture this run's platform
         #: fast paths, and Program objects are shared across runs.
@@ -230,6 +234,7 @@ class Interpreter:
         fetch = platform.fetch_access
         cost_of = OPCODE_COST_LIST
         sampler = self.sampler
+        profiler = self.profiler
         jit = self.jit
         jit_blocks = jit.blocks if jit is not None else None
         poll_interval = self.config.poll_interval
@@ -346,12 +351,20 @@ class Interpreter:
                                 icount = self.instruction_count
                                 slice_left -= done
                                 until_poll -= done
+                                # Side exit: profile before the unwind
+                                # rewrites the stack the block ran on.
+                                if profiler is not None:
+                                    profiler.block_boundary(thread,
+                                                            function, block)
                                 self._dispatch_exception(thread, exc.code)
                             else:
                                 done = self.instruction_count - icount
                                 icount = self.instruction_count
                                 slice_left -= done
                                 until_poll -= done
+                                if profiler is not None:
+                                    profiler.block_boundary(thread,
+                                                            function, block)
                             if limit is not None and \
                                     icount - executed_at_entry >= limit:
                                 break
@@ -377,6 +390,11 @@ class Interpreter:
                     self.instruction_count = icount
                     platform.on_quantum(self)
                     icount = self.instruction_count
+                    # After on_quantum the batched charges are flushed,
+                    # so the ledger the profiler reads here is current;
+                    # frame.pc still names the instruction being polled.
+                    if profiler is not None:
+                        profiler.poll(thread)
                     if self.halted:
                         break
                 charge(cost_of[op])

@@ -699,22 +699,36 @@ class TraceJit:
     # -- reporting ----------------------------------------------------------
 
     def region_stats(self) -> list[dict]:
-        """Per-region tier-up stats, busiest first (deterministic order)."""
+        """Per-region tier-up stats, busiest first (deterministic order).
+
+        A region's numbers merge its whole fallback chain: entries late
+        in a poll window run the short variant, and those counters used
+        to be dropped here — making ``summary()`` undercount exactly the
+        tail-of-window executions.
+        """
         regions = []
         for fn_blocks in self.blocks:
             if fn_blocks is None:
                 continue
-            for block in fn_blocks:
-                if block is None:
+            for head_block in fn_blocks:
+                if head_block is None:
                     continue
+                entries = side_exits = instructions = cycles = 0
+                block = head_block
+                while block is not None:
+                    entries += block.entries
+                    side_exits += block.side_exits
+                    instructions += block.instructions
+                    cycles += block.cycles
+                    block = block.fallback
                 regions.append({
-                    "function": block.function_name,
-                    "head_pc": block.head,
-                    "length": block.n,
-                    "entries": block.entries,
-                    "side_exits": block.side_exits,
-                    "instructions": block.instructions,
-                    "cycles": block.cycles,
+                    "function": head_block.function_name,
+                    "head_pc": head_block.head,
+                    "length": head_block.n,
+                    "entries": entries,
+                    "side_exits": side_exits,
+                    "instructions": instructions,
+                    "cycles": cycles,
                 })
         regions.sort(key=lambda r: (-r["instructions"], r["function"],
                                     r["head_pc"]))

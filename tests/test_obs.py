@@ -255,9 +255,14 @@ class TestOpcodeSampler:
         assert sampler.estimated_instructions() == 40
 
     def test_unknown_opcode_fallback(self):
+        """Unknown opcodes use the same ``OP_<code>`` spelling as the
+        sites export, so one parser round-trips both halves of an
+        export (see ``OpcodeSampler.from_export``)."""
         sampler = OpcodeSampler()
         sampler.record(0xDEAD)
-        assert sampler.histogram() == {"op#57005": 1}
+        assert sampler.histogram() == {"OP_57005": 1}
+        assert OpcodeSampler.from_export(sampler.export()).export() == \
+            sampler.export()
 
 
 class _FakeResult:

@@ -299,3 +299,102 @@ class TestUnits:
         assert {(s["function"], s["pc"]) for s in export["sites"]} == \
             {(0, 17), (1, 4)}
         assert sampler.hot_sites(1) == [(0, 17, 3)]
+
+    def test_sampler_sites_round_trip_through_fallback_window(self):
+        """Regression: a window whose final entries ran through the
+        tier-up's short-variant fallback chain must serialize and reload
+        exactly.  The hot loop's sampler keeps recording through those
+        tail-of-window entries, so its export carries their sites; the
+        reload used to be impossible (no loader) and the histogram used
+        a different unknown-opcode spelling (``op#N``) than ``sites``
+        (``OP_N``), so the two halves of one export could not be parsed
+        by one consumer."""
+        import json
+
+        from repro.apps import compile_app
+        from repro.machine.machine import Machine
+        from repro.obs.sampling import OpcodeSampler
+        from repro.vm.interpreter import Interpreter
+
+        program = compile_app(RAZOR_SRC)
+        machine = Machine(MachineConfig(), seed=0, mode="play")
+        vm = Interpreter(program, machine.platform, machine.vm_config())
+        vm.run(200_000_000)
+        machine.platform.flush_charges()
+        assert vm.jit is not None
+        # The run really drove the fallback chain: some entries ran a
+        # short variant hanging off a superblock.
+        fallback_entries = sum(
+            block.fallback.entries
+            for fn_blocks in vm.jit.blocks if fn_blocks is not None
+            for block in fn_blocks
+            if block is not None and block.fallback is not None)
+        assert fallback_entries > 0
+
+        export = vm.jit.sampler.export()
+        assert export["sites"]
+        # Serialize -> reload -> re-export: exact, through real JSON.
+        reloaded = OpcodeSampler.from_export(
+            json.loads(json.dumps(export)))
+        assert reloaded.export() == export
+        assert reloaded.hot_sites(5) == vm.jit.sampler.hot_sites(5)
+
+    def test_sampler_from_export_parses_fallback_mnemonics(self):
+        """``OP_<code>`` names (unknown opcodes) and real mnemonics
+        round-trip through one parser; junk raises."""
+        import pytest as _pytest
+
+        from repro.errors import ObservabilityError
+        from repro.obs.sampling import OpcodeSampler
+        from repro.vm.isa import Op
+
+        sampler = OpcodeSampler(stride=64)
+        sampler.record(int(Op.IADD), 2, 9)
+        sampler.record(250, 2, 10)            # no such opcode
+        export = sampler.export()
+        assert export["histogram"]["OP_250"] == 1
+        assert {s["op"] for s in export["sites"]} == {"IADD", "OP_250"}
+        assert OpcodeSampler.from_export(export).export() == export
+        with _pytest.raises(ObservabilityError):
+            OpcodeSampler.from_export(
+                {"stride": 64, "histogram": {"NOT_AN_OP": 1},
+                 "sites": []})
+
+    def test_region_stats_merge_fallback_chain(self):
+        """Regression: ``region_stats()`` (and so ``summary()``) used to
+        iterate only the superblocks, silently dropping every counter
+        the short-variant fallbacks accumulated on tail-of-window
+        entries.  The per-region rows must equal a raw walk over the
+        whole chain."""
+        from repro.apps import build_kernel_program
+        from repro.machine.machine import Machine
+        from repro.vm.interpreter import Interpreter
+
+        program = build_kernel_program("sor")
+        machine = Machine(MachineConfig(), seed=0, mode="play")
+        vm = Interpreter(program, machine.platform, machine.vm_config())
+        vm.run(200_000_000)
+        machine.platform.flush_charges()
+
+        raw = {"entries": 0, "side_exits": 0, "instructions": 0,
+               "cycles": 0}
+        fallback_entries = 0
+        for fn_blocks in vm.jit.blocks:
+            if fn_blocks is None:
+                continue
+            for head_block in fn_blocks:
+                block = head_block
+                while block is not None:
+                    raw["entries"] += block.entries
+                    raw["side_exits"] += block.side_exits
+                    raw["instructions"] += block.instructions
+                    raw["cycles"] += block.cycles
+                    if block is not head_block:
+                        fallback_entries += block.entries
+                    block = block.fallback
+        assert fallback_entries > 0        # the bug had something to drop
+        summary = vm.jit.summary()
+        assert summary["entries"] == raw["entries"]
+        assert summary["side_exits"] == raw["side_exits"]
+        assert summary["jit_instructions"] == raw["instructions"]
+        assert summary["jit_cycles"] == raw["cycles"]
