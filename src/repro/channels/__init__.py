@@ -12,6 +12,14 @@ MBCTC         sample IPDs from a statistical model fit to legit traffic
 Needle        one bit every ``period`` packets, via a small extra delay
 ============  ========================================================
 
+The executive (:mod:`repro.exec`) adds a scheduler/IPC channel family,
+modelled here as two more :class:`CovertChannel` implementations:
+
+============  ========================================================
+SCHEDTC       bit 1 → hold the CPU for extra whole scheduler quanta
+MBOXTC        bit walks a bounded-mailbox occupancy level up/down
+============  ========================================================
+
 All channels implement :class:`~repro.channels.base.CovertChannel`:
 ``fit`` on the adversary's recorded legitimate IPDs, ``encode`` a bit
 string into a covert IPD sequence, ``delays_for`` the equivalent
@@ -23,15 +31,19 @@ from repro.channels.base import CovertChannel
 from repro.channels.codec import (bit_accuracy, bits_to_bytes,
                                   bytes_to_bits, random_bits)
 from repro.channels.ipctc import Ipctc
+from repro.channels.mailbox import MailboxChannel
 from repro.channels.mbctc import Mbctc
 from repro.channels.needle import NeedleChannel
+from repro.channels.schedtc import SchedYieldChannel
 from repro.channels.trctc import Trctc
 
 __all__ = [
     "CovertChannel",
     "Ipctc",
+    "MailboxChannel",
     "Mbctc",
     "NeedleChannel",
+    "SchedYieldChannel",
     "Trctc",
     "bit_accuracy",
     "bits_to_bytes",
@@ -45,12 +57,17 @@ def all_channels() -> list[CovertChannel]:
     return [Ipctc(), Trctc(), Mbctc(), NeedleChannel()]
 
 
+def exec_channels() -> list[CovertChannel]:
+    """Fresh instances of the scheduler/IPC channel family."""
+    return [SchedYieldChannel(), MailboxChannel()]
+
+
 def channel_by_name(name: str) -> CovertChannel:
     """A fresh channel instance by its :attr:`CovertChannel.name`."""
-    for channel in all_channels():
+    for channel in all_channels() + exec_channels():
         if channel.name == name:
             return channel
     from repro.errors import ChannelError
 
-    known = ", ".join(c.name for c in all_channels())
+    known = ", ".join(c.name for c in all_channels() + exec_channels())
     raise ChannelError(f"unknown covert channel '{name}' (known: {known})")

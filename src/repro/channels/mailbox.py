@@ -1,0 +1,77 @@
+"""Mailbox-occupancy covert timing channel (MBOXTC).
+
+The IPC-level channel of :mod:`repro.exec.scenarios` seen from the
+network: the sender modulates how many messages it keeps queued in a
+bounded mailbox, and every queued message adds a fixed service delay to
+the receiver's relay path — so the packet stream's IPD floats on a
+random walk of the occupancy level (bit 1 enqueues one extra message,
+bit 0 drains one).  The slowly-varying occupancy component gives covert
+traces long-range temporal correlation that legitimate traffic does not
+share, which is what the regularity/CCE family keys on, while the mean
+shift alone is enough for the first-order tests.
+
+Synthetic (statistical-population) twin of the VM-level ``mbox``
+scenario, shaped for the Fig 8 ROC harness.  Distinct from
+:class:`~repro.channels.mbctc.Mbctc` (model-based IPD mimicry).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.channels.base import CovertChannel
+from repro.determinism import SplitMix64
+from repro.errors import ChannelError
+
+
+class MailboxChannel(CovertChannel):
+    """Occupancy-walk channel over a bounded mailbox."""
+
+    name = "mboxtc"
+
+    def __init__(self, per_message_ms: float = 5.0, depth: int = 6) -> None:
+        super().__init__()
+        if per_message_ms <= 0:
+            raise ChannelError(
+                f"per-message delay must be positive: {per_message_ms}")
+        if depth < 1:
+            raise ChannelError(f"mailbox depth must be >= 1: {depth}")
+        self.per_message_ms = per_message_ms
+        self.depth = depth
+        self._baseline = 0.0
+
+    def _fit(self, legit_ipds_ms: list[float], rng: SplitMix64) -> None:
+        self._baseline = statistics.median(legit_ipds_ms)
+
+    def _encode(self, natural_ipds_ms: list[float], bits: list[int],
+                rng: SplitMix64) -> list[float]:
+        occupancy = 0
+        covert: list[float] = []
+        for i, natural in enumerate(natural_ipds_ms):
+            bit = bits[i % len(bits)] if bits else 0
+            if bit:
+                occupancy = min(occupancy + 1, self.depth)
+            else:
+                occupancy = max(occupancy - 1, 0)
+            covert.append(natural + occupancy * self.per_message_ms)
+        return covert
+
+    def _decode(self, observed_ipds_ms: list[float]) -> list[int]:
+        per_message = self.per_message_ms
+        depth = self.depth
+        previous = 0
+        bits: list[int] = []
+        for ipd in observed_ipds_ms:
+            level = round((ipd - self._baseline) / per_message)
+            level = max(0, min(depth, level))
+            if level > previous:
+                bit = 1
+            elif level < previous:
+                bit = 0
+            else:
+                # Saturated at an end of the walk: the level can only
+                # have stayed put because the bit pushed past the clamp.
+                bit = 1 if level == depth else 0
+            bits.append(bit)
+            previous = level
+        return bits

@@ -13,6 +13,14 @@ wall-clock time during play when the VM invokes System.nanoTime"):
 * ``PACKET`` — an incoming network packet, recorded in its entirety;
 * ``TIME`` — the value returned by a ``nano_time`` call.
 
+A third kind, ``SCHED``, exists for multi-process (executive) runs: each
+context-switch decision is logged as if it were a nondeterministic input,
+with the chosen pid in the value field.  The executive's scheduler is in
+fact deterministic, so during replay the entry is *verified* against the
+recomputed decision rather than injected — a divergence means the log was
+tampered with or the schedule was perturbed, and replay stops with a
+:class:`~repro.errors.ReplayDivergenceError` (see DESIGN.md §5).
+
 Outgoing packets are *not* logged: "packets that the NFS server transmits
 need not be recorded because the replayed execution will produce an exact
 copy" (§6.5).
@@ -58,6 +66,7 @@ class EventKind(enum.IntEnum):
 
     PACKET = 1
     TIME = 2
+    SCHED = 3
 
 
 @dataclass(frozen=True)
@@ -125,6 +134,12 @@ class EventLog:
         self.entries.append(LogEntry(EventKind.TIME, instr_count,
                                      value=value_ns))
 
+    def record_sched(self, instr_count: int, pid: int) -> None:
+        """Record an executive context-switch decision at ``instr_count``."""
+        self._check_monotonic(instr_count)
+        self.entries.append(LogEntry(EventKind.SCHED, instr_count,
+                                     value=pid))
+
     def _check_monotonic(self, instr_count: int) -> None:
         if self.entries and instr_count < self.entries[-1].instr_count:
             raise LogFormatError(
@@ -149,9 +164,14 @@ class EventLog:
         """Bytes per event kind (plus the fixed header and digest)."""
         trailer = _DIGEST_BYTES if version >= 2 else 0
         breakdown = {"header": _HEADER.size + trailer,
-                     "packet": 0, "time": 0}
+                     "packet": 0, "time": 0, "sched": 0}
         for entry in self.entries:
-            key = "packet" if entry.kind == EventKind.PACKET else "time"
+            if entry.kind == EventKind.PACKET:
+                key = "packet"
+            elif entry.kind == EventKind.SCHED:
+                key = "sched"
+            else:
+                key = "time"
             breakdown[key] += entry.encoded_size(version)
         return breakdown
 
@@ -268,8 +288,8 @@ class EventLog:
             else:
                 if length != 8:
                     return failed(
-                        LogFormatError("TIME entry body must be 8 bytes",
-                                       index, entry_offset),
+                        LogFormatError(f"{kind.name} entry body must be "
+                                       f"8 bytes", index, entry_offset),
                         entry_offset, count, version)
                 (value,) = struct.unpack("<q", body)
                 log.entries.append(LogEntry(kind, instr_count, value=value))

@@ -64,6 +64,17 @@ class Session(abc.ABC):
     def exhausted(self) -> bool:
         """True when no further input events can arrive."""
 
+    def observe_sched(self, instr_count: int, pid: int) -> None:
+        """Handle an executive context-switch decision.
+
+        Play records the chosen pid; replay verifies it against the log
+        (the scheduler is deterministic, so the entry is a tamper check,
+        not an input — see DESIGN.md §5).  Sessions that never host an
+        executive simply never see this call.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support executive runs")
+
     #: Extra cycles charged per injected event (0 for symmetric designs).
     injection_overhead_cycles: int = 0
 
@@ -105,6 +116,13 @@ class PlaySession(Session):
                                 instr=instr_count,
                                 size=len(staged_packet))
         return staged_packet
+
+    def observe_sched(self, instr_count: int, pid: int) -> None:
+        self.log.record_sched(instr_count, pid)
+        self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.sched", category="session",
+                                instr=instr_count, pid=pid)
 
     def exhausted(self) -> bool:
         return False  # the outside world decides when input ends
@@ -167,6 +185,27 @@ class ReplaySession(Session):
                                 slack=instr_count - entry.instr_count,
                                 size=len(entry.payload))
         return entry.payload
+
+    def observe_sched(self, instr_count: int, pid: int) -> None:
+        entry = self._peek()
+        if entry is None or entry.kind != EventKind.SCHED:
+            raise ReplayDivergenceError(
+                f"replay reached a schedule decision at instr "
+                f"{instr_count}, log has "
+                f"{entry.kind.name if entry else 'nothing'}")
+        if entry.instr_count != instr_count:
+            raise ReplayDivergenceError(
+                f"SCHED decision recorded at instr {entry.instr_count}, "
+                f"replayed at {instr_count}")
+        if entry.value != pid:
+            raise ReplayDivergenceError(
+                f"SCHED decision at instr {instr_count} chose pid "
+                f"{entry.value} during play but pid {pid} during replay")
+        self._cursor += 1
+        self.events_handled += 1
+        if self.tracer is not None:
+            self.tracer.instant("event.sched", category="session",
+                                instr=instr_count, pid=pid)
 
     def exhausted(self) -> bool:
         return self._cursor >= len(self.log.entries)

@@ -115,3 +115,8 @@ class ChannelError(ReproError):
 
 class ObservabilityError(ReproError):
     """The observability layer (metrics, ledger, tracing) was misused."""
+
+
+class ExecError(ReproError):
+    """The guest executive was misconfigured or reached a fatal state
+    (e.g. every process blocked: a mailbox deadlock)."""

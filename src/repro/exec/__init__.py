@@ -1,0 +1,22 @@
+"""Guest executive: deterministic multi-process runs on one machine.
+
+See :mod:`repro.exec.executive` for the scheduler/IPC core and
+:mod:`repro.exec.scenarios` for the canned multi-process programs (clean
+pipeline, scheduler-yield covert channel, mailbox-occupancy covert
+channel) plus the play/replay/audit drivers.
+"""
+
+from repro.exec.executive import (ARENA_STRIDE, BLOCKED, EXITED, ExecBlocked,
+                                  Executive, ExecYield, GuestProcess, KERNEL,
+                                  MAX_PROCESSES, READY, THREADS_PER_PROCESS)
+from repro.exec.scenarios import (EXEC_SCENARIOS, ExecScenario,
+                                  exec_fleet_task, exec_play, exec_replay,
+                                  exec_round_trip, exec_scenario)
+
+__all__ = [
+    "ARENA_STRIDE", "BLOCKED", "EXITED", "EXEC_SCENARIOS", "ExecBlocked",
+    "ExecScenario", "Executive", "ExecYield", "GuestProcess", "KERNEL",
+    "MAX_PROCESSES", "READY", "THREADS_PER_PROCESS",
+    "exec_fleet_task", "exec_play", "exec_replay", "exec_round_trip",
+    "exec_scenario",
+]

@@ -1,0 +1,459 @@
+"""Guest executive: deterministic multi-process scheduling + mailbox IPC.
+
+One :class:`~repro.machine.machine.Machine` hosts several MiniJ guest
+*processes*, all compiled into one :class:`~repro.vm.program.Program`
+image (same code, different entry functions — the classic one-binary,
+many-roles layout).  The executive drives the machine's single
+:class:`~repro.vm.interpreter.Interpreter` in slices: at every context
+switch it swaps the per-process context (thread set, heap arena, global
+segment) in and out of the VM while the *global* instruction counter
+keeps running, so §3.2's "simple global instruction counter" still
+identifies any point across all processes.
+
+Determinism
+-----------
+
+The schedule is a pure function of the execution: round-robin over READY
+processes, with blocked processes woken (in pid order) exactly when
+their mailbox condition holds.  It therefore needs no log entries to
+*reproduce* — but each decision is still written to the event log as a
+``SCHED`` entry during play and *verified* against the recomputed
+decision during replay, making the schedule a tamper-evident logged
+input: a doctored log or a diverging scheduler fails loudly instead of
+silently shifting every downstream timing (DESIGN.md §5).
+
+Accounting
+----------
+
+Every switch, syscall, and copied message word is charged through the
+platform into the :class:`~repro.obs.ledger.CycleLedger` under the new
+``sched`` / ``ipc`` sources, and the ledger's process label is driven so
+that *every* cycle of the run lands in some process bucket (``(exec)``
+for executive overhead) — per-process totals sum exactly to the
+:class:`~repro.hw.clock.VirtualClock`.
+
+Blocking syscalls
+-----------------
+
+``msg_send`` on a full mailbox and ``msg_recv`` on an empty one block:
+the handler pushes the popped operands back, rewinds the pc onto the
+``NATIVE`` instruction, and raises :class:`ExecBlocked` out of the run
+loop.  When the process is next scheduled the syscall re-executes from
+scratch — re-counted and re-charged identically in play and replay, so
+blocking costs exactly the same both times.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecError
+from repro.obs.ledger import Source
+from repro.vm.heap import GuestThrow, Heap, HEAP_BASE
+from repro.vm.interpreter import Frame, Interpreter, ThreadState
+from repro.vm.isa import EXC_INDEX_OUT_OF_BOUNDS
+
+#: Thread-id partition: process ``pid`` owns thread ids
+#: ``[pid * THREADS_PER_PROCESS, (pid + 1) * THREADS_PER_PROCESS)``, which
+#: keeps per-thread stack windows (STACK_BASE + tid * stride) disjoint
+#: across processes and lets observers recover the pid from a thread id.
+THREADS_PER_PROCESS = 16
+
+#: Per-process heap arenas: disjoint virtual-address windows, so
+#: cross-process accesses behave like distinct physical regions in the
+#: cache/TLB models.  The bump allocator never reuses addresses, so the
+#: stride is generous.
+ARENA_STRIDE = 0x1000_0000
+
+MAX_PROCESSES = 8
+
+#: Ledger process label for executive overhead (switches, syscall entry).
+KERNEL = "(exec)"
+
+# Syscall cost model (cycles).  Fixed constants — a pure function of the
+# syscall and its argument sizes, so replay recharges identically.
+CONTEXT_SWITCH_CYCLES = 400
+YIELD_CYCLES = 140
+SPAWN_CYCLES = 900
+SEND_BASE_CYCLES = 240
+RECV_BASE_CYCLES = 240
+COPY_CYCLES_PER_WORD = 6
+BLOCK_CYCLES = 90
+MBOX_LEN_CYCLES = 60
+PROC_ID_CYCLES = 40
+
+READY = "ready"
+BLOCKED = "blocked"
+EXITED = "exited"
+
+_WORD = 8
+
+
+class ExecYield(Exception):
+    """Control signal: the running process yielded the CPU.
+
+    Raised by ``sys_yield`` *after* the native completes (the pc stays
+    past the ``NATIVE`` instruction), caught by the executive's run loop.
+    Not part of the public API.
+    """
+
+
+class ExecBlocked(Exception):
+    """Control signal: the running process blocked on a mailbox.
+
+    The pc has been rewound onto the syscall's ``NATIVE`` instruction so
+    the attempt re-executes when the process is rescheduled.
+    """
+
+    def __init__(self, reason: tuple[str, int]) -> None:
+        self.reason = reason
+        super().__init__(f"blocked on {reason[0]}(mailbox {reason[1]})")
+
+
+class GuestProcess:
+    """One guest process: a VM context the executive swaps in and out."""
+
+    __slots__ = ("pid", "name", "entry", "threads", "heap", "globals",
+                 "current_index", "next_thread_id", "state", "wait_reason",
+                 "instructions", "slices", "yields", "sent", "received")
+
+    def __init__(self, pid: int, name: str, entry: str) -> None:
+        self.pid = pid
+        self.name = name
+        self.entry = entry
+        self.threads: list[ThreadState] = []
+        self.heap: Heap | None = None
+        self.globals: list = []
+        self.current_index = 0
+        self.next_thread_id = pid * THREADS_PER_PROCESS
+        self.state = READY
+        self.wait_reason: tuple[str, int] | None = None
+        self.instructions = 0
+        self.slices = 0
+        self.yields = 0
+        self.sent = 0
+        self.received = 0
+
+
+class Executive:
+    """Drives one machine's interpreter as a multi-process executive."""
+
+    def __init__(self, machine, num_mailboxes: int = 4,
+                 mailbox_capacity: int = 8,
+                 quantum: int | None = None) -> None:
+        if num_mailboxes < 1 or mailbox_capacity < 1:
+            raise ExecError("need at least one mailbox with capacity >= 1")
+        self.machine = machine
+        self.platform = machine.platform
+        self.num_mailboxes = num_mailboxes
+        self.capacity = mailbox_capacity
+        #: Mailboxes hold host-side *value copies* (lists of ints): no
+        #: heap handles cross process boundaries, so arenas stay disjoint
+        #: and GC roots never span processes.
+        self.mailboxes: list[list[list[int]]] = \
+            [[] for _ in range(num_mailboxes)]
+        self.quantum = quantum if quantum is not None \
+            else machine.config.thread_quantum
+        if self.quantum < 1:
+            raise ExecError(f"quantum must be positive, got {self.quantum}")
+        self.processes: list[GuestProcess] = []
+        self.vm: Interpreter | None = None
+        self.current: GuestProcess | None = None
+        self._last = -1
+        self.switches = 0
+        self.messages = 0
+
+    # -- run loop -----------------------------------------------------------
+
+    def run(self, program, processes: list[tuple[str, str]],
+            max_instructions: int = 200_000_000):
+        """Run ``processes`` (name, entry-function pairs) of ``program``.
+
+        The first process must use the program's entry function (it
+        adopts the freshly built VM's initial thread/heap/globals).
+        Returns the machine's :class:`ExecutionResult`; per-process
+        attribution rides in ``result.process_ledger``.
+        """
+        machine = self.machine
+        if machine._ran:
+            raise ExecError("a Machine is single-shot; build a new one "
+                            "per executive run")
+        if machine.workload is not None:
+            raise ExecError("executive runs drive all processes "
+                            "internally; workloads are not supported")
+        machine._ran = True
+        if not processes:
+            raise ExecError("an executive run needs at least one process")
+        if len(processes) > MAX_PROCESSES:
+            raise ExecError(f"at most {MAX_PROCESSES} processes "
+                            f"(got {len(processes)})")
+        if processes[0][1] != program.entry:
+            raise ExecError(
+                f"process 0 must run the program entry "
+                f"'{program.entry}', got '{processes[0][1]}'")
+        names = [name for name, _ in processes]
+        if len(set(names)) != len(names):
+            raise ExecError(f"process names must be unique: {names}")
+
+        platform = self.platform
+        platform.executive = self
+        vm = Interpreter(program, platform, machine.vm_config())
+        machine.attach_observers(vm)
+        self.vm = vm
+        ledger = machine.ledger
+        if ledger is not None:
+            # Label from cycle 0: every charge of the run lands in some
+            # process bucket, so per-process sums close exactly.
+            ledger.process = KERNEL
+
+        # Process 0 adopts the fresh VM's context verbatim: its entry
+        # thread already has id 0 (= pid 0's partition base) and the
+        # default heap already sits at pid 0's arena base.
+        proc0 = GuestProcess(0, names[0], processes[0][1])
+        proc0.threads = vm.threads
+        proc0.heap = vm.heap
+        proc0.globals = vm.globals
+        proc0.current_index = vm._current_index
+        proc0.next_thread_id = vm._next_thread_id
+        self.processes.append(proc0)
+        for name, entry in processes[1:]:
+            self._create_process(name, program.function(entry))
+
+        tracer = machine.obs.tracer if machine.obs is not None else None
+        if tracer is not None:
+            tracer.bind(machine.clock.now_ns,
+                        track=f"{machine.mode}:{machine.config.name}")
+            tracer.begin("exec.run", mode=machine.mode,
+                         config=machine.config.name,
+                         processes=len(processes))
+
+        while True:
+            remaining = max_instructions - vm.instruction_count
+            if remaining <= 0:
+                break
+            pid = self._schedule()
+            if pid is None:
+                blocked = [p.name for p in self.processes
+                           if p.state == BLOCKED]
+                if blocked:
+                    raise ExecError(
+                        "mailbox deadlock: every live guest process is "
+                        f"blocked ({', '.join(blocked)})")
+                break  # every process exited
+            proc = self.processes[pid]
+            # Boundary: the previous slice's batched charges land under
+            # the previous process's label, then the switch itself is
+            # executive overhead.
+            platform.flush_charges()
+            if ledger is not None:
+                ledger.process = KERNEL
+            machine.session.observe_sched(vm.instruction_count, pid)
+            platform.charge_cycles(CONTEXT_SWITCH_CYCLES, Source.SCHED)
+            platform.flush_charges()
+            self.switches += 1
+            self._swap_in(proc)
+            if ledger is not None:
+                ledger.process = proc.name
+            before = vm.instruction_count
+            try:
+                vm.run(self.quantum if self.quantum < remaining
+                       else remaining)
+            except ExecYield:
+                proc.yields += 1
+            except ExecBlocked as blocked_sig:
+                proc.state = BLOCKED
+                proc.wait_reason = blocked_sig.reason
+            proc.instructions += vm.instruction_count - before
+            proc.slices += 1
+            self._swap_out(proc)
+            self._last = pid
+            if vm.halted:
+                # ``exit()`` terminates the *calling process* on an
+                # executive machine; the other processes keep running.
+                vm.halted = False
+                proc.state = EXITED
+            elif proc.state == READY \
+                    and not any(t.alive for t in proc.threads):
+                proc.state = EXITED
+
+        # Final slice's residue lands under the last process, then the
+        # wrap-up (result assembly flushes are no-ops) is unlabeled-free.
+        platform.flush_charges()
+        if ledger is not None:
+            ledger.process = None
+        if tracer is not None:
+            tracer.end("exec.run", total_cycles=machine.clock.cycles,
+                       switches=self.switches, messages=self.messages)
+        result = machine.make_result(vm)
+        stats = result.stats
+        stats["exec_processes"] = len(self.processes)
+        stats["exec_switches"] = self.switches
+        stats["exec_messages"] = self.messages
+        stats["exec_exited"] = sum(1 for p in self.processes
+                                   if p.state == EXITED)
+        if result.profile is not None:
+            _tag_profile_pids(result.profile)
+        return result
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self) -> int | None:
+        """The deterministic schedule decision: wake, then round-robin.
+
+        Pure function of the execution state — this exact computation
+        runs in both play and replay; ``observe_sched`` records/verifies
+        its outcome.
+        """
+        procs = self.processes
+        for proc in procs:
+            if proc.state == BLOCKED and self._wakeable(proc):
+                # A woken process may find the condition gone by the
+                # time it runs (another waiter consumed the message);
+                # it then simply re-blocks.  Deterministic either way.
+                proc.state = READY
+                proc.wait_reason = None
+        count = len(procs)
+        for offset in range(count):
+            pid = (self._last + 1 + offset) % count
+            if procs[pid].state == READY:
+                return pid
+        return None
+
+    def _wakeable(self, proc: GuestProcess) -> bool:
+        kind, mbox = proc.wait_reason
+        queue = self.mailboxes[mbox]
+        if kind == "recv":
+            return len(queue) > 0
+        return len(queue) < self.capacity
+
+    def _create_process(self, name: str, function) -> GuestProcess:
+        pid = len(self.processes)
+        if pid >= MAX_PROCESSES:
+            raise ExecError(f"at most {MAX_PROCESSES} processes")
+        if function.num_params != 0:
+            raise ExecError(f"process entry '{function.name}' must take "
+                            "no parameters")
+        vm = self.vm
+        proc = GuestProcess(pid, name, function.name)
+        proc.heap = Heap(vm.config.heap, base=HEAP_BASE + pid * ARENA_STRIDE)
+        proc.globals = [0] * vm.program.num_globals
+        thread = ThreadState(pid * THREADS_PER_PROCESS)
+        thread.frames.append(Frame(function, thread.frame_base(0)))
+        proc.threads = [thread]
+        proc.next_thread_id = pid * THREADS_PER_PROCESS + 1
+        self.processes.append(proc)
+        return proc
+
+    def _swap_in(self, proc: GuestProcess) -> None:
+        vm = self.vm
+        vm.threads = proc.threads
+        vm.heap = proc.heap
+        vm.globals = proc.globals
+        vm._current_index = proc.current_index
+        vm._next_thread_id = proc.next_thread_id
+        self.current = proc
+
+    def _swap_out(self, proc: GuestProcess) -> None:
+        vm = self.vm
+        proc.current_index = vm._current_index
+        proc.next_thread_id = vm._next_thread_id
+        if proc.next_thread_id > (proc.pid + 1) * THREADS_PER_PROCESS:
+            raise ExecError(
+                f"process '{proc.name}' exceeded its thread partition "
+                f"({THREADS_PER_PROCESS} threads)")
+        self.current = None
+
+    # -- syscalls (dispatched from the platform's exec natives) -------------
+
+    def _queue(self, mbox: int) -> list:
+        if not 0 <= mbox < self.num_mailboxes:
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        return self.mailboxes[mbox]
+
+    def _block(self, vm: Interpreter, args: list,
+               reason: tuple[str, int]) -> None:
+        """Undo the syscall attempt and suspend the calling process.
+
+        ``pop_args`` took the operands off the stack and the interpreter
+        already advanced the pc past the ``NATIVE`` instruction; restore
+        both so the retry re-executes the syscall from scratch, then
+        charge the failed attempt (same cost every attempt, both modes).
+        """
+        frame = vm.current_thread.frames[-1]
+        frame.stack.extend(args)
+        frame.pc -= 1
+        self.platform.charge_cycles(BLOCK_CYCLES, Source.SCHED)
+        raise ExecBlocked(reason)
+
+    def sys_yield(self, vm: Interpreter) -> None:
+        self.platform.charge_cycles(YIELD_CYCLES, Source.SCHED)
+        raise ExecYield()
+
+    def sys_send(self, vm: Interpreter, mbox: int, buf_handle: int,
+                 length: int) -> None:
+        queue = self._queue(mbox)
+        obj = self.platform._guest_array(vm, buf_handle)
+        if length < 0 or length > len(obj.data):
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        if len(queue) >= self.capacity:
+            self._block(vm, [mbox, buf_handle, length], ("send", mbox))
+        data = obj.data
+        base = obj.vaddr + 16
+        message = [0] * length
+        for i in range(length):
+            message[i] = int(data[i])
+            self.platform.mem_access(base + i * _WORD)
+        self.platform.charge_cycles(
+            SEND_BASE_CYCLES + COPY_CYCLES_PER_WORD * length, Source.IPC)
+        queue.append(message)
+        self.messages += 1
+        self.current.sent += 1
+
+    def sys_recv(self, vm: Interpreter, mbox: int, buf_handle: int) -> int:
+        queue = self._queue(mbox)
+        obj = self.platform._guest_array(vm, buf_handle)
+        if not queue:
+            self._block(vm, [mbox, buf_handle], ("recv", mbox))
+        message = queue.pop(0)
+        count = min(len(message), len(obj.data))
+        data = obj.data
+        base = obj.vaddr + 16
+        for i in range(count):
+            data[i] = message[i]
+            self.platform.mem_access(base + i * _WORD)
+        self.platform.charge_cycles(
+            RECV_BASE_CYCLES + COPY_CYCLES_PER_WORD * count, Source.IPC)
+        self.current.received += 1
+        return count
+
+    def sys_spawn(self, vm: Interpreter, func_idx: int) -> int:
+        functions = vm.program.functions
+        if not 0 <= func_idx < len(functions):
+            raise GuestThrow(EXC_INDEX_OUT_OF_BOUNDS)
+        function = functions[func_idx]
+        # Creation only reads program metadata and appends to the process
+        # table — the caller's context stays installed in the VM.
+        proc = self._create_process(
+            f"{function.name}.{len(self.processes)}", function)
+        self.platform.charge_cycles(SPAWN_CYCLES, Source.SCHED)
+        return proc.pid
+
+    def sys_mbox_len(self, vm: Interpreter, mbox: int) -> int:
+        queue = self._queue(mbox)
+        self.platform.charge_cycles(MBOX_LEN_CYCLES, Source.IPC)
+        return len(queue)
+
+    def sys_proc_id(self, vm: Interpreter) -> int:
+        self.platform.charge_cycles(PROC_ID_CYCLES, Source.SCHED)
+        return self.current.pid
+
+
+def _tag_profile_pids(profile: dict) -> None:
+    """Annotate an exported profile's stacks with owning process ids.
+
+    On an executive machine a thread id encodes its process (partition
+    of :data:`THREADS_PER_PROCESS`); the runtime frame (thread -1) stays
+    untagged.
+    """
+    for entry in profile.get("stacks", []):
+        thread = entry.get("thread", -1)
+        if thread >= 0:
+            entry["pid"] = thread // THREADS_PER_PROCESS

@@ -57,6 +57,10 @@ class ExecutionResult:
     stats: dict[str, float] = field(default_factory=dict)
     #: Per-source cycle attribution (largest first); None without obs.
     ledger: dict[str, int] | None = None
+    #: Per-process per-source attribution (``cycles{process=...}``);
+    #: None except for executive (multi-process) runs with obs, where the
+    #: per-process sums add up exactly to ``total_cycles``.
+    process_ledger: dict[str, dict[str, int]] | None = None
     #: Sampled opcode-name histogram; None without obs.
     opcodes: dict[str, int] | None = None
     #: Trace-JIT tier-up summary (compile events, per-region entry /
@@ -427,6 +431,8 @@ class Machine:
             log=log,
             stats=self._collect_stats(vm),
             ledger=self.ledger.totals() if self.ledger is not None else None,
+            process_ledger=(self.ledger.process_totals() or None
+                            if self.ledger is not None else None),
             opcodes=(vm.sampler.histogram() if vm.sampler is not None
                      else None),
             jit=(vm.jit.summary() if vm.jit is not None else None),

@@ -29,6 +29,14 @@ _NATIVE_TABLE: list[tuple[str, int, bool]] = [
     ("busy_cycles", 1, False),
     ("spawn", 2, False),
     ("exit", 0, False),
+    # Executive syscalls (multi-process runs; appended to preserve the
+    # index ABI of programs assembled before the executive existed).
+    ("exec_yield", 0, False),
+    ("msg_send", 3, False),
+    ("msg_recv", 2, True),
+    ("proc_spawn", 1, True),
+    ("mbox_len", 1, True),
+    ("proc_id", 0, True),
 ]
 
 #: MiniJ signatures for :func:`repro.lang.compile_minij`.
@@ -45,6 +53,12 @@ MACHINE_NATIVE_SIGNATURES: dict[str, tuple[tuple[str, ...], str]] = {
     "busy_cycles": (("int",), "void"),
     "spawn": (("int", "int"), "void"),
     "exit": ((), "void"),
+    "exec_yield": ((), "void"),
+    "msg_send": (("int", "int[]", "int"), "void"),
+    "msg_recv": (("int", "int[]"), "int"),
+    "proc_spawn": (("int",), "int"),
+    "mbox_len": (("int",), "int"),
+    "proc_id": ((), "int"),
 }
 
 

@@ -85,6 +85,9 @@ class TimedCorePlatform(Platform):
         self._ledger = machine.clock.ledger
         self.console: list = []
         self.tx_trace: list[tuple[int, bytes]] = []
+        #: Set by :class:`repro.exec.Executive` when this machine hosts
+        #: multiple guest processes; the exec_* natives dispatch into it.
+        self.executive = None
         # A JIT register-allocates locals: LOAD/STORE of stack slots do
         # not touch the memory hierarchy (Table 2's Oracle-JIT model).
         from repro.machine.config import RuntimeKind
@@ -731,3 +734,39 @@ class TimedCorePlatform(Platform):
 
     def _native_exit(self, vm: "Interpreter", args: list) -> None:
         vm.halted = True
+
+    # -- executive syscalls -------------------------------------------------
+    #
+    # These natives are only meaningful on a machine driven by the guest
+    # executive (:mod:`repro.exec`); the executive installs itself as
+    # ``self.executive`` before the first slice.  The handlers delegate
+    # immediately: all scheduling, mailbox, and charging policy lives in
+    # one place.
+
+    def _exec(self):
+        executive = self.executive
+        if executive is None:
+            from repro.errors import VMRuntimeError
+            raise VMRuntimeError(
+                "executive syscall outside a multi-process (exec) run")
+        return executive
+
+    def _native_exec_yield(self, vm: "Interpreter", args: list) -> None:
+        self._exec().sys_yield(vm)
+
+    def _native_msg_send(self, vm: "Interpreter", args: list) -> None:
+        mbox, buf_handle, length = args
+        self._exec().sys_send(vm, mbox, buf_handle, length)
+
+    def _native_msg_recv(self, vm: "Interpreter", args: list) -> int:
+        mbox, buf_handle = args
+        return self._exec().sys_recv(vm, mbox, buf_handle)
+
+    def _native_proc_spawn(self, vm: "Interpreter", args: list) -> int:
+        return self._exec().sys_spawn(vm, args[0])
+
+    def _native_mbox_len(self, vm: "Interpreter", args: list) -> int:
+        return self._exec().sys_mbox_len(vm, args[0])
+
+    def _native_proc_id(self, vm: "Interpreter", args: list) -> int:
+        return self._exec().sys_proc_id(vm)

@@ -52,7 +52,8 @@ from repro.obs.dist import (DistTracer, SLOReport, SLOSpec, SpanRecord,
 from repro.obs.flight import (DivergenceRecord, capture_divergence,
                               flights_from_ndjson, flights_to_ndjson)
 from repro.obs.ledger import (KNOWN_SOURCES, MITIGATED_SOURCES, CycleLedger,
-                              Source, format_attribution_table)
+                              Source, format_attribution_table,
+                              format_process_table)
 from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
                                MetricsRegistry, NullRegistry, enable_metrics,
                                get_registry, labeled, set_registry)
@@ -78,7 +79,8 @@ __all__ = [
     "default_observability", "derive_trace_id", "diff_lines",
     "diff_profiles", "enable_metrics", "evaluate_slo",
     "first_divergence", "flights_from_ndjson", "flights_to_ndjson",
-    "folded_lines", "format_attribution_table", "get_registry",
+    "folded_lines", "format_attribution_table", "format_process_table",
+    "get_registry",
     "labeled", "profile_lines", "render_flame_diff_svg",
     "render_flame_svg", "set_registry", "summarize_tracer",
     "write_flame_svg",

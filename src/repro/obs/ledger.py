@@ -44,6 +44,8 @@ class Source:
     ``INJECTION``       naive-replay event-injection asymmetry (Fig 3)
     ``COMPUTE``         abstracted data-independent compute blocks
     ``RESUME``          checkpoint fast-forward during segment replay
+    ``SCHED``           executive context switches / yields / spawns (§7)
+    ``IPC``             executive mailbox send/recv and message copies
     ==================  ==================================================
     """
 
@@ -62,6 +64,8 @@ class Source:
     INJECTION = "injection"
     COMPUTE = "compute-block"
     RESUME = "checkpoint-resume"
+    SCHED = "sched"
+    IPC = "ipc"
     OTHER = "other"
 
 
@@ -70,7 +74,8 @@ KNOWN_SOURCES: tuple[str, ...] = (
     Source.INSTRUCTION, Source.CACHE, Source.TLB, Source.BRANCH,
     Source.BUS, Source.INTERRUPT, Source.PREEMPT, Source.CO_TENANT,
     Source.STORAGE, Source.COVERT, Source.GC, Source.IDLE,
-    Source.INJECTION, Source.COMPUTE, Source.RESUME, Source.OTHER)
+    Source.INJECTION, Source.COMPUTE, Source.RESUME, Source.SCHED,
+    Source.IPC, Source.OTHER)
 
 #: Sources that a fully mitigated (Table 1) configuration drives to zero.
 MITIGATED_SOURCES: tuple[str, ...] = (
@@ -81,20 +86,39 @@ class CycleLedger:
     """Per-source cycle totals for one machine run.
 
     The hot path is :meth:`charge`; everything else is reporting.
+
+    Besides the per-source aggregate, the ledger can attribute charges to
+    a second, optional dimension: the guest *process* on whose behalf the
+    cycles were spent (``cycles{process=...}``, mirroring the per-node
+    cache-hit labels of the fleet telemetry).  The executive sets
+    :attr:`process` at context-switch boundaries; while it is ``None``
+    (every single-process run) the labelled path costs one predicted-
+    not-taken branch and records nothing.  The unlabelled aggregate is
+    unchanged either way, so ``sum(per-process) == sum(per-source) ==
+    clock.cycles`` whenever a label was active for the whole run.
     """
 
-    __slots__ = ("_totals", "charges")
+    __slots__ = ("_totals", "charges", "process", "_by_process")
 
     def __init__(self) -> None:
         self._totals: dict[str, int] = {}
         #: Number of individual charge events recorded.
         self.charges = 0
+        #: Current process label, set by the executive at switch points.
+        self.process: str | None = None
+        self._by_process: dict[str, dict[str, int]] = {}
 
     def charge(self, source: str, cycles: int) -> None:
         """Attribute ``cycles`` to ``source`` (called by the clock)."""
         totals = self._totals
         totals[source] = totals.get(source, 0) + cycles
         self.charges += 1
+        process = self.process
+        if process is not None:
+            bucket = self._by_process.get(process)
+            if bucket is None:
+                bucket = self._by_process[process] = {}
+            bucket[source] = bucket.get(source, 0) + cycles
 
     def get(self, source: str) -> int:
         """Cycles attributed to ``source`` (0 if never charged)."""
@@ -109,6 +133,17 @@ class CycleLedger:
         """Snapshot of the per-source totals, largest first."""
         return dict(sorted(self._totals.items(),
                            key=lambda kv: (-kv[1], kv[0])))
+
+    def process_totals(self) -> dict[str, dict[str, int]]:
+        """Per-process per-source snapshot, processes sorted by name.
+
+        Empty for runs that never set :attr:`process` (single-process
+        machines).  Within a process, sources sort largest first, same
+        as :meth:`totals`.
+        """
+        return {process: dict(sorted(sources.items(),
+                                     key=lambda kv: (-kv[1], kv[0])))
+                for process, sources in sorted(self._by_process.items())}
 
     def delta(self, other: "CycleLedger | dict[str, int]") -> dict[str, int]:
         """Per-source ``self - other``, over the union of sources.
@@ -130,6 +165,8 @@ class CycleLedger:
     def reset(self) -> None:
         self._totals.clear()
         self.charges = 0
+        self.process = None
+        self._by_process.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CycleLedger(total={self.total}, sources={len(self._totals)})"
@@ -158,6 +195,37 @@ def format_attribution_table(totals: "dict[str, int] | CycleLedger",
     lines.append(f"  {'total':<{width}} {ledger_sum:>16,}")
     if total_cycles is not None:
         verdict = ("exact" if ledger_sum == total_cycles
+                   else f"MISMATCH vs clock {total_cycles:,}")
+        lines.append(f"  (accounting {verdict})")
+    return "\n".join(lines)
+
+
+def format_process_table(process_totals: dict[str, dict[str, int]],
+                         total_cycles: int | None = None,
+                         title: str = "cycle attribution by process") -> str:
+    """Render the ``cycles{process=...}`` dimension as a Table-1 sibling.
+
+    One row per process with its total and dominant sources; the footer
+    cross-checks ``sum(per-process)`` against the clock when given, the
+    same exact-accounting contract as :func:`format_attribution_table`.
+    """
+    rows = {process: sum(sources.values())
+            for process, sources in process_totals.items()}
+    grand = sum(rows.values())
+    denominator = total_cycles if total_cycles else grand
+    width = max([len(p) for p in rows] + [len("process")])
+    lines = [f"{title}:",
+             f"  {'process':<{width}} {'cycles':>16} {'share':>8}  top sources"]
+    for process, cycles in sorted(rows.items(), key=lambda kv: (-kv[1],
+                                                                kv[0])):
+        share = cycles / denominator if denominator else 0.0
+        top = ", ".join(f"{s} {c:,}" for s, c in
+                        list(process_totals[process].items())[:3])
+        lines.append(f"  {process:<{width}} {cycles:>16,} {share:>7.2%}"
+                     f"  {top}")
+    lines.append(f"  {'total':<{width}} {grand:>16,}")
+    if total_cycles is not None:
+        verdict = ("exact" if grand == total_cycles
                    else f"MISMATCH vs clock {total_cycles:,}")
         lines.append(f"  (accounting {verdict})")
     return "\n".join(lines)

@@ -188,15 +188,25 @@ def folded_lines(profile: dict, with_sources: bool = True) -> list[str]:
     tooling renders specially; with ``with_sources`` (the default) each
     hardware source becomes a synthetic ``[source]`` leaf, so the line
     weights sum exactly to the run's ledger total.
+
+    Executive (multi-process) profiles tag each stack with the owning
+    guest process (``pid``); those get a ``pid:N`` root frame so the
+    flame graph splits per process.  Plain multi-threaded profiles fall
+    back to a ``thread:N`` root as before.
     """
-    threads = {entry["thread"] for entry in profile.get("stacks", ())}
-    multi = len(threads - {-1}) > 1
+    stacks = profile.get("stacks", ())
+    pids = {entry.get("pid") for entry in stacks} - {None}
+    threads = {entry["thread"] for entry in stacks}
+    multi_pid = len(pids) > 1
+    multi = not multi_pid and len(threads - {-1}) > 1
     lines = []
-    for entry in profile.get("stacks", ()):
+    for entry in stacks:
         frames = list(entry["stack"])
         if entry["tier"] == "jit" and frames:
             frames[-1] += "_[j]"
-        if multi and entry["thread"] >= 0:
+        if multi_pid and entry.get("pid") is not None:
+            frames.insert(0, f"pid:{entry['pid']}")
+        elif multi and entry["thread"] >= 0:
             frames.insert(0, f"thread:{entry['thread']}")
         base = ";".join(frames)
         if with_sources:

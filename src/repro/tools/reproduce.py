@@ -8,6 +8,8 @@ Usage::
     python -m repro.tools.reproduce fig6 trace --store
     python -m repro.tools.reproduce serve --tenants 4 --epochs 3 --store
     python -m repro.tools.reproduce audit --covert ipctc
+    python -m repro.tools.reproduce exec --scenario all --jobs 4
+    python -m repro.tools.reproduce exec --covert sched --store
     python -m repro.tools.reproduce fleet-audit --nodes 4 \\
         --chaos crash:1@180 --slo p99_verdict_ms=400 \\
         --trace-out fleet-trace.json --store
@@ -23,7 +25,7 @@ Each experiment is a quick, parameterizable version of the corresponding
 bench in ``benchmarks/`` (the benches add shape assertions and fixed
 parameters; this tool is for exploration).  With ``--store [DIR]`` the
 store-aware experiments (``fig6``, ``trace``, ``chaos``, ``fleet``,
-``serve``, ``audit``) persist their full evidence — ledgers, metrics,
+``serve``, ``audit``, ``exec``) persist their full evidence — ledgers, metrics,
 traces, verdicts — to a :class:`~repro.obs.runstore.RunStore`; the
 ``runs`` / ``report`` / ``bench-gate`` subcommands list, re-render, and
 gate on those artifacts.
@@ -49,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import statistics
 import sys
 import time
@@ -708,6 +711,183 @@ def run_fleet_audit(args) -> int:
     return report.exit_code
 
 
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (the fleet dashboards use the same)."""
+    if not samples:
+        return 0.0
+    ranked = sorted(samples)
+    rank = max(1, math.ceil(q * len(ranked)))
+    return ranked[rank - 1]
+
+
+#: ``--covert`` aliases for ``exec``: channel name or scenario name both
+#: select the scenario whose guest encodes that channel.
+_EXEC_COVERT = {"sched": "sched", "schedtc": "sched",
+                "mbox": "mbox", "mboxtc": "mbox"}
+
+
+def run_exec(args) -> int:
+    _banner("Exec — guest executive: multi-process TDR on one machine")
+    from repro.errors import ObservabilityError
+    from repro.exec import (EXEC_SCENARIOS, exec_fleet_task,
+                            exec_round_trip, exec_scenario)
+    from repro.obs.dist import SLOSpec
+    from repro.obs.ledger import format_process_table
+
+    slo_spec = None
+    if args.slo:
+        try:
+            slo_spec = SLOSpec.parse(args.slo)
+        except ObservabilityError as exc:
+            print(f"exec: bad --slo spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    if args.scenario != "all" and args.scenario not in EXEC_SCENARIOS:
+        print(f"exec: unknown scenario '{args.scenario}' (choose from "
+              f"{', '.join(EXEC_SCENARIOS)}, all)", file=sys.stderr)
+        return EXIT_USAGE
+    covert_of = None
+    if args.covert:
+        covert_of = _EXEC_COVERT.get(args.covert)
+        if covert_of is None:
+            print(f"exec: --covert must be one of "
+                  f"{', '.join(sorted(_EXEC_COVERT))} (got "
+                  f"'{args.covert}')", file=sys.stderr)
+            return EXIT_USAGE
+
+    names = (list(EXEC_SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    status = EXIT_CLEAN
+    verdict_ms: list[float] = []
+    unaudited = 0
+    figures: dict = {"scenarios": {}}
+    ledgers: dict = {}
+    verdicts: dict = {}
+
+    def one(name: str, covert: bool) -> None:
+        nonlocal status, unaudited
+        scenario = exec_scenario(name)
+        obs = Observability()
+        tdr = exec_round_trip(scenario, play_seed=0, replay_seed=1,
+                              covert=covert, obs=obs)
+        play_r, replay_r, audit = tdr.play, tdr.replay, tdr.audit
+        # Verdict latency in *virtual* milliseconds: the replay is the
+        # audit, so its virtual duration is the deterministic stand-in
+        # for "how long until the verdict" (wall-clock would make the
+        # SLO verdict — and the CI byte-diff — machine-dependent).
+        verdict_ms.append(replay_r.total_ns / 1e6)
+        consistent = audit.is_consistent()
+        deviation = audit.deviation_score()
+        label = name + (" [covert]" if covert else "")
+        print(f"  {label}: {play_r.stats['exec_processes']} processes, "
+              f"{play_r.stats['exec_switches']} switches, "
+              f"{play_r.stats['exec_messages']} messages, "
+              f"{play_r.instructions:,} instructions")
+        print(f"    play {play_r.total_cycles:,} cycles / replay "
+              f"{replay_r.total_cycles:,}; deviation "
+              f"{deviation:.4f} ms; payloads "
+              f"{'match' if audit.payloads_match else 'DIFFER'}")
+        if play_r.process_ledger:
+            table = format_process_table(play_r.process_ledger,
+                                         play_r.total_cycles)
+            print("    " + table.replace("\n", "\n    "))
+            ledgers[label] = {proc: dict(sources) for proc, sources
+                              in play_r.process_ledger.items()}
+        exited = play_r.stats["exec_exited"]
+        total = play_r.stats["exec_processes"]
+        if exited < total:
+            print(f"    only {exited}/{total} processes exited -> "
+                  f"degraded")
+            unaudited += 1
+            status = max(status, EXIT_DEGRADED)
+        if consistent:
+            print("    verdict: consistent (no timing deviation)")
+        else:
+            print("    verdict: FLAGGED — timing deviation beyond "
+                  "tolerance")
+            status = max(status, EXIT_FLAGGED)
+        verdicts[label] = {"consistent": consistent,
+                           "deviation_ms": deviation,
+                           "payloads_match": audit.payloads_match}
+        figures["scenarios"][label] = {
+            "play_cycles": play_r.total_cycles,
+            "replay_cycles": replay_r.total_cycles,
+            "instructions": play_r.instructions,
+            "switches": play_r.stats["exec_switches"],
+            "messages": play_r.stats["exec_messages"],
+            "deviation_ms": deviation,
+        }
+
+    for name in names:
+        one(name, covert=False)
+    if covert_of is not None:
+        one(covert_of, covert=True)
+
+    if args.jobs and args.jobs > 1:
+        # Satellite of the determinism contract: the same task set run
+        # through the process pool at --jobs N must reproduce the serial
+        # summaries (cycles, tx, log digests) bit for bit.
+        from repro.analysis.parallel import run_fleet
+
+        tasks = [(name, covert, seed, seed + 100, None)
+                 for name in names
+                 for covert in ((False, True)
+                                if exec_scenario(name).rounds else (False,))
+                 for seed in (0, 1)]
+        serial = run_fleet(tasks, jobs=1, worker=exec_fleet_task)
+        fanned = run_fleet(tasks, jobs=args.jobs, worker=exec_fleet_task)
+        identical = serial == fanned
+        print(f"  fleet determinism: {len(tasks)} round trips, jobs=1 "
+              f"vs jobs={args.jobs}: "
+              f"{'bit-identical' if identical else 'DIVERGED'}")
+        figures["fleet"] = {"tasks": len(tasks), "jobs": args.jobs,
+                            "identical": identical}
+        if not identical:
+            status = max(status, EXIT_FLAGGED)
+
+    if slo_spec is not None:
+        print("  slo:")
+        breached = []
+        for key, target in slo_spec.objectives():
+            if key == "max_unaudited":
+                value = unaudited / max(1, len(verdict_ms) + unaudited)
+            elif key == "p99_queue_ms":
+                value = 0.0  # audits run inline; nothing queues
+            else:
+                q = {"p50_verdict_ms": 0.50, "p95_verdict_ms": 0.95,
+                     "p99_verdict_ms": 0.99}[key]
+                value = _percentile(verdict_ms, q)
+            ok = value <= target
+            if not ok:
+                breached.append(key)
+            print(f"    {key:<16s} {value:>10.2f} <= {target:<10g} "
+                  f"{'ok' if ok else 'BREACH'}")
+        figures["slo"] = {"breached": breached}
+        if breached and status in (EXIT_CLEAN, EXIT_DEGRADED):
+            print(f"  SLO breach ({', '.join(breached)}) -> exit 4")
+            status = EXIT_SLO_BREACH
+
+    store = _store(args)
+    if store is not None:
+        from repro.obs.runstore import RunRecord
+
+        record = RunRecord(
+            kind="exec",
+            label=f"scenario={args.scenario}"
+                  + (f", covert={covert_of}" if covert_of else ""),
+            config={"scenario": args.scenario,
+                    "covert": args.covert or "",
+                    "jobs": args.jobs or 1},
+            seeds=[0, 1],
+            ledgers=ledgers,
+            verdicts=verdicts,
+            figures=figures)
+        run_id = store.save(record)
+        print(f"  [stored {run_id} in {store.root}]")
+    if status == EXIT_FLAGGED:
+        print("  flagged -> non-zero exit")
+    return status
+
+
 EXPERIMENTS = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -722,6 +902,7 @@ EXPERIMENTS = {
     "audit": run_audit,
     "serve": run_serve,
     "fleet-audit": run_fleet_audit,
+    "exec": run_exec,
 }
 
 
@@ -1183,7 +1364,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--covert", default=None, metavar="CHANNEL",
                         help="covert channel for 'audit' (and the "
                              "covert tenant of 'serve'; default ipctc "
-                             "there, none for 'audit')")
+                             "there, none for 'audit'); for 'exec', "
+                             "sched/schedtc or mbox/mboxtc adds the "
+                             "covert variant of that scenario")
+    parser.add_argument("--scenario", default="all",
+                        metavar="NAME",
+                        help="'exec' scenario to run: pipeline, sched, "
+                             "mbox, or all (default all)")
     parser.add_argument("--tamper", action="store_true",
                         help="'audit' only: rewrite a committed log "
                              "entry after attestation")

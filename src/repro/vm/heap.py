@@ -78,10 +78,14 @@ class Heap:
     silently aliased.
     """
 
-    def __init__(self, config: HeapConfig | None = None) -> None:
+    def __init__(self, config: HeapConfig | None = None,
+                 base: int = HEAP_BASE) -> None:
         self.config = config or HeapConfig()
         self._objects: list[HeapObject | None] = [None]  # index 0 = null
-        self._bump = HEAP_BASE
+        # ``base`` lets the executive give each guest process its own heap
+        # arena (disjoint virtual addresses, so cross-process cache
+        # behaviour matches distinct physical frames).
+        self._bump = base
         self.allocated_bytes = 0
         self.live_bytes = 0
         self.bytes_since_gc = 0

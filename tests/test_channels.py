@@ -4,9 +4,11 @@ import pytest
 
 from repro.analysis.experiment import NfsTrafficModel
 from repro.analysis.stats import mean, stdev
-from repro.channels import (Ipctc, Mbctc, NeedleChannel, Trctc,
-                            all_channels, bit_accuracy, bits_to_bytes,
-                            bytes_to_bits, random_bits)
+from repro.channels import (Ipctc, MailboxChannel, Mbctc, NeedleChannel,
+                            SchedYieldChannel, Trctc, all_channels,
+                            bit_accuracy, bits_to_bytes, bytes_to_bits,
+                            channel_by_name, exec_channels, random_bits)
+from repro.channels.capacity import capacity_report, measure_error_rate
 from repro.determinism import SplitMix64
 from repro.errors import ChannelError
 
@@ -44,13 +46,13 @@ class TestCodec:
 
 
 class TestChannelContract:
-    @pytest.mark.parametrize("channel", all_channels(),
+    @pytest.mark.parametrize("channel", all_channels() + exec_channels(),
                              ids=lambda c: c.name)
     def test_requires_fit(self, channel):
         with pytest.raises(ChannelError):
             channel.encode([1.0, 2.0], [1, 0], SplitMix64(1))
 
-    @pytest.mark.parametrize("channel", all_channels(),
+    @pytest.mark.parametrize("channel", all_channels() + exec_channels(),
                              ids=lambda c: c.name)
     def test_delays_are_nonnegative(self, channel):
         rng = SplitMix64(3)
@@ -61,7 +63,7 @@ class TestChannelContract:
         assert len(delays) == len(natural)
         assert all(d >= 0.0 for d in delays)
 
-    @pytest.mark.parametrize("channel", all_channels(),
+    @pytest.mark.parametrize("channel", all_channels() + exec_channels(),
                              ids=lambda c: c.name)
     def test_encoding_is_seed_deterministic(self, channel):
         natural = NfsTrafficModel().ipds(50, SplitMix64(11))
@@ -220,3 +222,103 @@ class TestNeedle:
             NeedleChannel(period=0)
         with pytest.raises(ChannelError):
             NeedleChannel(delta_ms=-1.0)
+
+
+class TestSchedYieldChannel:
+    def test_bit1_adds_whole_quanta(self):
+        channel = SchedYieldChannel(quantum_ms=6.0, hold_quanta=2)
+        channel.fit([8.0] * 20, SplitMix64(1))
+        covert = channel.encode([8.0] * 4, [0, 1, 0, 1], SplitMix64(1))
+        assert covert == [8.0, 20.0, 8.0, 20.0]
+
+    def test_decode_roundtrip(self):
+        channel = SchedYieldChannel()
+        rng = SplitMix64(31)
+        channel.fit(legit_sample(), rng)
+        bits = random_bits(64, rng)
+        natural = NfsTrafficModel().ipds(64, SplitMix64(33))
+        covert = channel.encode(natural, bits, rng)
+        assert bit_accuracy(bits, channel.decode(covert)) > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            SchedYieldChannel(quantum_ms=0)
+        with pytest.raises(ChannelError):
+            SchedYieldChannel(hold_quanta=0)
+
+
+class TestMailboxChannel:
+    def test_occupancy_walk_clamps(self):
+        channel = MailboxChannel(per_message_ms=5.0, depth=2)
+        channel.fit([10.0] * 20, SplitMix64(1))
+        covert = channel.encode([10.0] * 6, [1, 1, 1, 0, 0, 0],
+                                SplitMix64(1))
+        # Occupancy walks 1, 2, 2 (clamped), 1, 0, 0 (clamped).
+        assert covert == [15.0, 20.0, 20.0, 15.0, 10.0, 10.0]
+
+    def test_decode_roundtrip_clean_path(self):
+        channel = MailboxChannel(per_message_ms=5.0, depth=6)
+        rng = SplitMix64(37)
+        channel.fit([9.0] * 50, rng)
+        bits = random_bits(40, rng)
+        covert = channel.encode([9.0] * 40, bits, rng)
+        assert channel.decode(covert) == bits
+
+    def test_decode_under_natural_jitter(self):
+        channel = MailboxChannel()
+        rng = SplitMix64(41)
+        channel.fit(legit_sample(), rng)
+        bits = random_bits(64, rng)
+        natural = NfsTrafficModel().ipds(64, SplitMix64(43))
+        covert = channel.encode(natural, bits, rng)
+        assert bit_accuracy(bits, channel.decode(covert)) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            MailboxChannel(per_message_ms=0)
+        with pytest.raises(ChannelError):
+            MailboxChannel(depth=0)
+
+
+class TestExecChannelRegistry:
+    def test_paper_channel_set_is_unchanged(self):
+        assert [c.name for c in all_channels()] == [
+            "ipctc", "trctc", "mbctc", "needle"]
+
+    def test_exec_family(self):
+        assert [c.name for c in exec_channels()] == ["schedtc", "mboxtc"]
+
+    def test_lookup_by_name(self):
+        assert isinstance(channel_by_name("schedtc"), SchedYieldChannel)
+        assert isinstance(channel_by_name("mboxtc"), MailboxChannel)
+        with pytest.raises(ChannelError):
+            channel_by_name("no-such-channel")
+
+
+class TestExecChannelCapacity:
+    """Capacity coverage for the scheduler/IPC family (§6.8 harness)."""
+
+    @pytest.mark.parametrize("channel", exec_channels(),
+                             ids=lambda c: c.name)
+    def test_usable_capacity_without_jitter(self, channel):
+        rng = SplitMix64(47)
+        channel.fit(legit_sample(400, seed=48), rng)
+        natural = NfsTrafficModel().ipds(240, SplitMix64(49))
+        error = measure_error_rate(channel, natural, None, rng)
+        assert error < 0.25
+        report = capacity_report(channel, natural, None,
+                                 SplitMix64(51))
+        assert report.capacity_bits_per_use > 0.2
+        assert report.uses_per_second > 0
+
+    def test_schedtc_beats_mboxtc_on_error_rate(self):
+        # The two-level hold is far more robust than reconstructing a
+        # walk level from noisy IPDs.
+        rng = SplitMix64(53)
+        natural = NfsTrafficModel().ipds(240, SplitMix64(54))
+        errors = {}
+        for channel in exec_channels():
+            channel.fit(legit_sample(400, seed=55), rng.fork(channel.name))
+            errors[channel.name] = measure_error_rate(
+                channel, natural, None, rng.fork(f"er-{channel.name}"))
+        assert errors["schedtc"] <= errors["mboxtc"]

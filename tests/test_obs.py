@@ -14,7 +14,7 @@ from repro.obs import (KNOWN_SOURCES, MITIGATED_SOURCES, Counter, CycleLedger,
                        Gauge, Histogram, MetricsRegistry, NullRegistry,
                        Observability, OpcodeSampler, Source, SpanTracer,
                        capture_divergence, format_attribution_table,
-                       get_registry, set_registry)
+                       format_process_table, get_registry, set_registry)
 from repro.obs.metrics import NULL_INSTRUMENT
 
 
@@ -193,6 +193,33 @@ class TestCycleLedger:
         text = format_attribution_table({"cache": 30}, 100)
         assert "MISMATCH" in text
 
+    def test_process_dimension(self):
+        ledger = CycleLedger()
+        ledger.charge(Source.CACHE, 5)            # unlabeled: aggregate only
+        ledger.process = "alpha"
+        ledger.charge(Source.INSTRUCTION, 100)
+        ledger.process = "beta"
+        ledger.charge(Source.INSTRUCTION, 40)
+        ledger.charge(Source.SCHED, 10)
+        ledger.process = None
+        per_process = ledger.process_totals()
+        assert per_process == {"alpha": {Source.INSTRUCTION: 100},
+                               "beta": {Source.INSTRUCTION: 40,
+                                        Source.SCHED: 10}}
+        # The aggregate includes labeled and unlabeled charges alike.
+        assert ledger.total == 155
+        ledger.reset()
+        assert ledger.process is None and ledger.process_totals() == {}
+
+    def test_format_process_table(self):
+        totals = {"relay": {Source.INSTRUCTION: 60, Source.CACHE: 10},
+                  "(exec)": {Source.SCHED: 30}}
+        text = format_process_table(totals, 100)
+        assert "accounting exact" in text
+        assert "relay" in text and "(exec)" in text
+        assert "70.00%" in text
+        assert "MISMATCH" in format_process_table(totals, 101)
+
 
 class TestSpanTracer:
     def test_span_balance_enforced(self):
@@ -319,6 +346,30 @@ class TestObservabilityIntegration:
         assert sum(result.ledger.values()) == result.total_cycles
         assert set(result.ledger) <= set(KNOWN_SOURCES)
         assert result.ledger[Source.INSTRUCTION] > 0
+
+    def test_exec_process_ledger_sums_to_clock(self):
+        """The ``cycles{process=...}`` dimension closes exactly: every
+        cycle of a multi-process run lands in some process bucket (the
+        executive's own overhead under ``(exec)``), so per-process sums
+        equal the clock — Table 1, per process."""
+        from repro.exec import KERNEL, exec_play, exec_scenario
+
+        result = exec_play(exec_scenario("pipeline"), obs=Observability())
+        per_process = result.process_ledger
+        assert per_process is not None
+        assert KERNEL in per_process
+        # producer, ticker, spawned filter, plus the executive bucket.
+        assert len(per_process) == 4
+        total = sum(sum(sources.values())
+                    for sources in per_process.values())
+        assert total == result.total_cycles
+        # The unlabeled aggregate agrees with the same clock reading.
+        assert sum(result.ledger.values()) == result.total_cycles
+        # Scheduling overhead is attributed, and IPC cycles hit the
+        # processes that actually touched mailboxes.
+        assert per_process[KERNEL][Source.SCHED] > 0
+        rendered = format_process_table(per_process, result.total_cycles)
+        assert "accounting exact" in rendered
 
     def test_sanity_config_zeroes_mitigated_sources(self):
         # Table 1: each mitigation removes exactly its noise source; the

@@ -38,7 +38,24 @@ class TestReproduceCli:
         assert set(EXPERIMENTS) == {"fig2", "fig3", "table2", "fig6",
                                     "fig7", "sec65", "fig8", "chaos",
                                     "trace", "fleet", "audit", "serve",
-                                    "fleet-audit"}
+                                    "fleet-audit", "exec"}
+
+    def test_exec_clean(self, capsys):
+        assert main(["exec", "--scenario", "pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "accounting exact" in out
+        assert "consistent (no timing deviation)" in out
+
+    def test_exec_covert_flagged(self, capsys):
+        assert main(["exec", "--scenario", "sched",
+                     "--covert", "sched"]) == 1
+        out = capsys.readouterr().out
+        assert "FLAGGED" in out
+
+    def test_exec_usage_errors(self, capsys):
+        assert main(["exec", "--scenario", "nope"]) == 2
+        assert main(["exec", "--covert", "ipctc"]) == 2
+        assert main(["exec", "--slo", "frobs=1"]) == 2
 
     def test_chaos_quick(self, capsys):
         # Severity 1 injects tamper/corruption faults, so the exit-code
